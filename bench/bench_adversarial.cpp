@@ -1,0 +1,97 @@
+// [X6] Adversarial instance search — attacking the ∀-quantified claims.
+//
+// SPG (Definition 5) claims gain >= γ for ALL instances of a class; the
+// Kahng et al. impossibility says on general graphs there ALWAYS exist
+// harmful instances.  This bench runs the hill-climbing adversary of
+// ld/experiments/adversarial.hpp against both sides:
+//
+//  * on the star (general graphs), the adversary *finds* the Figure 1
+//    counterexample shape from scratch — competent centre, leaves
+//    clustered just above 1/2;
+//  * on K_n restricted to the PC class (Theorem 2's hypotheses), the
+//    adversary cannot push the gain below ≈ 0 — the theorem survives;
+//  * on K_n *without* the PC restriction, the adversary can only
+//    neutralise delegation (empty approval sets), not harm it — the
+//    DNH half of Theorem 2.
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "ld/experiments/adversarial.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/complete_graph_threshold.hpp"
+
+int main() {
+    using namespace ld;
+    experiments::Experiment exp(
+        "X6", "Adversarial search: worst instance found per (graph class, mechanism)",
+        {"setting", "n", "evaluations", "worst_gain", "P^D", "P^M", "p_range_found"});
+    auto rng = exp.make_rng();
+
+    const std::size_t n = 151;
+    const mech::BestNeighbour best;
+    const mech::ApprovalSizeThreshold threshold(1);
+
+    experiments::AdversaryOptions opts;
+    opts.restarts = 12;
+    opts.steps = 400;
+    opts.batch = 12;
+    opts.step_size = 0.2;
+    opts.eval.replications = 8;
+
+    const auto describe_range = [](const model::CompetencyVector& p) {
+        const auto values = p.values();
+        const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+        return "[" + std::to_string(*lo).substr(0, 4) + "," +
+               std::to_string(*hi).substr(0, 4) + "]";
+    };
+
+    {
+        const auto result = experiments::find_worst_competencies(
+            best, graph::make_star(n), 0.05, rng, opts);
+        exp.add_row({std::string("star + BestNeighbour (unrestricted)"),
+                     static_cast<long long>(n),
+                     static_cast<long long>(result.evaluations), result.worst_gain,
+                     result.pd, result.pm, describe_range(result.worst_competencies)});
+    }
+    {
+        auto constrained = opts;
+        constrained.constraint = [](const model::CompetencyVector& p) {
+            return p.satisfies_pc(0.05);
+        };
+        const auto result = experiments::find_worst_competencies(
+            threshold, graph::make_complete(n), 0.05, rng, constrained);
+        exp.add_row({std::string("K_n + Threshold(1), PC class (Theorem 2 SPG)"),
+                     static_cast<long long>(n),
+                     static_cast<long long>(result.evaluations), result.worst_gain,
+                     result.pd, result.pm, describe_range(result.worst_competencies)});
+    }
+    {
+        const auto result = experiments::find_worst_competencies(
+            threshold, graph::make_complete(n), 0.05, rng, opts);
+        exp.add_row({std::string("K_n + Threshold(1), unrestricted"),
+                     static_cast<long long>(n),
+                     static_cast<long long>(result.evaluations), result.worst_gain,
+                     result.pd, result.pm, describe_range(result.worst_competencies)});
+    }
+    {
+        // Theorem 2's actual mechanism: j(n) = n/3.  The lone-peak attack
+        // that breaks Threshold(1) gives every voter an approval set of
+        // size 1 < n/3 — nobody delegates, no harm.
+        const auto alg1 = mech::CompleteGraphThreshold::with_linear_threshold(1.0 / 3.0);
+        const auto result = experiments::find_worst_competencies(
+            alg1, graph::make_complete(n), 0.05, rng, opts);
+        exp.add_row({std::string("K_n + Algorithm1(j=n/3), unrestricted (Thm 2 DNH)"),
+                     static_cast<long long>(n),
+                     static_cast<long long>(result.evaluations), result.worst_gain,
+                     result.pd, result.pm, describe_range(result.worst_competencies)});
+    }
+    exp.add_note("star: the adversary rediscovers Figure 1 (loss well below 0)");
+    exp.add_note("K_n + Threshold(1): a plateau-plus-lone-peak profile builds a dictator INSIDE K_n —");
+    exp.add_note("  completeness alone is not enough; Theorem 2's DNH needs the growing threshold j(n),");
+    exp.add_note("  which defuses exactly that attack (fourth row: no meaningful loss found)");
+    exp.finish();
+    return 0;
+}

@@ -1,0 +1,70 @@
+// [E-T4] Theorem 4 — bounded maximum degree graphs.
+//
+// Paper claim: with Δ <= t^{ε/(1+ε)} every delegation mechanism with
+// Delegate(n) >= t achieves SPG (the bounded degree caps every sink's
+// weight at Δ^(path length), keeping Lemma 6 sharp), and with
+// Δ <= n^{ε/(2+ε)} plus bounded competency, DNH holds.
+//
+// Sweep: n with Δ = n^{ε/(2+ε)}.  We run the Example-1 threshold
+// mechanism and report gain and the max-weight audit.  The shape: max
+// sink weight stays polylog-small, losses vanish, and in the PC regime
+// the gain is strongly positive.
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "ld/dnh/conditions.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "ld/theory/theorems.hpp"
+
+int main() {
+    using namespace ld;
+    experiments::Experiment exp(
+        "E-T4", "Theorem 4: bounded-degree graphs, gain and max weight vs n",
+        {"n", "max_degree_cap", "regime", "delegators", "P^D", "P^M", "gain",
+         "mean_max_weight"});
+    auto rng = exp.make_rng();
+
+    constexpr double kEps = 1.0;  // Δ <= n^{1/3} for DNH
+    constexpr double kAlpha = 0.05;
+    election::EvalOptions opts;
+    opts.replications = 60;
+
+    const mech::ApprovalSizeThreshold mechanism(1);
+
+    for (std::size_t n : {256u, 1024u, 4096u}) {
+        const auto regime = theory::theorem4_regime(n, kEps, n / 4);
+        const std::size_t cap = regime.dnh_max_degree;
+
+        // DNH side: bounded competency, mean above 1/2 (direct already
+        // good) — delegation must not harm.
+        {
+            const auto inst =
+                experiments::bounded_degree_instance(rng, n, cap, kAlpha, 0.45, 0.75);
+            const auto report = election::estimate_gain(mechanism, inst, rng, opts);
+            exp.add_row({static_cast<long long>(n), static_cast<long long>(cap),
+                         "DNH(p in (.45,.75))", report.mean_delegators, report.pd,
+                         report.pm.value, report.gain, report.mean_max_weight});
+        }
+        // SPG side: PC competencies (mean just below 1/2) — delegation
+        // should rescue the outcome.
+        {
+            auto inst_graph = graph::make_bounded_degree(rng, n, cap, n * cap / 4);
+            const auto p = model::pc_competencies(rng, n, 0.01, 0.3);
+            const model::Instance inst(std::move(inst_graph), p, kAlpha);
+            const auto report = election::estimate_gain(mechanism, inst, rng, opts);
+            exp.add_row({static_cast<long long>(n), static_cast<long long>(cap),
+                         "SPG(PC=0.01)", report.mean_delegators, report.pd,
+                         report.pm.value, report.gain, report.mean_max_weight});
+        }
+    }
+    exp.add_note("paper: Delta <= n^{eps/(2+eps)} caps sink weights => DNH; with PC competencies, SPG");
+    exp.add_note("observe: mean max weight grows far slower than n (no dictator forms)");
+    exp.finish();
+    return 0;
+}

@@ -1,0 +1,103 @@
+// [E-L3] Lemma 3 — bounded competencies + few delegations ⇒ do no harm.
+//
+// Paper claim: with p ∈ (β, 1−β), any mechanism delegating fewer than
+// n^{1/2−ε} votes satisfies DNH: the direct-voting outcome has Θ(√n)
+// standard deviation, so the probability that the delegated votes flip the
+// decision is at most erf(2·#delegations / (σ√2)) → 0.
+//
+// We use a capped-delegation mechanism (exactly the budget may delegate) on
+// adversarial bounded-competency instances and sweep n for budgets at
+// n^{1/2−ε} (within Lemma 3) and at n·frac (outside it).  The shape: the
+// within-budget loss vanishes as n grows; the over-budget loss does not.
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "prob/bounds.hpp"
+
+namespace {
+
+using namespace ld;
+
+/// Adversarial capped delegation: the `budget` *least* competent voters
+/// delegate to the single most competent voter.  This is the worst case in
+/// the Lemma 3 proof (all delegated votes correlated on one sink) while
+/// still respecting approval.
+class CappedWorstCase final : public mech::Mechanism {
+public:
+    explicit CappedWorstCase(std::size_t budget) : budget_(budget) {}
+
+    std::string name() const override {
+        return "CappedWorstCase(" + std::to_string(budget_) + ")";
+    }
+
+    mech::Action act(const model::Instance& inst, graph::Vertex v,
+                     rng::Rng&) const override {
+        const auto order = inst.competencies().ascending_order();
+        // rank of v among voters by competency
+        std::size_t rank = 0;
+        for (; rank < order.size(); ++rank) {
+            if (order[rank] == v) break;
+        }
+        if (rank >= budget_) return mech::Action::vote();
+        const auto top = static_cast<graph::Vertex>(order.back());
+        if (inst.competency(v) + inst.alpha() <= inst.competency(top) && top != v) {
+            return mech::Action::delegate_to(top);
+        }
+        return mech::Action::vote();
+    }
+
+private:
+    std::size_t budget_;
+};
+
+}  // namespace
+
+int main() {
+    experiments::Experiment exp(
+        "E-L3",
+        "Lemma 3: loss vs n when delegations stay within / exceed n^{1/2-eps}",
+        {"n", "budget_rule", "delegations", "P^D", "P^M", "gain", "erf_flip_bound"},
+        5);
+    auto rng = exp.make_rng();
+
+    constexpr double kEps = 0.1;
+    constexpr double kBeta = 0.3;
+    election::EvalOptions opts;
+    opts.replications = 12;  // mechanism is deterministic; inner step exact
+
+    for (std::size_t n : {101u, 401u, 1601u, 6401u}) {
+        // Bounded competencies hugging 1/2 from above: the delegation-
+        // vulnerable regime (small majority margin).
+        std::vector<double> probs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            probs[i] = 0.5 + 0.02 + 0.1 * static_cast<double>(i) / static_cast<double>(n);
+        }
+        const model::Instance inst(graph::make_complete(n),
+                                   model::CompetencyVector(probs), 0.05);
+
+        const std::size_t within = prob::lemma3_delegation_budget(n, kEps);
+        const auto over =
+            static_cast<std::size_t>(0.4 * static_cast<double>(n));
+        for (const auto& [rule, budget] :
+             {std::pair<std::string, std::size_t>{"n^{1/2-eps}", within},
+              std::pair<std::string, std::size_t>{"0.4n", over}}) {
+            const CappedWorstCase mechanism(budget);
+            const auto report = election::estimate_gain(mechanism, inst, rng, opts);
+            const double flip = prob::lemma3_flip_probability(
+                n, kBeta, 2.0 * static_cast<double>(budget));
+            exp.add_row({static_cast<long long>(n), rule,
+                         static_cast<long long>(budget), report.pd, report.pm.value,
+                         report.gain, flip});
+        }
+    }
+    exp.add_note("paper: within-budget loss -> 0 as n grows; the erf bound dominates it");
+    exp.add_note("over-budget (0.4n) delegation keeps a persistent loss: DNH fails");
+    exp.finish();
+    return 0;
+}

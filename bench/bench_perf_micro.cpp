@@ -1,0 +1,172 @@
+// [PERF] google-benchmark microbenchmarks of the library hot paths, plus
+// the two estimator ablations called out in DESIGN.md §6:
+//
+//  * exact-inner-step (Rao–Blackwell) vs naive vote-sampling estimation,
+//  * path-compressed sink resolution throughput,
+//  * generator throughput (configuration-model d-regular vs Erdős–Rényi),
+//  * Poisson-binomial / weighted-sum DP cost.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/election/tally.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "prob/poisson_binomial.hpp"
+#include "prob/weighted_bernoulli_sum.hpp"
+
+namespace {
+
+using namespace ld;
+
+void BM_GenerateComplete(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::make_complete(n));
+    }
+    state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_GenerateComplete)->Arg(100)->Arg(400)->Complexity();
+
+void BM_GenerateDRegular(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::make_random_d_regular(rng, n, 16));
+    }
+}
+BENCHMARK(BM_GenerateDRegular)->Arg(1000)->Arg(4000);
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::make_erdos_renyi_gnp(rng, n, 16.0 / static_cast<double>(n)));
+    }
+}
+BENCHMARK(BM_GenerateErdosRenyi)->Arg(1000)->Arg(10000);
+
+void BM_GenerateBarabasi(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::make_barabasi_albert(rng, n, 8));
+    }
+}
+BENCHMARK(BM_GenerateBarabasi)->Arg(1000)->Arg(10000);
+
+void BM_RealizeDelegation(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(4);
+    const auto inst = experiments::d_regular_instance(rng, n, 16, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(delegation::realize(m, inst, rng));
+    }
+}
+BENCHMARK(BM_RealizeDelegation)->Arg(1000)->Arg(10000);
+
+// Ablation: path-compressed sink resolution (library) vs naive per-voter
+// pointer chasing.  The naive variant re-walks each voter's chain, i.e.
+// O(n · path) instead of O(n α(n)).
+void BM_SinkResolutionNaive(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    // A single long chain: voter i delegates to i+1, last voter votes —
+    // the worst case for naive chasing.
+    std::vector<mech::Action> actions;
+    actions.reserve(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        actions.push_back(mech::Action::delegate_to(static_cast<graph::Vertex>(i + 1)));
+    }
+    actions.push_back(mech::Action::vote());
+    for (auto _ : state) {
+        // Naive: chase pointers from every voter independently.
+        std::vector<std::uint64_t> weights(n, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+            std::size_t cur = v;
+            while (actions[cur].kind == mech::ActionKind::Delegate) {
+                cur = actions[cur].targets.front();
+            }
+            ++weights[cur];
+        }
+        benchmark::DoNotOptimize(weights);
+    }
+}
+BENCHMARK(BM_SinkResolutionNaive)->Arg(1000)->Arg(4000);
+
+void BM_SinkResolutionPathCompressed(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<mech::Action> actions;
+    actions.reserve(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        actions.push_back(mech::Action::delegate_to(static_cast<graph::Vertex>(i + 1)));
+    }
+    actions.push_back(mech::Action::vote());
+    for (auto _ : state) {
+        delegation::DelegationOutcome outcome(actions);
+        benchmark::DoNotOptimize(outcome.weights());
+    }
+}
+BENCHMARK(BM_SinkResolutionPathCompressed)->Arg(1000)->Arg(4000);
+
+void BM_PoissonBinomial(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> probs(n, 0.49);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prob::PoissonBinomial(probs).majority_probability());
+    }
+}
+BENCHMARK(BM_PoissonBinomial)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_WeightedSumTally(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(5);
+    const auto inst = experiments::complete_pc_instance(rng, n, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    const auto out = delegation::realize(m, inst, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            election::exact_correct_probability(out, inst.competencies()));
+    }
+}
+BENCHMARK(BM_WeightedSumTally)->Arg(500)->Arg(2000);
+
+// Ablation: exact-inner-step estimator vs naive vote sampling at matched
+// wall-clock-ish budgets.  Compare std_error per unit work in the counters.
+void BM_EstimatorRaoBlackwell(benchmark::State& state) {
+    rng::Rng rng(6);
+    const auto inst = experiments::complete_pc_instance(rng, 61, 0.05, 0.02, 0.2);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 100;
+    double last_se = 0.0;
+    for (auto _ : state) {
+        const auto est = election::estimate_correct_probability(m, inst, rng, opts);
+        last_se = est.std_error;
+        benchmark::DoNotOptimize(est);
+    }
+    state.counters["std_error"] = last_se;
+}
+BENCHMARK(BM_EstimatorRaoBlackwell);
+
+void BM_EstimatorNaive(benchmark::State& state) {
+    rng::Rng rng(7);
+    const auto inst = experiments::complete_pc_instance(rng, 61, 0.05, 0.02, 0.2);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 100;
+    double last_se = 0.0;
+    for (auto _ : state) {
+        const auto est = election::estimate_correct_probability_naive(m, inst, rng, opts);
+        last_se = est.std_error;
+        benchmark::DoNotOptimize(est);
+    }
+    state.counters["std_error"] = last_se;
+}
+BENCHMARK(BM_EstimatorNaive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

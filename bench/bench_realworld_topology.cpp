@@ -1,0 +1,82 @@
+// [X3] §6 "Practical Considerations" — do the Lemma 3/5 conditions hold in
+// realistic network models?
+//
+// The paper asks future work to "empirically verify if social networks or
+// even random graphs that model social networks (e.g., Barabási–Albert
+// graphs) satisfy the assumptions on the amount of sinks with not too much
+// weight in Lemma 5."  We run the Lemma 3 and Lemma 5 audits across the
+// topology zoo and report the gain alongside.
+//
+// The shape: symmetric topologies (d-regular, Watts–Strogatz at high β,
+// Erdős–Rényi) satisfy the max-weight condition comfortably; skewed ones
+// (Barabási–Albert, two-tier, star) concentrate weight and sit closer to —
+// or beyond — the harmful regime.
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "ld/delegation/concentration.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/dnh/conditions.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "stats/running_stats.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/model/competency_gen.hpp"
+
+int main() {
+    using namespace ld;
+    experiments::Experiment exp(
+        "X3", "Real-world-ish topologies: Lemma 5 max-weight audit + gain",
+        {"topology", "n", "deg_asymmetry", "mean_max_weight", "gini", "nakamoto",
+         "eff_sinks", "margin/sigma", "lemma5_ok", "gain"},
+        3);
+    auto rng = exp.make_rng();
+
+    constexpr std::size_t kN = 1000;
+    constexpr double kAlpha = 0.05;
+    const mech::ApprovalSizeThreshold mechanism(1);
+    election::EvalOptions opts;
+    opts.replications = 40;
+
+    struct Topo {
+        std::string name;
+        graph::Graph graph;
+    };
+    std::vector<Topo> topologies;
+    topologies.push_back({"complete", graph::make_complete(kN)});
+    topologies.push_back({"d_regular(16)", graph::make_random_d_regular(rng, kN, 16)});
+    topologies.push_back({"erdos_renyi(p=.016)", graph::make_erdos_renyi_gnp(rng, kN, 0.016)});
+    topologies.push_back({"watts_strogatz(16,.3)",
+                          graph::make_watts_strogatz(rng, kN, 16, 0.3)});
+    topologies.push_back({"barabasi(m=8)", graph::make_barabasi_albert(rng, kN, 8)});
+    topologies.push_back({"two_tier(10 hubs)", graph::make_two_tier(rng, kN, 10, 2)});
+    topologies.push_back({"star", graph::make_star(kN)});
+
+    for (auto& topo : topologies) {
+        const auto stats = graph::degree_stats(topo.graph);
+        const auto p = model::uniform_competencies(rng, kN, 0.45, 0.75);
+        const model::Instance inst(std::move(topo.graph), p, kAlpha);
+        const auto audit = dnh::audit_lemma5(inst, mechanism, rng, 0.2, 2.0, 24);
+        const auto gain = election::estimate_gain(mechanism, inst, rng, opts);
+        // Concentration metrics (Gini / Nakamoto / effective sinks) — the
+        // quantities the paper's cited DAO and LiquidFeedback studies
+        // measure — averaged over a few realizations.
+        ld::stats::RunningStats gini, nakamoto, eff;
+        for (int rep = 0; rep < 12; ++rep) {
+            const auto metrics = ld::delegation::concentration_metrics(
+                ld::delegation::realize(mechanism, inst, rng));
+            gini.add(metrics.gini);
+            nakamoto.add(static_cast<double>(metrics.nakamoto));
+            eff.add(metrics.effective_sinks);
+        }
+        exp.add_row({topo.name, static_cast<long long>(kN), stats.asymmetry,
+                     audit.mean_max_weight, gini.mean(), nakamoto.mean(), eff.mean(),
+                     audit.mean_sigma > 0 ? audit.mean_margin / audit.mean_sigma : 0.0,
+                     std::string(audit.weight_small_enough ? "yes" : "NO"), gain.gain});
+    }
+    exp.add_note("paper (section 6): graphs without structural asymmetry are the good ones");
+    exp.add_note("degree asymmetry (max/mean degree) predicts max sink weight and harm");
+    exp.finish();
+    return 0;
+}

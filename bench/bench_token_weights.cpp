@@ -1,0 +1,69 @@
+// [X5] Token-weighted voting — the DAO setting from the paper's
+// introduction (§1 cites DAO governance and the concentration studies).
+//
+// Voters start with unequal vote weights (token balances, Zipf-like).
+// Direct voting is already plutocratic; delegation *compounds* weight on
+// top of wealth.  We compare one-voter-one-vote vs token-weighted voting
+// under direct and delegated mechanisms, and report the max sink weight —
+// the quantity the paper's Lemma 5 caps.
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+
+namespace {
+
+/// Zipf-ish token balances: holder r gets ceil(scale / (r+1)^s) tokens.
+std::vector<std::uint64_t> zipf_tokens(std::size_t n, double s, double scale) {
+    std::vector<std::uint64_t> tokens(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        tokens[r] = static_cast<std::uint64_t>(
+            std::ceil(scale / std::pow(static_cast<double>(r + 1), s)));
+    }
+    return tokens;
+}
+
+}  // namespace
+
+int main() {
+    using namespace ld;
+    experiments::Experiment exp(
+        "X5", "Token-weighted liquid democracy (DAO setting): equal vs Zipf balances",
+        {"n", "weights", "mechanism", "P^D", "P^M", "gain", "mean_max_weight"});
+    auto rng = exp.make_rng();
+
+    constexpr double kAlpha = 0.05;
+    election::EvalOptions base;
+    base.replications = 80;
+
+    const mech::DirectVoting direct;
+    const mech::ApprovalSizeThreshold threshold(2);
+
+    for (std::size_t n : {201u, 1001u}) {
+        const model::Instance inst(graph::make_complete(n),
+                                   model::pc_competencies(rng, n, 0.02, 0.25), kAlpha);
+        const auto tokens = zipf_tokens(n, 1.0, 50.0);
+
+        for (const auto& [label, weights] :
+             {std::pair<std::string, std::vector<std::uint64_t>>{"equal", {}},
+              std::pair<std::string, std::vector<std::uint64_t>>{"zipf(s=1)", tokens}}) {
+            for (const mech::Mechanism* m :
+                 std::initializer_list<const mech::Mechanism*>{&direct, &threshold}) {
+                auto opts = base;
+                opts.initial_weights = weights;
+                const auto report = election::estimate_gain(*m, inst, rng, opts);
+                exp.add_row({static_cast<long long>(n), label, m->name(), report.pd,
+                             report.pm.value, report.gain, report.mean_max_weight});
+            }
+        }
+    }
+    exp.add_note("wealth concentration alone already moves P^D; delegation compounds it");
+    exp.add_note("paper link: Lemma 5's max-weight condition is the lever a DAO can enforce");
+    exp.finish();
+    return 0;
+}

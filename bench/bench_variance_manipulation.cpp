@@ -1,0 +1,71 @@
+// [E-VAR] §3.2 — "the manipulation of variance", the paper's title claim.
+//
+// Delegation changes the *law* of the correct-vote count S in two opposing
+// ways: it raises E[S] (votes move to more competent voters) but it also
+// raises Var[S | delegation graph] (weights square).  DNH holds exactly
+// when the variance stays "sufficient but not pathological": the star's
+// dictator pushes Var to n²·p(1−p) — collapsing the decision quality to a
+// coin flip of the dictator — while threshold mechanisms on symmetric
+// graphs keep Var near Θ(n·w̄).
+//
+// We print the full variance decomposition across topologies.
+
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+
+int main() {
+    using namespace ld;
+    experiments::Experiment exp(
+        "E-VAR",
+        "Variance manipulation: Var[S] under delegation vs direct voting",
+        {"topology", "n", "mechanism", "Var_direct", "E[Var|G]", "Var[E|G]",
+         "Var_total", "gain"},
+        2);
+    auto rng = exp.make_rng();
+
+    constexpr std::size_t kN = 601;
+    constexpr double kAlpha = 0.05;
+    election::EvalOptions opts;
+    opts.replications = 50;
+
+    const mech::ApprovalSizeThreshold threshold(1);
+    const mech::BestNeighbour best;
+
+    struct Row {
+        std::string topology;
+        model::Instance instance;
+        const mech::Mechanism* mechanism;
+        std::string mech_label;
+    };
+
+    std::vector<Row> rows;
+    rows.push_back({"star", experiments::star_instance(kN, 0.75, 0.55, kAlpha), &best,
+                    "BestNeighbour"});
+    rows.push_back({"two_tier(5 hubs)",
+                    experiments::two_tier_instance(rng, kN, 5, 0.75, 0.55, kAlpha),
+                    &best, "BestNeighbour"});
+    rows.push_back({"complete", experiments::complete_pc_instance(rng, kN, kAlpha, 0.01, 0.3),
+                    &threshold, "Threshold(1)"});
+    rows.push_back({"d_regular(16)",
+                    experiments::d_regular_instance(rng, kN + 1, 16, kAlpha, 0.01, 0.3),
+                    &threshold, "Threshold(1)"});
+    rows.push_back({"barabasi(m=3)",
+                    experiments::barabasi_instance(rng, kN, 3, kAlpha, 0.35, 0.75),
+                    &threshold, "Threshold(1)"});
+
+    for (const auto& row : rows) {
+        const auto var =
+            election::estimate_variance(*row.mechanism, row.instance, rng, opts);
+        const auto gain = election::estimate_gain(*row.mechanism, row.instance, rng, opts);
+        exp.add_row({row.topology, static_cast<long long>(row.instance.voter_count()),
+                     row.mech_label, var.direct_variance, var.mean_conditional_variance,
+                     var.variance_of_conditional_mean, var.total_variance, gain.gain});
+    }
+    exp.add_note("star/two-tier: conditional variance explodes to Theta(n^2) — the dictator coin flip");
+    exp.add_note("complete/d-regular: variance grows mildly; the gain stays positive (DNH + SPG)");
+    exp.finish();
+    return 0;
+}

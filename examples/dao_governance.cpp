@@ -1,0 +1,72 @@
+// DAO governance example: applying the paper's Lemma 5 condition to keep a
+// token-holder vote safe from weight concentration.
+//
+// Scenario: a DAO of 2,000 token holders votes on a technical proposal with
+// a correct answer.  Members only delegate to wallets they follow (a
+// Barabási–Albert "influencer" social graph).  Governance wants liquid
+// democracy for participation, but worries about the empirical finding the
+// paper cites — voting power in real DAOs concentrates on a few whales.
+//
+// We compare three policies and audit each with the paper's conditions:
+//   1. direct voting only,
+//   2. unrestricted liquid democracy (threshold-1 delegation),
+//   3. liquid democracy + Lemma 5 weight cap, by re-running the vote with a
+//      max-delegates-per-wallet mechanism.
+
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/dnh/conditions.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/capped_target.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/table_printer.hpp"
+
+
+
+using namespace ld;
+
+int main() {
+    rng::Rng rng(2024);
+    constexpr std::size_t kHolders = 2000;
+    constexpr double kAlpha = 0.05;
+
+    // Influencer-shaped social graph; expertise varies widely but nobody
+    // is an oracle (bounded competency, as Lemma 3 requires).  The
+    // question is genuinely hard: median expertise sits at a coin flip.
+    auto social = graph::make_barabasi_albert(rng, kHolders, 6);
+    auto expertise = model::beta_competencies(rng, kHolders, 8.0, 8.3);
+    const model::Instance dao(std::move(social), std::move(expertise), kAlpha);
+
+    std::cout << "DAO vote: " << dao.describe() << "\n\n";
+
+    const mech::DirectVoting direct;
+    const mech::ApprovalSizeThreshold unrestricted(1);
+    const ld::mech::CappedTarget capped(40);
+
+    support::TablePrinter table(
+        {"policy", "P[correct]", "gain", "max_weight", "margin/sigma", "lemma5_ok"}, 3);
+
+    election::EvalOptions opts;
+    opts.replications = 60;
+    for (const mech::Mechanism* policy :
+         std::initializer_list<const mech::Mechanism*>{&direct, &unrestricted, &capped}) {
+        const auto report = election::estimate_gain(*policy, dao, rng, opts);
+        const auto audit = dnh::audit_lemma5(dao, *policy, rng, 0.2, 2.0, 24);
+        table.add_row({policy->name(), report.pm.value, report.gain,
+                       audit.mean_max_weight,
+                       audit.mean_sigma > 0 ? audit.mean_margin / audit.mean_sigma : 99.0,
+                       std::string(audit.weight_small_enough ? "yes" : "NO")});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: unrestricted delegation routes votes towards whales\n"
+                 "(max sink weight an order of magnitude above the capped policy —\n"
+                 "the concentration the paper and the DAO studies it cites warn\n"
+                 "about).  The Lemma 5 cap bounds every wallet's weight while\n"
+                 "keeping essentially all of the gain over direct voting.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Social-network example: when should a community switch on liquid
+// democracy?
+//
+// Scenario: a 1,500-member online community decides factual questions
+// (moderation: "is this claim misinformation?").  Members know only their
+// friends; friendships follow a small-world (Watts–Strogatz) pattern.
+// Using the library's desiderata checkers we answer, for this concrete
+// network: does delegation (a) never harm and (b) actually help — i.e. do
+// the paper's DNH and SPG hold empirically here?
+
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "ld/dnh/verdicts.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/table_printer.hpp"
+
+int main() {
+    using namespace ld;
+    rng::Rng rng(7);
+
+    // Instance family: small-world friendships, expertise uniform around
+    // 1/2 (hard questions — exactly the paper's PC regime, where the
+    // outcome is changeable).
+    const dnh::InstanceFamily community = [](std::size_t n, rng::Rng& r) {
+        auto g = graph::make_watts_strogatz(r, n, 12, 0.2);
+        auto p = model::pc_competencies(r, n, 0.02, 0.25);
+        return model::Instance(std::move(g), std::move(p), 0.05);
+    };
+
+    const mech::ApprovalSizeThreshold mechanism(2);
+
+    dnh::VerdictOptions opts;
+    opts.eval.replications = 60;
+    opts.dnh_tolerance = 0.02;
+
+    const std::vector<std::size_t> sizes{100, 200, 400, 800, 1500};
+    std::cout << "Checking DNH and SPG for a small-world community...\n\n";
+    const auto dnh_verdict = dnh::check_dnh(community, mechanism, sizes, rng, opts);
+    const auto spg_verdict = dnh::check_spg(community, mechanism, sizes, rng, opts);
+
+    support::TablePrinter table({"n", "P^D", "P^M", "gain", "delegators", "max_weight"}, 3);
+    for (const auto& pt : dnh_verdict.sweep) {
+        table.add_row({static_cast<long long>(pt.n), pt.pd, pt.pm, pt.gain,
+                       pt.mean_delegators, pt.mean_max_weight});
+    }
+    table.print(std::cout);
+
+    std::cout << '\n'
+              << dnh_verdict.detail << '\n'
+              << spg_verdict.detail << '\n';
+    if (spg_verdict.satisfied) {
+        std::cout << "\n=> liquid democracy is worth switching on for this network:\n"
+                     "   certified empirical gain gamma = "
+                  << spg_verdict.gamma << " across all tested sizes.\n";
+    } else {
+        std::cout << "\n=> keep direct voting: no uniform gain certified.\n";
+    }
+
+    // Structural sanity: a small-world graph has no dangerous hubs.
+    const auto g = graph::make_watts_strogatz(rng, 1500, 12, 0.2);
+    const auto stats = graph::degree_stats(g);
+    std::cout << "\ndegree asymmetry (max/mean): " << stats.asymmetry
+              << "  (paper: low asymmetry => good liquid-democracy topology)\n";
+    return 0;
+}

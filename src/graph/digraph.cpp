@@ -1,0 +1,95 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::graph {
+
+using support::expects;
+using support::invariant;
+
+Digraph::Digraph(std::size_t n, std::vector<Arc> arcs) {
+    for (const Arc& a : arcs) {
+        expects(a.from < n && a.to < n, "Digraph: arc endpoint out of range");
+    }
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+    offsets_.assign(n + 1, 0);
+    for (const Arc& a : arcs) ++offsets_[a.from + 1];
+    for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+    heads_.resize(arcs.size());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const Arc& a : arcs) heads_[cursor[a.from]++] = a.to;
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+    std::vector<std::size_t> in(vertex_count(), 0);
+    for (Vertex v = 0; v < vertex_count(); ++v) {
+        for (Vertex w : successors(v)) ++in[w];
+    }
+    return in;
+}
+
+namespace {
+
+/// Kahn's algorithm over the digraph with self-arcs dropped.  Returns the
+/// topological order if complete, or an empty vector if a cycle exists.
+std::vector<Vertex> kahn_order(const Digraph& g) {
+    const std::size_t n = g.vertex_count();
+    std::vector<std::size_t> in(n, 0);
+    for (Vertex v = 0; v < n; ++v) {
+        for (Vertex w : g.successors(v)) {
+            if (w != v) ++in[w];
+        }
+    }
+    std::vector<Vertex> queue;
+    queue.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+        if (in[v] == 0) queue.push_back(v);
+    }
+    std::vector<Vertex> order;
+    order.reserve(n);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const Vertex v = queue[head];
+        order.push_back(v);
+        for (Vertex w : g.successors(v)) {
+            if (w != v && --in[w] == 0) queue.push_back(w);
+        }
+    }
+    if (order.size() != n) return {};
+    return order;
+}
+
+}  // namespace
+
+bool Digraph::is_acyclic_up_to_self_loops() const {
+    if (vertex_count() == 0) return true;
+    return kahn_order(*this).size() == vertex_count();
+}
+
+std::vector<Vertex> Digraph::topological_order() const {
+    auto order = kahn_order(*this);
+    expects(order.size() == vertex_count(),
+            "topological_order: digraph has a directed cycle");
+    return order;
+}
+
+std::size_t Digraph::longest_path_length() const {
+    const auto order = topological_order();
+    std::vector<std::size_t> dist(vertex_count(), 0);
+    std::size_t best = 0;
+    // Process in reverse topological order: dist[v] = 1 + max over succ.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const Vertex v = *it;
+        for (Vertex w : successors(v)) {
+            if (w == v) continue;
+            dist[v] = std::max(dist[v], dist[w] + 1);
+        }
+        best = std::max(best, dist[v]);
+    }
+    return best;
+}
+
+}  // namespace ld::graph

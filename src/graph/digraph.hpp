@@ -1,0 +1,66 @@
+// Directed graph used for delegation graphs: an arc (u → v) means voter u
+// delegates their vote to voter v (paper §2.2).  Unlike the undirected
+// voting graph, out-degree here is at most 1 for single-delegate mechanisms,
+// but the type supports general out-degree for the weighted-majority
+// extension (§6).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"  // Vertex
+
+namespace ld::graph {
+
+/// A directed arc.
+struct Arc {
+    Vertex from;
+    Vertex to;
+    friend bool operator==(const Arc&, const Arc&) = default;
+    friend auto operator<=>(const Arc&, const Arc&) = default;
+};
+
+/// Immutable directed graph in CSR form (out-adjacency).
+class Digraph {
+public:
+    /// Build from an arc list over `n` vertices.  Duplicate arcs collapse;
+    /// self-arcs are allowed (a voter "delegating to themselves" is voting).
+    Digraph(std::size_t n, std::vector<Arc> arcs);
+
+    /// A digraph with n vertices and no arcs.
+    static Digraph empty(std::size_t n) { return Digraph(n, {}); }
+
+    std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
+    std::size_t arc_count() const noexcept { return heads_.size(); }
+
+    /// Out-neighbours of `v`, ascending.
+    std::span<const Vertex> successors(Vertex v) const {
+        return {heads_.data() + offsets_[v], heads_.data() + offsets_[v + 1]};
+    }
+
+    std::size_t out_degree(Vertex v) const noexcept { return offsets_[v + 1] - offsets_[v]; }
+
+    /// In-degrees of all vertices (computed on demand, O(n + m)).
+    std::vector<std::size_t> in_degrees() const;
+
+    /// True if the digraph has no directed cycle (self-arcs are ignored, as
+    /// in the paper's "acyclic up to self cycles").
+    bool is_acyclic_up_to_self_loops() const;
+
+    /// Length (in arcs) of the longest directed path, ignoring self-arcs.
+    /// Precondition: acyclic up to self-loops.  This is the paper's
+    /// "partition complexity" of a delegation outcome.
+    std::size_t longest_path_length() const;
+
+    /// Vertices in a topological order (self-arcs ignored).
+    /// Precondition: acyclic up to self-loops.
+    std::vector<Vertex> topological_order() const;
+
+private:
+    std::vector<std::size_t> offsets_;
+    std::vector<Vertex> heads_;
+};
+
+}  // namespace ld::graph

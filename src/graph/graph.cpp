@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::graph {
+
+using support::expects;
+
+Graph Graph::empty(std::size_t n) {
+    return Graph(std::vector<std::size_t>(n + 1, 0), {});
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+    if (u >= vertex_count() || v >= vertex_count()) return false;
+    // Search the smaller adjacency list.
+    if (degree(u) > degree(v)) std::swap(u, v);
+    const auto nbrs = neighbours(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+    std::vector<Edge> out;
+    out.reserve(edge_count());
+    for (Vertex u = 0; u < vertex_count(); ++u) {
+        for (Vertex v : neighbours(u)) {
+            if (u < v) out.push_back(Edge{u, v});
+        }
+    }
+    return out;
+}
+
+GraphBuilder::GraphBuilder(std::size_t n) : n_(n) {}
+
+GraphBuilder& GraphBuilder::add_edge(Vertex u, Vertex v) {
+    expects(u < n_ && v < n_, "add_edge: vertex out of range");
+    expects(u != v, "add_edge: self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+    raw_.push_back(Edge{u, v});
+    return *this;
+}
+
+Graph GraphBuilder::build() const {
+    std::vector<Edge> edges = raw_;
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    std::vector<std::size_t> offsets(n_ + 1, 0);
+    for (const Edge& e : edges) {
+        ++offsets[e.u + 1];
+        ++offsets[e.v + 1];
+    }
+    for (std::size_t i = 1; i <= n_; ++i) offsets[i] += offsets[i - 1];
+
+    std::vector<Vertex> neighbours(edges.size() * 2);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+        neighbours[cursor[e.u]++] = e.v;
+        neighbours[cursor[e.v]++] = e.u;
+    }
+    // Per-vertex adjacency is ascending because edges were processed in
+    // sorted order for `u` but not for `v`; sort each range to make the
+    // invariant unconditional.
+    for (std::size_t v = 0; v < n_; ++v) {
+        std::sort(neighbours.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                  neighbours.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    }
+    return Graph(std::move(offsets), std::move(neighbours));
+}
+
+}  // namespace ld::graph

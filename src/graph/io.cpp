@@ -1,0 +1,58 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/expect.hpp"
+
+namespace ld::graph {
+
+using support::expects;
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+    os << g.vertex_count() << ' ' << g.edge_count() << '\n';
+    for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+    std::size_t n = 0, m = 0;
+    if (!(is >> n >> m)) throw std::runtime_error("read_edge_list: missing header");
+    GraphBuilder b(n);
+    for (std::size_t i = 0; i < m; ++i) {
+        std::size_t u = 0, v = 0;
+        if (!(is >> u >> v)) throw std::runtime_error("read_edge_list: truncated edge list");
+        if (u >= n || v >= n) throw std::runtime_error("read_edge_list: vertex out of range");
+        b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+    return b.build();
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& name) {
+    os << "graph " << name << " {\n";
+    for (const Edge& e : g.edges()) {
+        os << "  " << e.u << " -- " << e.v << ";\n";
+    }
+    os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Digraph& g, std::span<const std::string> labels,
+               const std::string& name) {
+    expects(labels.empty() || labels.size() == g.vertex_count(),
+            "write_dot: label count must match vertex count");
+    os << "digraph " << name << " {\n";
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (!labels.empty()) {
+            os << "  " << v << " [label=\"" << labels[v] << "\"];\n";
+        }
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        for (Vertex w : g.successors(v)) {
+            os << "  " << v << " -> " << w << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+}  // namespace ld::graph

@@ -1,0 +1,32 @@
+// Textual graph interchange: whitespace edge lists (one "u v" pair per
+// line) and GraphViz DOT emission, including a DOT renderer for delegation
+// digraphs annotated with competencies — used to regenerate Figure 2.
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace ld::graph {
+
+/// Write `g` as an edge list ("u v" per line) preceded by a header line
+/// "n m".
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parse the format produced by `write_edge_list`.
+/// Throws `std::runtime_error` on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Emit an undirected DOT graph.
+void write_dot(std::ostream& os, const Graph& g, const std::string& name = "G");
+
+/// Emit a directed DOT graph of a delegation outcome; if `labels` is
+/// non-empty it must have one entry per vertex (e.g. "v3 p=0.5").
+void write_dot(std::ostream& os, const Digraph& g, std::span<const std::string> labels,
+               const std::string& name = "D");
+
+}  // namespace ld::graph

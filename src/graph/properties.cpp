@@ -1,0 +1,129 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "support/expect.hpp"
+
+namespace ld::graph {
+
+using support::expects;
+
+DegreeStats degree_stats(const Graph& g) {
+    DegreeStats s;
+    const std::size_t n = g.vertex_count();
+    if (n == 0) return s;
+    s.min = std::numeric_limits<std::size_t>::max();
+    double sum = 0.0, sum_sq = 0.0;
+    for (Vertex v = 0; v < n; ++v) {
+        const std::size_t d = g.degree(v);
+        s.min = std::min(s.min, d);
+        s.max = std::max(s.max, d);
+        sum += static_cast<double>(d);
+        sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    }
+    s.mean = sum / static_cast<double>(n);
+    s.variance = sum_sq / static_cast<double>(n) - s.mean * s.mean;
+    s.asymmetry = s.mean > 0.0 ? static_cast<double>(s.max) / s.mean : 0.0;
+    return s;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source) {
+    expects(source < g.vertex_count(), "bfs_distances: source out of range");
+    constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> dist(g.vertex_count(), kUnreached);
+    std::vector<Vertex> queue;
+    queue.reserve(g.vertex_count());
+    dist[source] = 0;
+    queue.push_back(source);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const Vertex v = queue[head];
+        for (Vertex w : g.neighbours(v)) {
+            if (dist[w] == kUnreached) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+    constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> comp(g.vertex_count(), kNone);
+    std::size_t next_id = 0;
+    std::vector<Vertex> queue;
+    for (Vertex s = 0; s < g.vertex_count(); ++s) {
+        if (comp[s] != kNone) continue;
+        comp[s] = next_id;
+        queue.clear();
+        queue.push_back(s);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            for (Vertex w : g.neighbours(queue[head])) {
+                if (comp[w] == kNone) {
+                    comp[w] = next_id;
+                    queue.push_back(w);
+                }
+            }
+        }
+        ++next_id;
+    }
+    return comp;
+}
+
+std::size_t component_count(const Graph& g) {
+    const auto comp = connected_components(g);
+    return comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+std::size_t diameter(const Graph& g) {
+    if (g.vertex_count() <= 1) return 0;
+    if (!is_connected(g)) throw std::invalid_argument("diameter: graph is disconnected");
+    std::size_t best = 0;
+    for (Vertex s = 0; s < g.vertex_count(); ++s) {
+        const auto dist = bfs_distances(g, s);
+        for (std::size_t d : dist) best = std::max(best, d);
+    }
+    return best;
+}
+
+std::size_t triangle_count(const Graph& g) {
+    // Count ordered triples u < v < w with all edges present, using sorted
+    // adjacency intersections on the two smaller endpoints.
+    std::size_t triangles = 0;
+    for (Vertex u = 0; u < g.vertex_count(); ++u) {
+        const auto nu = g.neighbours(u);
+        for (Vertex v : nu) {
+            if (v <= u) continue;
+            const auto nv = g.neighbours(v);
+            // Merge-count common neighbours w with w > v.
+            auto it_u = std::lower_bound(nu.begin(), nu.end(), v + 1);
+            auto it_v = std::lower_bound(nv.begin(), nv.end(), v + 1);
+            while (it_u != nu.end() && it_v != nv.end()) {
+                if (*it_u < *it_v) ++it_u;
+                else if (*it_v < *it_u) ++it_v;
+                else {
+                    ++triangles;
+                    ++it_u;
+                    ++it_v;
+                }
+            }
+        }
+    }
+    return triangles;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+    std::size_t open_triads = 0;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        const std::size_t d = g.degree(v);
+        open_triads += d * (d - 1) / 2;
+    }
+    if (open_triads == 0) return 0.0;
+    return 3.0 * static_cast<double>(triangle_count(g)) / static_cast<double>(open_triads);
+}
+
+}  // namespace ld::graph

@@ -1,0 +1,52 @@
+// Structural measurements over voting graphs: degree statistics, traversal,
+// connectivity, diameter, and clustering.  The benches use these to audit
+// whether generated instances satisfy the paper's graph restrictions and to
+// characterise "structural asymmetry" (§6).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ld::graph {
+
+/// Summary of a graph's degree sequence.
+struct DegreeStats {
+    std::size_t min = 0;
+    std::size_t max = 0;
+    double mean = 0.0;
+    double variance = 0.0;   // population variance of the degree sequence
+    /// Max degree divided by mean degree — a crude structural-asymmetry
+    /// index (1 for regular graphs, ~n/2·mean for stars).
+    double asymmetry = 0.0;
+};
+
+/// Compute degree statistics.  O(n).
+DegreeStats degree_stats(const Graph& g);
+
+/// Breadth-first distances from `source` (SIZE_MAX for unreachable).  O(n+m).
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Connected-component id per vertex (ids are 0-based, assigned in order of
+/// lowest-numbered member).  O(n+m).
+std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+/// True if the graph is connected (vacuously true for n <= 1).
+bool is_connected(const Graph& g);
+
+/// Exact diameter via BFS from every vertex.  O(n·(n+m)); intended for
+/// test-sized graphs.  Throws if the graph is disconnected.
+std::size_t diameter(const Graph& g);
+
+/// Global clustering coefficient: 3·triangles / open-triads.  O(sum deg²).
+double global_clustering_coefficient(const Graph& g);
+
+/// Number of triangles.  O(m · max_deg) with sorted-adjacency merges.
+std::size_t triangle_count(const Graph& g);
+
+}  // namespace ld::graph

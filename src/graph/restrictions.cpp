@@ -1,0 +1,65 @@
+#include "graph/restrictions.hpp"
+
+#include "graph/properties.hpp"
+
+namespace ld::graph {
+
+bool is_complete(const Graph& g) {
+    const std::size_t n = g.vertex_count();
+    if (n <= 1) return true;
+    for (Vertex v = 0; v < n; ++v) {
+        if (g.degree(v) != n - 1) return false;
+    }
+    return true;
+}
+
+bool is_d_regular(const Graph& g, std::size_t d) {
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (g.degree(v) != d) return false;
+    }
+    return true;
+}
+
+bool max_degree_at_most(const Graph& g, std::size_t k) {
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (g.degree(v) > k) return false;
+    }
+    return true;
+}
+
+bool min_degree_at_least(const Graph& g, std::size_t k) {
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (g.degree(v) < k) return false;
+    }
+    return true;
+}
+
+bool GraphRestriction::satisfied_by(const Graph& g) const {
+    switch (kind_) {
+        case Kind::Complete:
+            return is_complete(g);
+        case Kind::Regular:
+            return is_d_regular(g, parameter_);
+        case Kind::MaxDegree:
+            return max_degree_at_most(g, parameter_);
+        case Kind::MinDegree:
+            return min_degree_at_least(g, parameter_);
+    }
+    return false;
+}
+
+std::string GraphRestriction::to_string() const {
+    switch (kind_) {
+        case Kind::Complete:
+            return "K_n";
+        case Kind::Regular:
+            return "Rand(n," + std::to_string(parameter_) + ")";
+        case Kind::MaxDegree:
+            return "maxdeg<=" + std::to_string(parameter_);
+        case Kind::MinDegree:
+            return "mindeg>=" + std::to_string(parameter_);
+    }
+    return "?";
+}
+
+}  // namespace ld::graph

@@ -1,0 +1,58 @@
+// Predicates for the paper's graph restrictions (Definition 1):
+//   K_n            — the graph is complete,
+//   Rand(n, d)     — (checked as) d-regularity,
+//   Δ ≤ k          — maximum degree at most k,
+//   δ ≥ k          — minimum degree at least k.
+//
+// The competency-side restrictions (PC = a, p ∈ (β, 1−β)) live with
+// `ld::model::CompetencyVector`; `ld::model::Instance::satisfies` combines
+// both sides.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ld::graph {
+
+/// True iff every pair of distinct vertices is adjacent.
+bool is_complete(const Graph& g);
+
+/// True iff every vertex has degree exactly d.
+bool is_d_regular(const Graph& g, std::size_t d);
+
+/// True iff the maximum degree is at most k (restriction Δ ≤ k).
+bool max_degree_at_most(const Graph& g, std::size_t k);
+
+/// True iff the minimum degree is at least k (restriction δ ≥ k).
+bool min_degree_at_least(const Graph& g, std::size_t k);
+
+/// A graph-side restriction as a small value type, so experiment configs
+/// can carry lists of restrictions and print them.
+class GraphRestriction {
+public:
+    enum class Kind { Complete, Regular, MaxDegree, MinDegree };
+
+    static GraphRestriction complete() { return {Kind::Complete, 0}; }
+    static GraphRestriction regular(std::size_t d) { return {Kind::Regular, d}; }
+    static GraphRestriction max_degree(std::size_t k) { return {Kind::MaxDegree, k}; }
+    static GraphRestriction min_degree(std::size_t k) { return {Kind::MinDegree, k}; }
+
+    Kind kind() const noexcept { return kind_; }
+    std::size_t parameter() const noexcept { return parameter_; }
+
+    /// Evaluate this restriction on a graph.
+    bool satisfied_by(const Graph& g) const;
+
+    /// Human-readable form, e.g. "Δ ≤ 8".
+    std::string to_string() const;
+
+private:
+    GraphRestriction(Kind k, std::size_t p) : kind_(k), parameter_(p) {}
+    Kind kind_;
+    std::size_t parameter_;
+};
+
+}  // namespace ld::graph

@@ -1,0 +1,195 @@
+#include "ld/cli/runner.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "ld/cli/specs.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/dnh/conditions.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/model/instance.hpp"
+#include "ld/model/instance_io.hpp"
+#include "support/table_printer.hpp"
+
+namespace ld::cli {
+
+namespace {
+
+double parse_double(const std::string& value, const std::string& flag) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw SpecError(flag + ": cannot parse '" + value + "'");
+    }
+}
+
+std::size_t parse_size(const std::string& value, const std::string& flag) {
+    const double parsed = parse_double(value, flag);
+    if (parsed < 0 || parsed != static_cast<double>(static_cast<std::size_t>(parsed))) {
+        throw SpecError(flag + ": expected a non-negative integer");
+    }
+    return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+std::string usage() {
+    return R"(liquidd — liquid democracy experiment runner
+
+usage: liquidd [flags]
+
+  --graph <spec>         topology (default complete)
+  --competencies <spec>  competency profile (default uniform:0.3,0.7)
+  --mechanism <spec>     delegation mechanism (default threshold:1)
+  --n <count>            number of voters (default 100)
+  --alpha <margin>       approval margin alpha > 0 (default 0.05)
+  --reps <count>         Monte-Carlo replications (default 200)
+  --seed <value>         RNG seed (default 1)
+  --audit                also run the Lemma 3 / Lemma 5 DNH audits
+  --threads <count>      replication worker threads (default 1)
+  --approx               use the Lemma-4 normal-approximation tally (big n)
+  --load-instance <path> load a saved instance (overrides --graph/--competencies)
+  --save-instance <path> save the built instance for replay
+  --discard-cycles       discard votes trapped in delegation cycles
+                         (required for noisy:* mechanisms)
+  --dot <path>           write one delegation realization as GraphViz DOT
+  --help                 show this text
+
+specs (see src/ld/cli/specs.hpp for the full grammar):
+  graph:        complete | star | dregular:16 | ba:8 | ws:12,0.2 | er:0.05
+                | twotier:10,2 | mindeg:8 | maxdeg:6 | file:edges.txt | ...
+  competencies: uniform:0.3,0.7 | pc:0.02,0.25 | beta:8,8.3 | const:0.6
+                | star:0.75,0.55 | twopoint:0.3,0.8,0.2 | figure2 | ...
+  mechanism:    direct | threshold:2 | alg1:sqrt | alg1:lin,0.25
+                | alg2:16,2,nbr | fraction:0.333 | best | noisy:1,0.2
+                | multi:3,1 | abstain:0.5/threshold:2
+
+example:
+  liquidd --graph ba:8 --competencies pc:0.02,0.25 --mechanism threshold:2 \
+          --n 2000 --reps 400 --audit
+)";
+}
+
+Options parse_options(const std::vector<std::string>& args) {
+    Options options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) throw SpecError(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--graph") options.graph_spec = next();
+        else if (flag == "--competencies") options.competency_spec = next();
+        else if (flag == "--mechanism") options.mechanism_spec = next();
+        else if (flag == "--n") options.n = parse_size(next(), flag);
+        else if (flag == "--alpha") options.alpha = parse_double(next(), flag);
+        else if (flag == "--reps") options.replications = parse_size(next(), flag);
+        else if (flag == "--seed") options.seed = parse_size(next(), flag);
+        else if (flag == "--audit") options.audit = true;
+        else if (flag == "--threads") options.threads = parse_size(next(), flag);
+        else if (flag == "--approx") options.approximate = true;
+        else if (flag == "--load-instance") options.load_path = next();
+        else if (flag == "--save-instance") options.save_path = next();
+        else if (flag == "--discard-cycles") options.discard_cycles = true;
+        else if (flag == "--dot") options.dot_path = next();
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else throw SpecError("unknown flag '" + flag + "' (try --help)");
+    }
+    return options;
+}
+
+int run(const Options& options, std::ostream& out) {
+    if (options.help) {
+        out << usage();
+        return 0;
+    }
+    rng::Rng rng(options.seed);
+    const model::Instance instance = [&] {
+        if (options.load_path.has_value()) return model::load_instance(*options.load_path);
+        auto graph = make_graph(options.graph_spec, options.n, rng);
+        auto competencies =
+            make_competencies(options.competency_spec, graph.vertex_count(), rng);
+        return model::Instance(std::move(graph), std::move(competencies), options.alpha);
+    }();
+    if (options.save_path.has_value()) {
+        model::save_instance(*options.save_path, instance);
+        out << "saved instance to " << *options.save_path << "\n";
+    }
+    const auto mechanism = make_mechanism(options.mechanism_spec);
+
+    if (!mechanism->approval_respecting() && !options.discard_cycles) {
+        throw SpecError("mechanism '" + options.mechanism_spec +
+                        "' can create delegation cycles; pass --discard-cycles");
+    }
+
+    out << instance.describe() << "\n";
+    const auto deg = graph::degree_stats(instance.graph());
+    out << "degrees: min " << deg.min << ", max " << deg.max << ", mean " << deg.mean
+        << ", asymmetry " << deg.asymmetry << "\n";
+    out << "mechanism: " << mechanism->name() << "\n\n";
+
+    election::EvalOptions eval;
+    eval.replications = options.replications;
+    eval.threads = options.threads;
+    eval.approximate_tally = options.approximate;
+    if (options.discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
+    const auto report = election::estimate_gain(*mechanism, instance, rng, eval);
+
+    support::TablePrinter table({"metric", "value"}, 5);
+    table.add_row({std::string("P^D (exact)"), report.pd});
+    table.add_row({std::string("P^M (estimated)"), report.pm.value});
+    table.add_row({std::string("P^M std error"), report.pm.std_error});
+    table.add_row({std::string("gain"), report.gain});
+    table.add_row({std::string("gain CI lo"), report.gain_ci.lo});
+    table.add_row({std::string("gain CI hi"), report.gain_ci.hi});
+    table.add_row({std::string("mean delegators"), report.mean_delegators});
+    table.add_row({std::string("mean voting sinks"), report.mean_sinks});
+    table.add_row({std::string("mean max weight"), report.mean_max_weight});
+    table.add_row({std::string("mean longest path"), report.mean_longest_path});
+    table.print(out);
+
+    if (options.audit) {
+        const auto l3 = dnh::audit_lemma3(instance, *mechanism, rng, 0.1);
+        const auto l5 = dnh::audit_lemma5(instance, *mechanism, rng, 0.2, 2.0, 24);
+        out << "\nLemma 3 audit (bounded competency + delegation budget):\n"
+            << "  bounded competency: " << (l3.bounded_competency ? "yes" : "NO")
+            << " (beta " << l3.beta << ")\n"
+            << "  delegations " << l3.mean_delegators << " vs budget n^{1/2-eps} = "
+            << l3.delegation_budget << " => "
+            << (l3.within_budget ? "within" : "EXCEEDED") << "\n"
+            << "  erf flip-probability bound: " << l3.flip_probability_bound << "\n"
+            << "  hypotheses hold: " << (l3.hypotheses_hold ? "yes" : "NO") << "\n";
+        out << "Lemma 5 audit (max sink weight / variance):\n"
+            << "  mean max weight " << l5.mean_max_weight << ", worst "
+            << l5.worst_max_weight << "\n"
+            << "  delegated margin " << l5.mean_margin << " vs sigma " << l5.mean_sigma
+            << " => " << (l5.weight_small_enough ? "safe (margin >= 2 sigma)"
+                                                 : "AT RISK (margin < 2 sigma)")
+            << "\n";
+    }
+
+    if (options.dot_path.has_value()) {
+        const auto outcome = delegation::realize_weighted(
+            *mechanism, instance, rng, {},
+            options.discard_cycles ? delegation::CyclePolicy::Discard
+                                   : delegation::CyclePolicy::Throw);
+        std::ofstream dot(*options.dot_path);
+        if (!dot) throw SpecError("--dot: cannot open '" + *options.dot_path + "'");
+        std::vector<std::string> labels;
+        labels.reserve(instance.voter_count());
+        for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+            labels.push_back("v" + std::to_string(v) + " p=" +
+                             std::to_string(instance.competency(v)).substr(0, 5));
+        }
+        graph::write_dot(dot, outcome.as_digraph(), labels, "delegation");
+        out << "\nwrote one delegation realization to " << *options.dot_path << "\n";
+    }
+    return 0;
+}
+
+}  // namespace ld::cli

@@ -1,0 +1,43 @@
+// Argument parsing and orchestration for the `liquidd` command-line tool:
+// build an instance from spec strings, run a mechanism, print the gain
+// report and (optionally) the DNH audits and a DOT rendering of one
+// delegation realization.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ld::cli {
+
+/// Parsed command line.
+struct Options {
+    std::string graph_spec = "complete";
+    std::string competency_spec = "uniform:0.3,0.7";
+    std::string mechanism_spec = "threshold:1";
+    std::size_t n = 100;
+    double alpha = 0.05;
+    std::size_t replications = 200;
+    std::uint64_t seed = 1;
+    bool audit = false;            ///< run the Lemma 3 / Lemma 5 audits
+    bool discard_cycles = false;   ///< CyclePolicy::Discard (noisy mechanisms)
+    std::size_t threads = 1;       ///< replication workers
+    bool approximate = false;      ///< Lemma-4 normal-approximation tallies
+    std::optional<std::string> dot_path;  ///< write one realization as DOT
+    std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)
+    std::optional<std::string> save_path; ///< save the built instance
+    bool help = false;
+};
+
+/// Parse argv (excluding argv[0]).  Throws SpecError on bad flags.
+Options parse_options(const std::vector<std::string>& args);
+
+/// One-page usage text.
+std::string usage();
+
+/// Execute: build, evaluate, print.  Returns a process exit code.
+int run(const Options& options, std::ostream& out);
+
+}  // namespace ld::cli

@@ -1,0 +1,47 @@
+// Spec-string factories for the command-line front end (and for anyone
+// scripting experiments): compact textual descriptions of graphs,
+// competency profiles, and mechanisms.
+//
+//   graphs      : complete | star | cycle | path | dregular:<d> | dout:<d>
+//                 | er:<p> | gnm:<m> | ba:<m> | ws:<k>,<beta>
+//                 | twotier:<hubs>,<spokes> | mindeg:<d> | maxdeg:<cap>
+//                 | file:<path>            (edge-list format, see graph/io)
+//   competencies: uniform:<lo>,<hi> | pc:<a>,<spread> | beta:<a>,<b>
+//                 | twopoint:<low>,<high>,<frac> | star:<centre>,<leaf>
+//                 | tnormal:<mu>,<sigma>,<lo>,<hi> | const:<p> | figure2
+//   mechanisms  : direct | threshold:<j> | alg1:log | alg1:sqrt
+//                 | alg1:lin,<frac> | alg2:<d>,<j>,pop | alg2:<d>,<j>,nbr
+//                 | fraction:<f> | best | capped:<degree-cap>
+//                 | noisy:<j>,<eta> | multi:<m>,<j>
+//                 | abstain:<q>/<inner-spec>
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/competency.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::cli {
+
+/// Thrown on an unknown or malformed spec.
+class SpecError : public std::runtime_error {
+public:
+    explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Build a graph on `n` vertices from a graph spec.
+graph::Graph make_graph(const std::string& spec, std::size_t n, rng::Rng& rng);
+
+/// Build a competency vector for `n` voters from a competency spec.
+model::CompetencyVector make_competencies(const std::string& spec, std::size_t n,
+                                          rng::Rng& rng);
+
+/// Build a mechanism from a mechanism spec.  The returned object owns any
+/// wrapped inner mechanism.
+std::unique_ptr<mech::Mechanism> make_mechanism(const std::string& spec);
+
+}  // namespace ld::cli

@@ -1,0 +1,63 @@
+#include "ld/delegation/concentration.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace ld::delegation {
+
+using support::expects;
+
+ConcentrationMetrics concentration_metrics(const DelegationOutcome& outcome) {
+    expects(outcome.functional(),
+            "concentration_metrics: outcome is not functional (multi-delegation)");
+    ConcentrationMetrics m;
+    const auto& all_weights = outcome.weights();
+    std::vector<double> w;
+    w.reserve(outcome.voting_sinks().size());
+    double total = 0.0;
+    for (graph::Vertex s : outcome.voting_sinks()) {
+        w.push_back(static_cast<double>(all_weights[s]));
+        total += w.back();
+    }
+    if (w.empty() || total <= 0.0) return m;
+    std::sort(w.begin(), w.end(), std::greater<>());
+    const auto k = w.size();
+
+    // Gini via the sorted-weights formula:
+    //   G = (Σ_i (2i − k − 1)·w_(i)) / (k·Σ w)   with w_(i) ascending.
+    double gini_acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double ascending = w[k - 1 - i];  // w sorted descending
+        gini_acc += (2.0 * static_cast<double>(i + 1) - static_cast<double>(k) - 1.0) *
+                    ascending;
+    }
+    m.gini = gini_acc / (static_cast<double>(k) * total);
+
+    double hhi = 0.0;
+    for (double weight : w) {
+        const double share = weight / total;
+        hhi += share * share;
+    }
+    m.hhi = hhi;
+    m.effective_sinks = 1.0 / hhi;
+    m.top1_share = w.front() / total;
+
+    const std::size_t decile = (k + 9) / 10;  // ceil(k / 10)
+    double decile_sum = 0.0;
+    for (std::size_t i = 0; i < decile; ++i) decile_sum += w[i];
+    m.top_decile_share = decile_sum / total;
+
+    double running = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        running += w[i];
+        if (running * 2.0 > total) {
+            m.nakamoto = i + 1;
+            break;
+        }
+    }
+    return m;
+}
+
+}  // namespace ld::delegation

@@ -1,0 +1,41 @@
+// Voting-power concentration metrics over a realized delegation graph.
+// The paper's empirical motivation (Kling et al.'s LiquidFeedback study,
+// Schmid & Shestakov's Gitcoin/ICP quantification, the DAO audits in §1)
+// measures exactly these quantities; Lemma 5's max-weight condition is a
+// worst-case version of them.
+//
+// All metrics are computed over the *cast* vote weights of the voting
+// sinks (abstained/discarded votes excluded).
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/delegation/delegation_graph.hpp"
+
+namespace ld::delegation {
+
+/// Summary of how concentrated voting power is after delegation.
+struct ConcentrationMetrics {
+    /// Gini coefficient of the sink-weight distribution, in [0, 1).
+    /// 0 = perfectly equal sinks; → 1 = one dictator.
+    double gini = 0.0;
+    /// Herfindahl–Hirschman index Σ s_i² of weight shares, in (0, 1].
+    double hhi = 0.0;
+    /// Effective number of sinks 1/HHI ("inverse Simpson"): how many
+    /// equal-weight sinks would produce the same concentration.
+    double effective_sinks = 0.0;
+    /// Share of all cast votes held by the single heaviest sink.
+    double top1_share = 0.0;
+    /// Share held by the heaviest ⌈10%⌉ of sinks.
+    double top_decile_share = 0.0;
+    /// Nakamoto coefficient: the minimum number of sinks that jointly
+    /// hold a strict majority of the cast votes (0 if no votes cast).
+    std::size_t nakamoto = 0;
+};
+
+/// Compute all metrics.  Requires a functional outcome; an outcome with no
+/// cast votes returns the zero-initialised struct.
+ConcentrationMetrics concentration_metrics(const DelegationOutcome& outcome);
+
+}  // namespace ld::delegation

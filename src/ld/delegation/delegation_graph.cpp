@@ -1,0 +1,151 @@
+#include "ld/delegation/delegation_graph.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::delegation {
+
+using mech::Action;
+using mech::ActionKind;
+using support::expects;
+using support::invariant;
+
+DelegationOutcome::DelegationOutcome(std::vector<Action> actions,
+                                     std::vector<std::uint64_t> initial_weights,
+                                     CyclePolicy cycle_policy)
+    : actions_(std::move(actions)), initial_weights_(std::move(initial_weights)) {
+    expects(initial_weights_.empty() || initial_weights_.size() == actions_.size(),
+            "DelegationOutcome: initial weights must be empty or one per voter");
+    for (const Action& a : actions_) {
+        if (a.kind == ActionKind::Delegate) {
+            expects(!a.targets.empty(), "DelegationOutcome: delegation without target");
+            if (a.targets.size() > 1) functional_ = false;
+            for (graph::Vertex t : a.targets) {
+                expects(t < actions_.size(), "DelegationOutcome: target out of range");
+            }
+            expects(a.target_weights.empty() ||
+                        a.target_weights.size() == a.targets.size(),
+                    "DelegationOutcome: target weights must match targets");
+            for (double w : a.target_weights) {
+                expects(w > 0.0, "DelegationOutcome: target weights must be positive");
+            }
+        } else {
+            expects(a.targets.empty(), "DelegationOutcome: non-delegation with targets");
+            expects(a.target_weights.empty(),
+                    "DelegationOutcome: non-delegation with target weights");
+        }
+    }
+    resolve(cycle_policy);
+}
+
+void DelegationOutcome::resolve(CyclePolicy cycle_policy) {
+    const std::size_t n = actions_.size();
+    for (const Action& a : actions_) {
+        if (a.kind == ActionKind::Delegate) ++stats_.delegator_count;
+        if (a.kind == ActionKind::Abstain) ++stats_.abstainer_count;
+    }
+    if (!functional_) return;  // multi-target: evaluator resolves by simulation
+
+    constexpr graph::Vertex kUnresolved = kNoSink - 1;
+    constexpr graph::Vertex kOnChain = kNoSink - 2;
+    sink_.assign(n, kUnresolved);
+    std::vector<std::size_t> depth(n, 0);  // delegation-path length to sink
+    std::vector<std::uint8_t> lost_to_cycle(n, 0);
+    std::vector<graph::Vertex> chain;
+    for (graph::Vertex start = 0; start < n; ++start) {
+        if (sink_[start] != kUnresolved) continue;
+        chain.clear();
+        graph::Vertex v = start;
+        bool hit_cycle = false;
+        // Walk until hitting a terminal or an already-resolved voter.
+        while (true) {
+            if (sink_[v] == kOnChain) {
+                // Returned to a voter on the current chain: a cycle.
+                expects(cycle_policy == CyclePolicy::Discard,
+                        "DelegationOutcome: delegation cycle detected");
+                hit_cycle = true;
+                break;
+            }
+            if (sink_[v] != kUnresolved) break;  // resolved earlier
+            const Action& a = actions_[v];
+            if (a.kind == ActionKind::Vote) {
+                sink_[v] = v;
+                break;
+            }
+            if (a.kind == ActionKind::Abstain) {
+                sink_[v] = kNoSink;
+                break;
+            }
+            const graph::Vertex next = a.targets.front();
+            if (next == v) {  // self-delegation counts as voting
+                sink_[v] = v;
+                break;
+            }
+            sink_[v] = kOnChain;
+            chain.push_back(v);
+            invariant(chain.size() <= n, "delegation chain longer than voter count");
+            v = next;
+        }
+        // Path-compress the walked chain onto the discovered terminal.
+        const bool lost = hit_cycle || (sink_[v] == kNoSink && lost_to_cycle[v]);
+        const graph::Vertex terminal = hit_cycle ? kNoSink : sink_[v];
+        std::size_t base_depth = hit_cycle ? 0 : depth[v];
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            sink_[*it] = terminal;
+            depth[*it] = ++base_depth;
+            if (lost) {
+                lost_to_cycle[*it] = 1;
+                ++cycle_losses_;
+            }
+        }
+    }
+
+    weights_.assign(n, 0);
+    for (graph::Vertex v = 0; v < n; ++v) {
+        stats_.longest_path = std::max(stats_.longest_path, depth[v]);
+        if (sink_[v] != kNoSink) {
+            weights_[sink_[v]] += initial_weights_.empty() ? 1 : initial_weights_[v];
+        }
+    }
+    for (graph::Vertex v = 0; v < n; ++v) {
+        if (weights_[v] > 0) {
+            invariant(actions_[v].kind == ActionKind::Vote ||
+                          (actions_[v].kind == ActionKind::Delegate &&
+                           actions_[v].targets.front() == v),
+                      "weight pooled at a non-voting voter");
+            voting_sinks_.push_back(v);
+            stats_.max_weight = std::max(stats_.max_weight, weights_[v]);
+            stats_.cast_weight += weights_[v];
+        }
+    }
+    stats_.voting_sink_count = voting_sinks_.size();
+}
+
+graph::Vertex DelegationOutcome::sink_of(graph::Vertex v) const {
+    expects(functional_, "sink_of: outcome is not functional (multi-delegation)");
+    expects(v < actions_.size(), "sink_of: voter out of range");
+    return sink_[v];
+}
+
+const std::vector<std::uint64_t>& DelegationOutcome::weights() const {
+    expects(functional_, "weights: outcome is not functional (multi-delegation)");
+    return weights_;
+}
+
+const std::vector<graph::Vertex>& DelegationOutcome::voting_sinks() const {
+    expects(functional_, "voting_sinks: outcome is not functional (multi-delegation)");
+    return voting_sinks_;
+}
+
+graph::Digraph DelegationOutcome::as_digraph() const {
+    std::vector<graph::Arc> arcs;
+    for (graph::Vertex v = 0; v < actions_.size(); ++v) {
+        for (graph::Vertex t : actions_[v].targets) {
+            arcs.push_back(graph::Arc{v, t});
+        }
+    }
+    return graph::Digraph(actions_.size(), std::move(arcs));
+}
+
+}  // namespace ld::delegation

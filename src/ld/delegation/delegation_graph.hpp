@@ -1,0 +1,111 @@
+// The realized delegation graph (paper §2.2): after sampling each voter's
+// decision from a mechanism, votes flow along delegation arcs and pool at
+// the *sinks* — voters who vote directly.  This type stores one realization
+// and the derived quantities every analysis needs:
+//
+//  * sink resolution (with path compression),
+//  * per-sink accumulated weights w_i (including self-votes),
+//  * delegation statistics: #delegators, #sinks, max weight, longest
+//    delegation path (the realized partition complexity).
+//
+// Abstention semantics (§6): an abstaining voter is an absorbing node that
+// casts no vote; votes delegated into an abstainer are discarded with it.
+// The paper's restriction — only would-be delegators may abstain — keeps
+// this harmless for DNH.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::delegation {
+
+/// Summary statistics of one realized delegation graph.
+struct DelegationStats {
+    std::size_t delegator_count = 0;  ///< voters who forwarded their vote
+    std::size_t abstainer_count = 0;  ///< voters who abstained (§6)
+    std::size_t voting_sink_count = 0;  ///< sinks that actually cast a vote
+    std::uint64_t max_weight = 0;       ///< heaviest voting sink
+    std::uint64_t cast_weight = 0;      ///< total votes cast (n − lost)
+    std::size_t longest_path = 0;       ///< realized partition complexity
+};
+
+/// How to treat a delegation cycle (only non-approval-respecting
+/// mechanisms — e.g. ones acting on noisy competency comparisons — can
+/// produce one).
+enum class CyclePolicy : std::uint8_t {
+    Throw,    ///< cycles are a programming error: throw ContractViolation
+    Discard,  ///< votes trapped in (or draining into) a cycle are lost
+};
+
+/// One realized delegation graph over n voters.
+///
+/// Only *functional* realizations (every delegator has exactly one target)
+/// support sink/weight queries; multi-target realizations (§6 weighted
+/// majority) expose targets for the evaluator to resolve by simulation.
+class DelegationOutcome {
+public:
+    /// Sentinel meaning "no sink" (abstained, drained into an abstainer,
+    /// or — under CyclePolicy::Discard — trapped in a cycle).
+    static constexpr graph::Vertex kNoSink = std::numeric_limits<graph::Vertex>::max();
+
+    /// Build from per-voter actions.  Under CyclePolicy::Throw (default),
+    /// throws `ContractViolation` if a single-target delegation cycle
+    /// exists (approval-respecting mechanisms cannot produce one because
+    /// α > 0).
+    ///
+    /// `initial_weights` (optional) assigns each voter a starting vote
+    /// weight — e.g. DAO token balances — instead of the model's one vote
+    /// per voter; it must be empty or have one entry per voter.
+    explicit DelegationOutcome(std::vector<mech::Action> actions,
+                               std::vector<std::uint64_t> initial_weights = {},
+                               CyclePolicy cycle_policy = CyclePolicy::Throw);
+
+    std::size_t voter_count() const noexcept { return actions_.size(); }
+
+    const mech::Action& action(graph::Vertex v) const { return actions_[v]; }
+
+    /// True iff every delegation has exactly one target.
+    bool functional() const noexcept { return functional_; }
+
+    /// The sink voter `v`'s vote finally rests with, or `kNoSink` if the
+    /// vote was discarded by an abstainer.  Requires `functional()`.
+    graph::Vertex sink_of(graph::Vertex v) const;
+
+    /// Accumulated weight (vote count, incl. self) of each voter; nonzero
+    /// only for voting sinks.  Requires `functional()`.
+    const std::vector<std::uint64_t>& weights() const;
+
+    /// All voting sinks, ascending.  Requires `functional()`.
+    const std::vector<graph::Vertex>& voting_sinks() const;
+
+    /// Realized statistics.  Requires `functional()` for the weight/sink
+    /// fields; multi-target outcomes still fill delegator/abstainer counts.
+    const DelegationStats& stats() const noexcept { return stats_; }
+
+    /// View as a digraph (delegation arcs only), e.g. for DOT export.
+    graph::Digraph as_digraph() const;
+
+    /// Number of voters whose vote was discarded by a cycle (always 0
+    /// under CyclePolicy::Throw).
+    std::size_t cycle_losses() const noexcept { return cycle_losses_; }
+
+private:
+    void resolve(CyclePolicy cycle_policy);
+
+    std::vector<mech::Action> actions_;
+    std::vector<std::uint64_t> initial_weights_;
+    std::size_t cycle_losses_ = 0;
+    bool functional_ = true;
+    std::vector<graph::Vertex> sink_;          // resolved terminal per voter
+    std::vector<std::uint64_t> weights_;       // votes pooled per voter
+    std::vector<graph::Vertex> voting_sinks_;  // ascending
+    DelegationStats stats_;
+};
+
+}  // namespace ld::delegation

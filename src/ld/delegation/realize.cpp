@@ -1,0 +1,44 @@
+#include "ld/delegation/realize.hpp"
+
+namespace ld::delegation {
+
+namespace {
+
+std::vector<mech::Action> sample_actions(const mech::Mechanism& mechanism,
+                                         const model::Instance& instance,
+                                         rng::Rng& rng) {
+    std::vector<mech::Action> actions;
+    actions.reserve(instance.voter_count());
+    for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+        actions.push_back(mechanism.act(instance, v, rng));
+    }
+    return actions;
+}
+
+}  // namespace
+
+DelegationOutcome realize(const mech::Mechanism& mechanism,
+                          const model::Instance& instance, rng::Rng& rng) {
+    return DelegationOutcome(sample_actions(mechanism, instance, rng));
+}
+
+DelegationOutcome realize_weighted(const mech::Mechanism& mechanism,
+                                   const model::Instance& instance, rng::Rng& rng,
+                                   std::vector<std::uint64_t> initial_weights,
+                                   CyclePolicy cycle_policy) {
+    return DelegationOutcome(sample_actions(mechanism, instance, rng),
+                             std::move(initial_weights), cycle_policy);
+}
+
+double expected_direct_voter_count(const mech::Mechanism& mechanism,
+                                   const model::Instance& instance) {
+    double total = 0.0;
+    for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+        const auto p = mechanism.vote_directly_probability(instance, v);
+        if (!p.has_value()) return -1.0;
+        total += *p;
+    }
+    return total;
+}
+
+}  // namespace ld::delegation

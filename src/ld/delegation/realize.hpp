@@ -1,0 +1,34 @@
+// Sampling one delegation graph from a mechanism on an instance — the step
+// "for each voter, we sample delegates from the probability distribution
+// output from M" (paper §2.2).
+
+#pragma once
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::delegation {
+
+/// Sample every voter's action independently and resolve the outcome.
+DelegationOutcome realize(const mech::Mechanism& mechanism,
+                          const model::Instance& instance, rng::Rng& rng);
+
+/// As `realize`, but with per-voter initial vote weights (e.g. DAO token
+/// balances) and an explicit cycle policy — pass CyclePolicy::Discard for
+/// non-approval-respecting mechanisms (e.g. noisy-approval mechanisms)
+/// whose realized graphs may contain cycles.
+DelegationOutcome realize_weighted(const mech::Mechanism& mechanism,
+                                   const model::Instance& instance, rng::Rng& rng,
+                                   std::vector<std::uint64_t> initial_weights,
+                                   CyclePolicy cycle_policy = CyclePolicy::Throw);
+
+/// Expected number of direct voters Σ_v P[v votes directly], when the
+/// mechanism exposes exact per-voter probabilities; used to verify the
+/// Delegate(n) >= f(n) restriction (Definition 2) analytically.
+/// Returns a negative value if the mechanism has no closed form.
+double expected_direct_voter_count(const mech::Mechanism& mechanism,
+                                   const model::Instance& instance);
+
+}  // namespace ld::delegation

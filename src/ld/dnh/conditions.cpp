@@ -1,0 +1,95 @@
+#include "ld/dnh/conditions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ld/delegation/realize.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/election/tally.hpp"
+#include "prob/bounds.hpp"
+#include "stats/running_stats.hpp"
+#include "support/expect.hpp"
+
+namespace ld::dnh {
+
+using support::expects;
+
+Lemma3Audit audit_lemma3(const model::Instance& instance,
+                         const mech::Mechanism& mechanism, rng::Rng& rng, double eps,
+                         std::size_t replications) {
+    expects(eps >= 0.0 && eps < 0.5, "audit_lemma3: eps out of [0, 1/2)");
+    Lemma3Audit audit;
+    const std::size_t n = instance.voter_count();
+    const auto& p = instance.competencies();
+
+    audit.beta = p.bounding_beta();
+    audit.bounded_competency = audit.beta > 0.0;
+    audit.delegation_budget = prob::lemma3_delegation_budget(n, eps);
+
+    // Expected delegation count: prefer the closed form.
+    const double expected_direct =
+        delegation::expected_direct_voter_count(mechanism, instance);
+    if (expected_direct >= 0.0) {
+        audit.mean_delegators = static_cast<double>(n) - expected_direct;
+    } else {
+        stats::RunningStats acc;
+        for (std::size_t r = 0; r < replications; ++r) {
+            const auto outcome = delegation::realize(mechanism, instance, rng);
+            acc.add(static_cast<double>(outcome.stats().delegator_count));
+        }
+        audit.mean_delegators = acc.mean();
+    }
+    audit.within_budget =
+        audit.mean_delegators < static_cast<double>(audit.delegation_budget);
+
+    if (audit.bounded_competency) {
+        // Worst-case flipped mass per the Lemma 3 proof: 2 × #delegators.
+        audit.flip_probability_bound = prob::lemma3_flip_probability(
+            n, std::min(audit.beta, 0.49), 2.0 * audit.mean_delegators);
+    } else {
+        audit.flip_probability_bound = 1.0;
+    }
+    audit.hypotheses_hold = audit.bounded_competency && audit.within_budget;
+    return audit;
+}
+
+Lemma5Audit audit_lemma5(const model::Instance& instance,
+                         const mech::Mechanism& mechanism, rng::Rng& rng, double eps,
+                         double c, std::size_t replications) {
+    expects(eps > 0.0, "audit_lemma5: eps must be positive");
+    expects(c > 0.0, "audit_lemma5: c must be positive");
+    expects(replications > 0, "audit_lemma5: need replications");
+    Lemma5Audit audit;
+    const std::size_t n = instance.voter_count();
+
+    stats::RunningStats max_weight, margin, sigma;
+    double worst = 0.0;
+    for (std::size_t r = 0; r < replications; ++r) {
+        const auto outcome = delegation::realize(mechanism, instance, rng);
+        const auto w = static_cast<double>(outcome.stats().max_weight);
+        max_weight.add(w);
+        worst = std::max(worst, w);
+        const double mu =
+            election::conditional_vote_mean(outcome, instance.competencies());
+        const double var =
+            election::conditional_vote_variance(outcome, instance.competencies());
+        margin.add(mu - static_cast<double>(outcome.stats().cast_weight) / 2.0);
+        sigma.add(var);
+    }
+    audit.mean_max_weight = max_weight.mean();
+    audit.worst_max_weight = worst;
+    audit.weight_cap = std::pow(static_cast<double>(n), 1.0 - eps);
+    audit.deviation_radius = prob::lemma5_radius(n, eps, worst, c);
+    audit.failure_bound = prob::lemma5_failure_bound(n, eps, c);
+    audit.mean_margin = margin.mean();
+    audit.mean_sigma = std::sqrt(std::max(0.0, sigma.mean()));
+
+    // Finite-n verdict in the lemma's spirit: the max-weight cap is "small
+    // enough" when the conditional fluctuations it permits stay well below
+    // the delegated majority margin.
+    audit.weight_small_enough =
+        worst <= 1.0 || audit.mean_margin >= 2.0 * audit.mean_sigma;
+    return audit;
+}
+
+}  // namespace ld::dnh

@@ -1,0 +1,66 @@
+// The paper's two sufficient conditions for Do-No-Harm (§3.2), packaged as
+// *audits* that can be run against any (instance, mechanism) pair:
+//
+//  * Lemma 3 — bounded competencies p ∈ (β, 1−β) and fewer than n^{1/2−ε}
+//    delegations: the direct-voting outcome keeps Ω(√n) standard deviation,
+//    so the probability that the delegated votes can flip the decision is
+//    at most an erf term that vanishes asymptotically.
+//
+//  * Lemma 5 — every sink's weight at most w: at least n/w sinks exist, so
+//    Hoeffding keeps the delegated outcome within (1/c)·√(n^{1+ε})·w of its
+//    mean with probability 1 − e^{−Ω(n^ε)}.
+//
+// Each audit returns both the *verdict* (condition satisfied?) and the
+// quantitative bound, so benches can print paper-bound vs measured.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::dnh {
+
+/// Result of checking Lemma 3's hypotheses on an (instance, mechanism).
+struct Lemma3Audit {
+    bool bounded_competency = false;  ///< all p_i ∈ (β, 1−β) for reported β
+    double beta = 0.0;                ///< largest valid β (0 if unbounded)
+    std::size_t delegation_budget = 0;  ///< floor(n^{1/2−ε})
+    double mean_delegators = 0.0;       ///< E[#delegators] (exact if closed form)
+    bool within_budget = false;         ///< mean_delegators < budget
+    double flip_probability_bound = 0.0;  ///< erf bound on outcome flip
+    bool hypotheses_hold = false;         ///< both conditions met
+};
+
+/// Audit Lemma 3 with exponent slack `eps`.  The expected delegation count
+/// uses the mechanism's closed form when available, otherwise `replications`
+/// Monte-Carlo realizations.
+Lemma3Audit audit_lemma3(const model::Instance& instance,
+                         const mech::Mechanism& mechanism, rng::Rng& rng, double eps,
+                         std::size_t replications = 64);
+
+/// Result of checking Lemma 5's max-weight condition.
+struct Lemma5Audit {
+    double mean_max_weight = 0.0;  ///< E[max sink weight] over realizations
+    double worst_max_weight = 0.0; ///< max observed
+    double weight_cap = 0.0;       ///< the paper's requirement scale n^{1−ε}
+    double deviation_radius = 0.0; ///< (1/c)·√(n^{1+ε})·w at w = worst observed
+    double failure_bound = 0.0;    ///< 2·e^{−2 n^ε / c²}
+    double mean_margin = 0.0;  ///< E[μ(X|G) − W/2]: the delegated majority margin
+    double mean_sigma = 0.0;   ///< √E[Var(X|G)]: conditional outcome stddev
+    /// Lemma 5's spirit as a finite-n verdict: the delegated margin must
+    /// dominate the conditional fluctuation scale (margin >= 2σ), which is
+    /// exactly what the max-weight cap buys — heavier sinks inflate σ
+    /// until the margin no longer protects the outcome.
+    bool weight_small_enough = false;
+};
+
+/// Audit Lemma 5 with exponent `eps` and constant `c` over `replications`
+/// delegation realizations.
+Lemma5Audit audit_lemma5(const model::Instance& instance,
+                         const mech::Mechanism& mechanism, rng::Rng& rng, double eps,
+                         double c, std::size_t replications = 64);
+
+}  // namespace ld::dnh

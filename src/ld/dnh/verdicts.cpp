@@ -1,0 +1,84 @@
+#include "ld/dnh/verdicts.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/expect.hpp"
+
+namespace ld::dnh {
+
+using support::expects;
+
+std::vector<SweepPoint> sweep_gain(const InstanceFamily& family,
+                                   const mech::Mechanism& mechanism,
+                                   const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                                   const election::EvalOptions& eval) {
+    expects(!sizes.empty(), "sweep_gain: no sizes given");
+    std::vector<SweepPoint> sweep;
+    sweep.reserve(sizes.size());
+    for (std::size_t n : sizes) {
+        const model::Instance instance = family(n, rng);
+        const auto report = election::estimate_gain(mechanism, instance, rng, eval);
+        SweepPoint pt;
+        pt.n = n;
+        pt.gain = report.gain;
+        pt.gain_ci_lo = report.gain_ci.lo;
+        pt.gain_ci_hi = report.gain_ci.hi;
+        pt.pd = report.pd;
+        pt.pm = report.pm.value;
+        pt.mean_delegators = report.mean_delegators;
+        pt.mean_max_weight = report.mean_max_weight;
+        sweep.push_back(pt);
+    }
+    return sweep;
+}
+
+DesideratumVerdict check_dnh(const InstanceFamily& family,
+                             const mech::Mechanism& mechanism,
+                             const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                             const VerdictOptions& options) {
+    DesideratumVerdict verdict;
+    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, options.eval);
+    verdict.worst_gain = std::numeric_limits<double>::infinity();
+    for (const auto& pt : verdict.sweep) {
+        verdict.worst_gain = std::min(verdict.worst_gain, pt.gain);
+    }
+    // DNH is asymptotic: judge the largest half of the sweep.
+    const std::size_t half = verdict.sweep.size() / 2;
+    double tail_worst = std::numeric_limits<double>::infinity();
+    for (std::size_t i = half; i < verdict.sweep.size(); ++i) {
+        tail_worst = std::min(tail_worst, verdict.sweep[i].gain);
+    }
+    verdict.satisfied = tail_worst >= -options.dnh_tolerance;
+    std::ostringstream os;
+    os << "DNH: worst tail gain " << tail_worst << " vs tolerance -"
+       << options.dnh_tolerance << " => " << (verdict.satisfied ? "PASS" : "FAIL");
+    verdict.detail = os.str();
+    return verdict;
+}
+
+DesideratumVerdict check_spg(const InstanceFamily& family,
+                             const mech::Mechanism& mechanism,
+                             const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                             const VerdictOptions& options) {
+    DesideratumVerdict verdict;
+    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, options.eval);
+    expects(options.spg_burn_in < verdict.sweep.size(),
+            "check_spg: burn-in swallows the whole sweep");
+    verdict.worst_gain = std::numeric_limits<double>::infinity();
+    double gamma = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < verdict.sweep.size(); ++i) {
+        verdict.worst_gain = std::min(verdict.worst_gain, verdict.sweep[i].gain);
+        if (i >= options.spg_burn_in) gamma = std::min(gamma, verdict.sweep[i].gain);
+    }
+    verdict.gamma = gamma;
+    verdict.satisfied = gamma > options.spg_gamma_floor;
+    std::ostringstream os;
+    os << "SPG: certified gamma " << gamma << " (floor " << options.spg_gamma_floor
+       << ") => " << (verdict.satisfied ? "PASS" : "FAIL");
+    verdict.detail = os.str();
+    return verdict;
+}
+
+}  // namespace ld::dnh

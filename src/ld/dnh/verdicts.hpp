@@ -1,0 +1,77 @@
+// Empirical desiderata checks (paper §2.3) over *instance families*: a
+// family maps a size n (plus randomness) to an instance; we sweep sizes,
+// estimate the gain at each, and judge:
+//
+//  * DNH  (Definition 3): losses must shrink towards 0 as n grows — we
+//    check gain >= −tolerance at the largest sizes and a non-worsening
+//    trend;
+//  * SPG  (Definition 5): gain >= γ > 0 at *every* size past a burn-in,
+//    provided the delegate restriction Delegate(n) >= f(n) held.
+//
+// These are statistical verdicts on finite sweeps, not proofs; the benches
+// print the underlying per-size numbers alongside.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::dnh {
+
+/// A sized family of problem instances.
+using InstanceFamily = std::function<model::Instance(std::size_t n, rng::Rng& rng)>;
+
+/// One sweep point of a desideratum check.
+struct SweepPoint {
+    std::size_t n = 0;
+    double gain = 0.0;
+    double gain_ci_lo = 0.0;
+    double gain_ci_hi = 0.0;
+    double pd = 0.0;
+    double pm = 0.0;
+    double mean_delegators = 0.0;
+    double mean_max_weight = 0.0;
+};
+
+/// Verdict over a size sweep.
+struct DesideratumVerdict {
+    bool satisfied = false;
+    double worst_gain = 0.0;       ///< min gain over considered sizes
+    double gamma = 0.0;            ///< for SPG: the certified uniform gain
+    std::vector<SweepPoint> sweep; ///< all measured points
+    std::string detail;            ///< human-readable reasoning
+};
+
+/// Options shared by the checks.
+struct VerdictOptions {
+    election::EvalOptions eval{};
+    double dnh_tolerance = 0.02;   ///< allowed loss at the largest sizes
+    double spg_gamma_floor = 0.0;  ///< SPG requires gain > this at all sizes
+    std::size_t spg_burn_in = 0;   ///< ignore the first k sweep sizes for SPG
+};
+
+/// Measure the gain of `mechanism` over the family at each size.
+std::vector<SweepPoint> sweep_gain(const InstanceFamily& family,
+                                   const mech::Mechanism& mechanism,
+                                   const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                                   const election::EvalOptions& eval = {});
+
+/// Empirical Do-No-Harm verdict (Definition 3).
+DesideratumVerdict check_dnh(const InstanceFamily& family,
+                             const mech::Mechanism& mechanism,
+                             const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                             const VerdictOptions& options = {});
+
+/// Empirical Strong-Positive-Gain verdict (Definition 5).
+DesideratumVerdict check_spg(const InstanceFamily& family,
+                             const mech::Mechanism& mechanism,
+                             const std::vector<std::size_t>& sizes, rng::Rng& rng,
+                             const VerdictOptions& options = {});
+
+}  // namespace ld::dnh

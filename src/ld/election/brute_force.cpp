@@ -1,0 +1,128 @@
+#include "ld/election/brute_force.hpp"
+
+#include <map>
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/election/tally.hpp"
+#include "support/expect.hpp"
+
+namespace ld::election {
+
+using support::expects;
+
+std::vector<VoterLaw> uniform_approved_laws(const mech::Mechanism& mechanism,
+                                            const model::Instance& instance) {
+    std::vector<VoterLaw> laws;
+    laws.reserve(instance.voter_count());
+    for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+        const auto z = mechanism.vote_directly_probability(instance, v);
+        expects(z.has_value(),
+                "uniform_approved_laws: mechanism has no closed-form law");
+        VoterLaw law;
+        law.vote_probability = *z;
+        const double delegate_mass = 1.0 - *z;
+        if (delegate_mass > 0.0) {
+            const auto approved = instance.approved_neighbours(v);
+            expects(!approved.empty(),
+                    "uniform_approved_laws: delegating voter with empty approval set");
+            for (graph::Vertex t : approved) {
+                law.delegate_probabilities.emplace_back(
+                    t, delegate_mass / static_cast<double>(approved.size()));
+            }
+        }
+        laws.push_back(std::move(law));
+    }
+    return laws;
+}
+
+std::vector<VoterLaw> estimate_laws(const mech::Mechanism& mechanism,
+                                    const model::Instance& instance, rng::Rng& rng,
+                                    std::size_t samples) {
+    expects(samples > 0, "estimate_laws: need at least one sample");
+    expects(!mechanism.multi_delegation(),
+            "estimate_laws: multi-delegation laws are not per-target categorical");
+    std::vector<VoterLaw> laws(instance.voter_count());
+    for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+        std::size_t votes = 0;
+        std::map<graph::Vertex, std::size_t> targets;
+        for (std::size_t s = 0; s < samples; ++s) {
+            const auto action = mechanism.act(instance, v, rng);
+            if (action.kind == mech::ActionKind::Delegate) {
+                ++targets[action.targets.front()];
+            } else {
+                ++votes;  // Vote or Abstain both leave no delegation arc
+            }
+        }
+        VoterLaw& law = laws[v];
+        law.vote_probability = static_cast<double>(votes) / static_cast<double>(samples);
+        for (const auto& [t, count] : targets) {
+            law.delegate_probabilities.emplace_back(
+                t, static_cast<double>(count) / static_cast<double>(samples));
+        }
+    }
+    return laws;
+}
+
+namespace {
+
+/// Depth-first enumeration over the product law: at voter v, branch over
+/// "vote" and each delegation target, carrying the profile probability.
+class Enumerator {
+public:
+    Enumerator(const model::Instance& instance, const std::vector<VoterLaw>& laws)
+        : instance_(instance), laws_(laws),
+          actions_(instance.voter_count(), mech::Action::vote()) {}
+
+    double run() {
+        recurse(0, 1.0);
+        return total_;
+    }
+
+private:
+    void recurse(graph::Vertex v, double profile_probability) {
+        if (profile_probability == 0.0) return;
+        if (v == instance_.voter_count()) {
+            delegation::DelegationOutcome outcome(actions_);
+            total_ += profile_probability *
+                      exact_correct_probability(outcome, instance_.competencies());
+            return;
+        }
+        const VoterLaw& law = laws_[v];
+        if (law.vote_probability > 0.0) {
+            actions_[v] = mech::Action::vote();
+            recurse(v + 1, profile_probability * law.vote_probability);
+        }
+        for (const auto& [target, probability] : law.delegate_probabilities) {
+            actions_[v] = mech::Action::delegate_to(target);
+            recurse(v + 1, profile_probability * probability);
+        }
+        actions_[v] = mech::Action::vote();
+    }
+
+    const model::Instance& instance_;
+    const std::vector<VoterLaw>& laws_;
+    std::vector<mech::Action> actions_;
+    double total_ = 0.0;
+};
+
+}  // namespace
+
+double exact_mechanism_probability(const model::Instance& instance,
+                                   const std::vector<VoterLaw>& laws,
+                                   std::size_t max_profiles) {
+    expects(laws.size() == instance.voter_count(),
+            "exact_mechanism_probability: one law per voter required");
+    double profiles = 1.0;
+    for (const VoterLaw& law : laws) {
+        const double branches =
+            (law.vote_probability > 0.0 ? 1.0 : 0.0) +
+            static_cast<double>(law.delegate_probabilities.size());
+        profiles *= std::max(branches, 1.0);
+        expects(profiles <= static_cast<double>(max_profiles),
+                "exact_mechanism_probability: enumeration too large");
+    }
+    Enumerator e(instance, laws);
+    return e.run();
+}
+
+}  // namespace ld::election

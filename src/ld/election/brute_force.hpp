@@ -1,0 +1,52 @@
+// Exact (enumerative) evaluation of P^M(G) for small instances.
+//
+// A mechanism's randomness has finite support per voter: each voter either
+// votes directly or delegates to one of at most `deg` targets.  For small
+// instances we enumerate every delegation profile in the product support,
+// weight it by its probability, and tally each outcome exactly — giving
+// P^M(G) with no Monte-Carlo error.  This is the ground truth the
+// estimator tests (and any future mechanism) are validated against.
+//
+// Complexity: Π_v (1 + |support_v|); practical for ~10–15 voters.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::election {
+
+/// The exact per-voter delegation law of a mechanism on an instance:
+/// `vote_probability` plus (target, probability) pairs.  Distributions are
+/// recovered either from the mechanism's closed form + uniform-approved
+/// convention, or empirically (see `estimate_support`).
+struct VoterLaw {
+    double vote_probability = 1.0;
+    std::vector<std::pair<graph::Vertex, double>> delegate_probabilities;
+};
+
+/// Recover the exact law of a *uniform-approved threshold style* mechanism:
+/// requires `vote_directly_probability()` to be available; the remaining
+/// mass is spread uniformly over the approved neighbours.  Throws if the
+/// mechanism has no closed form.
+std::vector<VoterLaw> uniform_approved_laws(const mech::Mechanism& mechanism,
+                                            const model::Instance& instance);
+
+/// Estimate each voter's law empirically with `samples` draws per voter —
+/// usable for any single-delegate mechanism; exact in the limit.
+std::vector<VoterLaw> estimate_laws(const mech::Mechanism& mechanism,
+                                    const model::Instance& instance, rng::Rng& rng,
+                                    std::size_t samples);
+
+/// Exact P^M(G) by full enumeration of the delegation-profile product law.
+/// `laws` must have one entry per voter.  Throws `ContractViolation` if the
+/// enumeration would exceed `max_profiles` (default 2^22).
+double exact_mechanism_probability(const model::Instance& instance,
+                                   const std::vector<VoterLaw>& laws,
+                                   std::size_t max_profiles = (1u << 22));
+
+}  // namespace ld::election

@@ -1,0 +1,47 @@
+#include "ld/election/distributional.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::election {
+
+using support::expects;
+
+DistributionalGainReport estimate_gain_over_distribution(
+    const mech::Mechanism& mechanism, const graph::Graph& graph, double alpha,
+    const CompetencySampler& sampler, rng::Rng& rng, std::size_t draws,
+    const EvalOptions& options) {
+    expects(draws > 0, "estimate_gain_over_distribution: need at least one draw");
+    expects(static_cast<bool>(sampler), "estimate_gain_over_distribution: empty sampler");
+
+    stats::RunningStats gain_acc, pd_acc, pm_acc;
+    double worst = 1.0, best = -1.0;
+    for (std::size_t d = 0; d < draws; ++d) {
+        model::Instance instance(graph, sampler(graph.vertex_count(), rng), alpha);
+        const auto report = estimate_gain(mechanism, instance, rng, options);
+        gain_acc.add(report.gain);
+        pd_acc.add(report.pd);
+        pm_acc.add(report.pm.value);
+        worst = std::min(worst, report.gain);
+        best = std::max(best, report.gain);
+    }
+    const auto finish = [&](const stats::RunningStats& acc) {
+        Estimate e;
+        e.value = acc.mean();
+        e.std_error = acc.standard_error();
+        e.ci = stats::mean_interval(acc.mean(), acc.standard_error(), options.confidence);
+        e.replications = acc.count();
+        return e;
+    };
+    DistributionalGainReport out;
+    out.gain = finish(gain_acc);
+    out.pd = finish(pd_acc);
+    out.pm = finish(pm_acc);
+    out.worst_gain = worst;
+    out.best_gain = best;
+    out.draws = draws;
+    return out;
+}
+
+}  // namespace ld::election

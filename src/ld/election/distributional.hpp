@@ -1,0 +1,43 @@
+// Probabilistic competencies (§6 "Practical Considerations"): the paper
+// notes that in practice the competency vector is not fixed but drawn from
+// a distribution, as in Halpern et al.'s model, and asks for the two
+// analyses to be unified.  This evaluator does the empirical half: the
+// gain of a mechanism over a *distribution* of instances sharing one graph
+// — E_p[gain(M, (V, E, p))] — with per-draw exact baselines.
+
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/competency.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::election {
+
+/// Draws a fresh competency vector for `n` voters.
+using CompetencySampler =
+    std::function<model::CompetencyVector(std::size_t n, rng::Rng& rng)>;
+
+/// Gain statistics over competency draws.
+struct DistributionalGainReport {
+    Estimate gain;            ///< E_p[P^M − P^D] with CI over draws
+    Estimate pd;              ///< E_p[P^D]
+    Estimate pm;              ///< E_p[P^M]
+    double worst_gain = 0.0;  ///< min over draws (probabilistic DNH witness)
+    double best_gain = 0.0;   ///< max over draws
+    std::size_t draws = 0;
+};
+
+/// Estimate the expected gain over `draws` competency vectors sampled from
+/// `sampler`, on a fixed graph and α.  Inner evaluation uses
+/// `options.replications` delegation realizations per draw (exact P^D per
+/// draw).
+DistributionalGainReport estimate_gain_over_distribution(
+    const mech::Mechanism& mechanism, const graph::Graph& graph, double alpha,
+    const CompetencySampler& sampler, rng::Rng& rng, std::size_t draws,
+    const EvalOptions& options = {});
+
+}  // namespace ld::election

@@ -1,0 +1,223 @@
+#include "ld/election/evaluator.hpp"
+
+#include <cmath>
+#include <thread>
+
+#include "ld/delegation/realize.hpp"
+#include "ld/election/tally.hpp"
+#include "prob/normal.hpp"
+#include "prob/poisson_binomial.hpp"
+#include "prob/weighted_bernoulli_sum.hpp"
+#include "support/expect.hpp"
+
+namespace ld::election {
+
+using support::expects;
+
+double exact_direct_probability(const model::Instance& instance) {
+    return prob::direct_majority_probability(instance.competencies().values());
+}
+
+double exact_direct_probability_weighted(
+    const model::Instance& instance, std::span<const std::uint64_t> initial_weights) {
+    if (initial_weights.empty()) return exact_direct_probability(instance);
+    expects(initial_weights.size() == instance.voter_count(),
+            "exact_direct_probability_weighted: one weight per voter required");
+    prob::WeightedBernoulliSum dist(initial_weights, instance.competencies().values());
+    return dist.majority_probability();
+}
+
+double approx_direct_probability(const model::Instance& instance,
+                                 std::span<const std::uint64_t> initial_weights) {
+    expects(initial_weights.empty() ||
+                initial_weights.size() == instance.voter_count(),
+            "approx_direct_probability: one weight per voter required");
+    const auto probs = instance.competencies().values();
+    const std::size_t n = probs.size();
+    if (n == 0) return 0.0;
+    // Small juries: the exact DP is cheap and the CLT is not trustworthy.
+    if (n <= 64) return exact_direct_probability_weighted(instance, initial_weights);
+    double total = 0.0, mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w =
+            initial_weights.empty() ? 1.0 : static_cast<double>(initial_weights[i]);
+        total += w;
+        mean += w * probs[i];
+        var += w * w * probs[i] * (1.0 - probs[i]);
+    }
+    if (var <= 0.0) return mean > total / 2.0 ? 1.0 : 0.0;
+    return 1.0 - prob::normal_cdf(total / 2.0 + 0.5, mean, std::sqrt(var));
+}
+
+double exact_direct_mean_votes(const model::Instance& instance) {
+    return instance.competencies().mean() * static_cast<double>(instance.voter_count());
+}
+
+namespace {
+
+delegation::DelegationOutcome realize_with(const mech::Mechanism& mechanism,
+                                           const model::Instance& instance,
+                                           rng::Rng& rng, const EvalOptions& options) {
+    return delegation::realize_weighted(mechanism, instance, rng,
+                                        options.initial_weights, options.cycle_policy);
+}
+
+Estimate finish(const stats::RunningStats& acc, double confidence) {
+    Estimate e;
+    e.value = acc.mean();
+    e.std_error = acc.standard_error();
+    e.ci = stats::mean_interval(acc.mean(), acc.standard_error(), confidence);
+    e.replications = acc.count();
+    return e;
+}
+
+/// Per-replication statistics accumulated by one worker.
+struct ReplicationStats {
+    stats::RunningStats pm;
+    stats::RunningStats delegators;
+    stats::RunningStats max_weight;
+    stats::RunningStats sinks;
+    stats::RunningStats longest;
+
+    void merge(const ReplicationStats& other) {
+        pm.merge(other.pm);
+        delegators.merge(other.delegators);
+        max_weight.merge(other.max_weight);
+        sinks.merge(other.sinks);
+        longest.merge(other.longest);
+    }
+};
+
+/// Run `count` replications sequentially with the given generator.
+ReplicationStats run_replications(const mech::Mechanism& mechanism,
+                                  const model::Instance& instance, rng::Rng& rng,
+                                  const EvalOptions& options, std::size_t count) {
+    ReplicationStats acc;
+    const auto& p = instance.competencies();
+    for (std::size_t r = 0; r < count; ++r) {
+        const auto outcome = realize_with(mechanism, instance, rng, options);
+        double pm_r;
+        if (outcome.functional()) {
+            pm_r = options.approximate_tally ? approx_correct_probability(outcome, p)
+                                             : exact_correct_probability(outcome, p);
+            const auto& st = outcome.stats();
+            acc.max_weight.add(static_cast<double>(st.max_weight));
+            acc.sinks.add(static_cast<double>(st.voting_sink_count));
+            acc.longest.add(static_cast<double>(st.longest_path));
+        } else {
+            expects(options.inner_samples > 0, "estimate: need inner samples");
+            std::size_t correct = 0;
+            for (std::size_t s = 0; s < options.inner_samples; ++s) {
+                if (sample_outcome_correct(outcome, p, rng)) ++correct;
+            }
+            pm_r = static_cast<double>(correct) /
+                   static_cast<double>(options.inner_samples);
+        }
+        acc.pm.add(pm_r);
+        acc.delegators.add(static_cast<double>(outcome.stats().delegator_count));
+    }
+    return acc;
+}
+
+/// Run `options.replications` replications, fanning out to
+/// `options.threads` workers with independent jumped RNG streams.
+ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
+                                      const model::Instance& instance, rng::Rng& rng,
+                                      const EvalOptions& options) {
+    expects(options.replications > 0, "estimate: need at least one replication");
+    expects(options.threads >= 1, "estimate: need at least one thread");
+    const std::size_t threads =
+        std::min(options.threads, options.replications);
+    if (threads == 1) {
+        return run_replications(mechanism, instance, rng, options,
+                                options.replications);
+    }
+    // Derive one independent stream per worker up front (split mutates the
+    // parent, keeping the whole run deterministic for fixed seed+threads).
+    std::vector<rng::Rng> streams;
+    streams.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) streams.push_back(rng.split());
+
+    std::vector<ReplicationStats> partials(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t base = options.replications / threads;
+    const std::size_t extra = options.replications % threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+        const std::size_t count = base + (t < extra ? 1 : 0);
+        workers.emplace_back([&, t, count] {
+            partials[t] =
+                run_replications(mechanism, instance, streams[t], options, count);
+        });
+    }
+    for (auto& w : workers) w.join();
+    ReplicationStats merged;
+    for (const auto& partial : partials) merged.merge(partial);
+    return merged;
+}
+
+}  // namespace
+
+Estimate estimate_correct_probability(const mech::Mechanism& mechanism,
+                                      const model::Instance& instance, rng::Rng& rng,
+                                      const EvalOptions& options) {
+    const auto acc = run_all_replications(mechanism, instance, rng, options);
+    return finish(acc.pm, options.confidence);
+}
+
+Estimate estimate_correct_probability_naive(const mech::Mechanism& mechanism,
+                                            const model::Instance& instance,
+                                            rng::Rng& rng, const EvalOptions& options) {
+    expects(options.replications > 0, "estimate: need at least one replication");
+    stats::RunningStats acc;
+    const auto& p = instance.competencies();
+    for (std::size_t r = 0; r < options.replications; ++r) {
+        const auto outcome = realize_with(mechanism, instance, rng, options);
+        acc.add(sample_outcome_correct(outcome, p, rng) ? 1.0 : 0.0);
+    }
+    return finish(acc, options.confidence);
+}
+
+GainReport estimate_gain(const mech::Mechanism& mechanism,
+                         const model::Instance& instance, rng::Rng& rng,
+                         const EvalOptions& options) {
+    GainReport report;
+    report.pd = options.approximate_tally
+                    ? approx_direct_probability(instance, options.initial_weights)
+                    : exact_direct_probability_weighted(instance, options.initial_weights);
+    const auto acc = run_all_replications(mechanism, instance, rng, options);
+    report.pm = finish(acc.pm, options.confidence);
+    report.gain = report.pm.value - report.pd;
+    report.gain_ci = {report.pm.ci.lo - report.pd, report.pm.ci.hi - report.pd};
+    report.mean_delegators = acc.delegators.mean();
+    report.mean_max_weight = acc.max_weight.mean();
+    report.mean_sinks = acc.sinks.mean();
+    report.mean_longest_path = acc.longest.mean();
+    return report;
+}
+
+VarianceReport estimate_variance(const mech::Mechanism& mechanism,
+                                 const model::Instance& instance, rng::Rng& rng,
+                                 const EvalOptions& options) {
+    expects(options.replications > 1, "estimate_variance: need >= 2 replications");
+    VarianceReport report;
+    report.direct_variance = instance.competencies().outcome_variance();
+
+    stats::RunningStats cond_var, cond_mean;
+    const auto& p = instance.competencies();
+    for (std::size_t r = 0; r < options.replications; ++r) {
+        const auto outcome = realize_with(mechanism, instance, rng, options);
+        expects(outcome.functional(),
+                "estimate_variance: multi-delegation outcomes unsupported");
+        cond_var.add(conditional_vote_variance(outcome, p));
+        cond_mean.add(conditional_vote_mean(outcome, p));
+    }
+    report.mean_conditional_variance = cond_var.mean();
+    report.variance_of_conditional_mean = cond_mean.variance();
+    report.total_variance =
+        report.mean_conditional_variance + report.variance_of_conditional_mean;
+    report.mean_conditional_mean = cond_mean.mean();
+    return report;
+}
+
+}  // namespace ld::election

@@ -1,0 +1,133 @@
+// The evaluator computes the paper's headline quantities:
+//
+//   P^M(G)        — probability mechanism M decides correctly on G,
+//   P^D(G)        — the direct-voting baseline (computed *exactly* via the
+//                   Poisson-binomial distribution),
+//   gain(M, G)    — P^M − P^D, with confidence intervals,
+//   variance diagnostics — the law-of-total-variance decomposition of the
+//                   correct-vote count under delegation, the quantity the
+//                   paper's DNH conditions "manipulate".
+//
+// Monte-Carlo design: delegation graphs are random, so we sample R
+// realizations; *conditioned on a realization* the correct-decision
+// probability has a closed form (weighted Poisson-binomial), which we use
+// instead of sampling votes.  This is the exact-inner-step estimator
+// ablated in bench_perf_micro; it is unbiased for P^M with strictly smaller
+// variance than vote-sampling (Rao–Blackwell).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+#include "stats/confidence.hpp"
+#include "stats/running_stats.hpp"
+
+namespace ld::election {
+
+/// Knobs for Monte-Carlo evaluation.
+struct EvalOptions {
+    /// Number of delegation-graph realizations.
+    std::size_t replications = 200;
+    /// Vote-propagation samples per realization for multi-delegation
+    /// outcomes (functional outcomes use the exact inner step instead).
+    std::size_t inner_samples = 8;
+    /// Confidence level for reported intervals.
+    double confidence = 0.95;
+    /// Per-voter initial vote weights (e.g. DAO token balances); empty
+    /// means the model's one-voter-one-vote.  Applies to both P^M and the
+    /// exact P^D baseline.
+    std::vector<std::uint64_t> initial_weights{};
+    /// Cycle handling for realized delegation graphs.  Use Discard for
+    /// mechanisms that are not approval-respecting (e.g. NoisyThreshold).
+    delegation::CyclePolicy cycle_policy = delegation::CyclePolicy::Throw;
+    /// Worker threads for the replication loop (1 = sequential).  Each
+    /// worker draws from an independent jumped RNG stream; results are
+    /// deterministic for a fixed (seed, threads) pair.
+    std::size_t threads = 1;
+    /// Use the Lemma-4 normal approximation for the inner tally instead of
+    /// the exact weighted Poisson-binomial DP — O(#sinks) instead of
+    /// O(#sinks·n) per realization; Berry–Esseen-size bias.  Intended for
+    /// very large instances.
+    bool approximate_tally = false;
+};
+
+/// A Monte-Carlo estimate with its uncertainty.
+struct Estimate {
+    double value = 0.0;
+    double std_error = 0.0;
+    stats::Interval ci{};
+    std::size_t replications = 0;
+};
+
+/// gain(M, G) = P^M − P^D with Monte-Carlo uncertainty (the P^D term is
+/// exact, so the interval is inherited from the P^M estimate), plus
+/// delegation-shape diagnostics averaged over realizations.
+struct GainReport {
+    Estimate pm;                    ///< estimated P^M(G)
+    double pd = 0.0;                ///< exact P^D(G)
+    double gain = 0.0;              ///< pm.value − pd
+    stats::Interval gain_ci{};      ///< CI on the gain
+    double mean_delegators = 0.0;   ///< E[#delegators]
+    double mean_max_weight = 0.0;   ///< E[max sink weight]
+    double mean_sinks = 0.0;        ///< E[#voting sinks]
+    double mean_longest_path = 0.0; ///< E[longest delegation path]
+};
+
+/// Law-of-total-variance decomposition of the correct-vote count S under a
+/// mechanism: Var[S] = E[Var[S | graph]] + Var[E[S | graph]].
+struct VarianceReport {
+    double direct_variance = 0.0;        ///< Var[S] under direct voting (exact)
+    double mean_conditional_variance = 0.0;  ///< E[Var[S | delegation graph]]
+    double variance_of_conditional_mean = 0.0;  ///< Var[E[S | delegation graph]]
+    double total_variance = 0.0;         ///< their sum
+    double mean_conditional_mean = 0.0;  ///< E[S] under the mechanism
+};
+
+/// Exact P^D(G) — Poisson-binomial strict-majority probability.
+double exact_direct_probability(const model::Instance& instance);
+
+/// Exact P^D(G) under per-voter initial weights (weighted Poisson-binomial
+/// strict majority); `initial_weights` empty falls back to the unweighted
+/// case.
+double exact_direct_probability_weighted(
+    const model::Instance& instance, std::span<const std::uint64_t> initial_weights);
+
+/// Lemma-4 normal approximation of P^D(G) (O(n) instead of the exact
+/// O(n²) DP); used by the evaluator when `approximate_tally` is set.
+double approx_direct_probability(const model::Instance& instance,
+                                 std::span<const std::uint64_t> initial_weights = {});
+
+/// Exact expected number of correct votes under direct voting (= Σ p_i).
+double exact_direct_mean_votes(const model::Instance& instance);
+
+/// Estimate P^M(G) by sampling delegation graphs.
+Estimate estimate_correct_probability(const mech::Mechanism& mechanism,
+                                      const model::Instance& instance, rng::Rng& rng,
+                                      const EvalOptions& options = {});
+
+/// Full gain report (P^M estimate, exact P^D, diagnostics).
+GainReport estimate_gain(const mech::Mechanism& mechanism,
+                         const model::Instance& instance, rng::Rng& rng,
+                         const EvalOptions& options = {});
+
+/// Variance decomposition of the correct-vote count under the mechanism.
+/// Requires a mechanism producing functional outcomes.
+VarianceReport estimate_variance(const mech::Mechanism& mechanism,
+                                 const model::Instance& instance, rng::Rng& rng,
+                                 const EvalOptions& options = {});
+
+/// Naive vote-sampling estimator of P^M (no exact inner step): the
+/// ablation baseline for the Rao–Blackwellised estimator above.
+Estimate estimate_correct_probability_naive(const mech::Mechanism& mechanism,
+                                            const model::Instance& instance,
+                                            rng::Rng& rng,
+                                            const EvalOptions& options = {});
+
+}  // namespace ld::election

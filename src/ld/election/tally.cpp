@@ -1,0 +1,186 @@
+#include "ld/election/tally.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "prob/normal.hpp"
+#include "prob/weighted_bernoulli_sum.hpp"
+#include "support/expect.hpp"
+
+namespace ld::election {
+
+using delegation::DelegationOutcome;
+using mech::ActionKind;
+using support::expects;
+
+namespace {
+
+/// Collect (weight, competency) pairs of the voting sinks.
+std::pair<std::vector<std::uint64_t>, std::vector<double>> sink_profile(
+    const DelegationOutcome& outcome, const model::CompetencyVector& p) {
+    std::vector<std::uint64_t> weights;
+    std::vector<double> probs;
+    const auto& w = outcome.weights();
+    for (graph::Vertex s : outcome.voting_sinks()) {
+        weights.push_back(w[s]);
+        probs.push_back(p[s]);
+    }
+    return {std::move(weights), std::move(probs)};
+}
+
+/// Realize every voter's effective vote (std::nullopt = abstained).
+/// Votes propagate along delegation arcs in topological order.
+std::vector<std::optional<bool>> realize_votes(const DelegationOutcome& outcome,
+                                               const model::CompetencyVector& p,
+                                               rng::Rng& rng) {
+    const std::size_t n = outcome.voter_count();
+    std::vector<std::optional<bool>> vote(n);
+    const auto order = outcome.as_digraph().topological_order();
+    // Process targets before sources: reverse topological order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const graph::Vertex v = *it;
+        const mech::Action& a = outcome.action(v);
+        switch (a.kind) {
+            case ActionKind::Abstain:
+                vote[v] = std::nullopt;
+                break;
+            case ActionKind::Vote:
+                vote[v] = rng.next_bernoulli(p[v]);
+                break;
+            case ActionKind::Delegate: {
+                // Weighted majority over the delegates' realized votes
+                // (§6's locally defined weight function; uniform when the
+                // action carries no weights).
+                double correct = 0.0, cast = 0.0;
+                for (std::size_t i = 0; i < a.targets.size(); ++i) {
+                    const graph::Vertex t = a.targets[i];
+                    if (t == v) continue;  // self-delegation = voting
+                    if (!vote[t].has_value()) continue;  // abstained delegate
+                    const double w =
+                        a.target_weights.empty() ? 1.0 : a.target_weights[i];
+                    cast += w;
+                    if (*vote[t]) correct += w;
+                }
+                if (cast == 0.0) {
+                    // Self-delegation, or every delegate abstained: fall
+                    // back to the voter's own competency draw.
+                    vote[v] = rng.next_bernoulli(p[v]);
+                } else if (correct * 2.0 == cast) {
+                    // Weighted tie: break with the voter's own draw.
+                    vote[v] = rng.next_bernoulli(p[v]);
+                } else {
+                    vote[v] = correct * 2.0 > cast;
+                }
+                break;
+            }
+        }
+    }
+    return vote;
+}
+
+}  // namespace
+
+double exact_correct_probability(const DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    auto [weights, probs] = sink_profile(outcome, p);
+    if (weights.empty()) return 0.0;  // nobody voted — cannot decide correctly
+    prob::WeightedBernoulliSum dist(weights, probs);
+    return dist.majority_probability();
+}
+
+double approx_correct_probability(const DelegationOutcome& outcome,
+                                  const model::CompetencyVector& p) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    auto [weights, probs] = sink_profile(outcome, p);
+    if (weights.empty()) return 0.0;
+    // The CLT needs many sinks; with few, the exact DP is cheap anyway
+    // (O(#sinks · W)) and avoids an O(1) bias (e.g. a dictator sink is a
+    // single Bernoulli, not a normal).
+    if (weights.size() <= 64) {
+        prob::WeightedBernoulliSum dist(weights, probs);
+        return dist.majority_probability();
+    }
+    double total = 0.0, mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const auto w = static_cast<double>(weights[i]);
+        total += w;
+        mean += w * probs[i];
+        var += w * w * probs[i] * (1.0 - probs[i]);
+    }
+    const double threshold = total / 2.0;
+    if (var <= 0.0) return mean > threshold ? 1.0 : 0.0;  // deterministic votes
+    // Continuity correction: S is integer-ish on the weight lattice; use
+    // half a unit, the standard correction for the unit-weight case.
+    return 1.0 - prob::normal_cdf(threshold + 0.5, mean, std::sqrt(var));
+}
+
+double conditional_vote_variance(const DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    const auto& w = outcome.weights();
+    double var = 0.0;
+    for (graph::Vertex s : outcome.voting_sinks()) {
+        const auto weight = static_cast<double>(w[s]);
+        var += weight * weight * p[s] * (1.0 - p[s]);
+    }
+    return var;
+}
+
+double conditional_vote_mean(const DelegationOutcome& outcome,
+                             const model::CompetencyVector& p) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    const auto& w = outcome.weights();
+    double mean = 0.0;
+    for (graph::Vertex s : outcome.voting_sinks()) {
+        mean += static_cast<double>(w[s]) * p[s];
+    }
+    return mean;
+}
+
+bool sample_outcome_correct(const DelegationOutcome& outcome,
+                            const model::CompetencyVector& p, rng::Rng& rng) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    if (outcome.functional()) {
+        // Fast path: draw the sinks only and use the weighted majority.
+        const auto& w = outcome.weights();
+        std::uint64_t correct = 0, cast = 0;
+        for (graph::Vertex s : outcome.voting_sinks()) {
+            cast += w[s];
+            if (rng.next_bernoulli(p[s])) correct += w[s];
+        }
+        return cast > 0 && correct * 2 > cast;
+    }
+    const auto vote = realize_votes(outcome, p, rng);
+    std::uint64_t correct = 0, cast = 0;
+    for (std::size_t v = 0; v < vote.size(); ++v) {
+        if (vote[v].has_value()) {
+            ++cast;
+            if (*vote[v]) ++correct;
+        }
+    }
+    return cast > 0 && correct * 2 > cast;
+}
+
+std::uint64_t sample_correct_vote_count(const DelegationOutcome& outcome,
+                                        const model::CompetencyVector& p,
+                                        rng::Rng& rng) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    if (outcome.functional()) {
+        const auto& w = outcome.weights();
+        std::uint64_t correct = 0;
+        for (graph::Vertex s : outcome.voting_sinks()) {
+            if (rng.next_bernoulli(p[s])) correct += w[s];
+        }
+        return correct;
+    }
+    const auto vote = realize_votes(outcome, p, rng);
+    std::uint64_t correct = 0;
+    for (const auto& v : vote) {
+        if (v.has_value() && *v) ++correct;
+    }
+    return correct;
+}
+
+}  // namespace ld::election

@@ -1,0 +1,61 @@
+// Tallying a realized delegation graph (paper §2.2 "Probability of Correct
+// Decision"): sinks vote independently with their competencies, the
+// decision is the weighted majority, ties lose (strict majority required).
+//
+// Two routes are provided:
+//  * exact  — the correct-decision probability conditioned on the realized
+//             delegation graph, via the weighted Poisson-binomial DP
+//             (removes one layer of Monte-Carlo noise);
+//  * sample — draw one realization of all votes; also the only route for
+//             the §6 multi-delegation extension, where a voter's effective
+//             vote is the majority of its delegates' realized votes.
+
+#pragma once
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/model/competency.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::election {
+
+/// Exact P[weighted majority correct | realized delegation graph].
+/// Requires a functional outcome.  If no votes are cast at all (everyone
+/// abstained), the decision cannot be correct and the result is 0.
+double exact_correct_probability(const delegation::DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p);
+
+/// Normal approximation of `exact_correct_probability`: P[S > W/2] for
+/// S ~ N(Σ w_i p_i, Σ w_i² p_i(1−p_i)) with continuity correction.
+/// Justified by the paper's Lemma 4 (CLT for the vote sum); error is
+/// O(1/√#sinks) (Berry–Esseen), so use it when the exact O(#sinks·W) DP is
+/// too expensive (W beyond ~10⁴).  Degenerate cases (no votes cast, zero
+/// variance) are handled exactly.
+double approx_correct_probability(const delegation::DelegationOutcome& outcome,
+                                  const model::CompetencyVector& p);
+
+/// Conditional variance of the correct-vote count S = Σ w_i x_i given the
+/// realized delegation graph: Σ w_i² p_i (1 − p_i).  Requires functional.
+double conditional_vote_variance(const delegation::DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p);
+
+/// Conditional mean of the correct-vote count: Σ w_i p_i.  Requires
+/// functional.
+double conditional_vote_mean(const delegation::DelegationOutcome& outcome,
+                             const model::CompetencyVector& p);
+
+/// Sample one full vote realization and return whether the weighted
+/// majority is correct.  Works for functional *and* multi-delegation
+/// outcomes: delegated votes propagate in topological order, a
+/// multi-delegator's effective vote is the majority over its targets'
+/// effective votes (targets that abstained are skipped; if every target
+/// abstained the voter falls back to their own competency draw).
+bool sample_outcome_correct(const delegation::DelegationOutcome& outcome,
+                            const model::CompetencyVector& p, rng::Rng& rng);
+
+/// Sample one realization and return the number of correct votes cast
+/// (each non-abstaining voter contributes one vote — for functional
+/// outcomes this equals the weighted sink sum).
+std::uint64_t sample_correct_vote_count(const delegation::DelegationOutcome& outcome,
+                                        const model::CompetencyVector& p, rng::Rng& rng);
+
+}  // namespace ld::election

@@ -1,0 +1,136 @@
+#include "ld/experiments/adversarial.hpp"
+
+#include <algorithm>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::experiments {
+
+using support::expects;
+
+namespace {
+
+/// Evaluate the gain of a candidate competency vector.
+double gain_of(const mech::Mechanism& mechanism, const graph::Graph& graph,
+               double alpha, const model::CompetencyVector& p, rng::Rng& rng,
+               const election::EvalOptions& eval) {
+    model::Instance instance(graph, p, alpha);
+    const auto report = election::estimate_gain(mechanism, instance, rng, eval);
+    return report.gain;
+}
+
+/// Draw a uniform competency vector inside the box, resampling until the
+/// constraint (if any) accepts it.  Gives up after a bounded number of
+/// tries to avoid hanging on infeasible constraints.
+std::vector<double> initial_point(const AdversaryOptions& options, std::size_t n,
+                                  rng::Rng& rng) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        std::vector<double> p(n);
+        for (auto& x : p) {
+            x = rng::uniform_real(rng, options.competency_lo, options.competency_hi);
+        }
+        if (!options.constraint || options.constraint(model::CompetencyVector(p))) {
+            return p;
+        }
+    }
+    throw support::ContractViolation(
+        "find_worst_competencies: constraint rejected 200 random starts");
+}
+
+}  // namespace
+
+AdversaryResult find_worst_competencies(const mech::Mechanism& mechanism,
+                                        const graph::Graph& graph, double alpha,
+                                        rng::Rng& rng,
+                                        const AdversaryOptions& options) {
+    expects(graph.vertex_count() >= 1, "find_worst_competencies: empty graph");
+    expects(options.restarts >= 1 && options.steps >= 1,
+            "find_worst_competencies: need at least one restart and step");
+    expects(options.competency_lo >= 0.0 && options.competency_hi <= 1.0 &&
+                options.competency_lo < options.competency_hi,
+            "find_worst_competencies: bad competency box");
+
+    const std::size_t n = graph.vertex_count();
+    AdversaryResult result;
+    result.worst_gain = 2.0;  // above any feasible gain
+
+    for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+        std::vector<double> current = initial_point(options, n, rng);
+        double current_gain = gain_of(mechanism, graph, alpha,
+                                      model::CompetencyVector(current), rng,
+                                      options.eval);
+        ++result.evaluations;
+
+        for (std::size_t step = 0; step < options.steps; ++step) {
+            std::vector<double> candidate = current;
+            // Three move types.  Besides local batch nudges, two
+            // structured "variance manipulation" moves mirror the paper's
+            // failure modes: contracting the crowd towards its mean (kills
+            // the direct-voting margin) and boosting the current best
+            // voter (builds a dictator).
+            const std::uint64_t move = rng.next_below(4);
+            if (move == 0) {
+                // Contraction: p_i ← m + λ(p_i − m).
+                double mean = 0.0;
+                for (double x : candidate) mean += x;
+                mean /= static_cast<double>(n);
+                const double lambda = rng::uniform_real(rng, 0.3, 0.9);
+                for (double& x : candidate) {
+                    x = std::clamp(mean + lambda * (x - mean), options.competency_lo,
+                                   options.competency_hi);
+                }
+            } else if (move == 1) {
+                // Leader boost: push the current maximum towards the box top.
+                const auto best_it = std::max_element(candidate.begin(), candidate.end());
+                *best_it = std::clamp(*best_it + rng::uniform_real(rng, 0.0, 0.3),
+                                      options.competency_lo, options.competency_hi);
+            } else if (move == 2) {
+                // Global shift: slide the whole electorate's mean — the
+                // direct-voting margin knob.
+                const double shift =
+                    rng::uniform_real(rng, -options.step_size, options.step_size);
+                for (double& x : candidate) {
+                    x = std::clamp(x + shift, options.competency_lo,
+                                   options.competency_hi);
+                }
+            } else {
+                // Local nudge of a random batch of voters.
+                const std::size_t batch = std::min(options.batch, n);
+                for (std::size_t idx :
+                     rng::sample_without_replacement(rng, n, batch)) {
+                    const double nudge =
+                        rng::uniform_real(rng, -options.step_size, options.step_size);
+                    candidate[idx] = std::clamp(candidate[idx] + nudge,
+                                                options.competency_lo,
+                                                options.competency_hi);
+                }
+            }
+            model::CompetencyVector candidate_vec(candidate);
+            if (options.constraint && !options.constraint(candidate_vec)) continue;
+            const double candidate_gain =
+                gain_of(mechanism, graph, alpha, candidate_vec, rng, options.eval);
+            ++result.evaluations;
+            if (candidate_gain < current_gain) {  // descending on gain
+                current = std::move(candidate);
+                current_gain = candidate_gain;
+            }
+        }
+        if (current_gain < result.worst_gain) {
+            result.worst_gain = current_gain;
+            result.worst_competencies = model::CompetencyVector(current);
+        }
+    }
+    // Final precise evaluation of the winner.
+    model::Instance worst(graph, result.worst_competencies, alpha);
+    auto precise = options.eval;
+    precise.replications = std::max<std::size_t>(precise.replications * 4, 64);
+    rng::Rng fresh = rng.split();
+    const auto report = election::estimate_gain(mechanism, worst, fresh, precise);
+    result.worst_gain = report.gain;
+    result.pd = report.pd;
+    result.pm = report.pm.value;
+    return result;
+}
+
+}  // namespace ld::experiments

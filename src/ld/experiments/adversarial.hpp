@@ -1,0 +1,60 @@
+// Adversarial instance search: a falsification harness for the paper's
+// universally-quantified claims.
+//
+// Strong positive gain (Definition 5) asserts gain >= γ for *all* large
+// instances in a class satisfying the delegate restriction; do-no-harm
+// bounds the loss over *all* instances.  A simulator can never prove a
+// ∀-statement, but it can attack it: this module hill-climbs over
+// competency vectors (and optionally re-randomises the graph) to find the
+// instance with the *worst* gain for a given mechanism and graph class.
+// The benches report the worst instance found; surviving the attack is
+// evidence for the theorem, a counterexample is a red flag (as it is for
+// the star, which this harness finds immediately).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::experiments {
+
+/// Search configuration.
+struct AdversaryOptions {
+    std::size_t restarts = 4;         ///< independent random restarts
+    std::size_t steps = 60;           ///< hill-climbing steps per restart
+    std::size_t batch = 8;            ///< voters perturbed per step
+    double step_size = 0.15;          ///< max per-voter competency nudge
+    double competency_lo = 0.02;      ///< competency box lower bound
+    double competency_hi = 0.98;      ///< competency box upper bound
+    /// Optional predicate the perturbed competency vector must satisfy
+    /// (e.g. the PC restriction, bounded competency).  Rejecting moves
+    /// keeps the search inside the theorem's instance class.
+    std::function<bool(const model::CompetencyVector&)> constraint;
+    election::EvalOptions eval{};     ///< evaluation per candidate
+};
+
+/// The worst instance found.
+struct AdversaryResult {
+    double worst_gain = 1.0;
+    double pd = 0.0;
+    double pm = 0.0;
+    model::CompetencyVector worst_competencies;
+    std::size_t evaluations = 0;
+};
+
+/// Minimise gain(M, (graph, p, alpha)) over competency vectors p by
+/// random-restart hill climbing.  The graph is fixed; the initial point of
+/// each restart is uniform in the competency box (projected through the
+/// constraint by resampling).
+AdversaryResult find_worst_competencies(const mech::Mechanism& mechanism,
+                                        const graph::Graph& graph, double alpha,
+                                        rng::Rng& rng,
+                                        const AdversaryOptions& options = {});
+
+}  // namespace ld::experiments

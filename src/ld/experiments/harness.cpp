@@ -1,0 +1,63 @@
+#include "ld/experiments/harness.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "support/expect.hpp"
+
+namespace ld::experiments {
+
+using support::expects;
+
+std::uint64_t stable_seed(const std::string& key) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : key) {
+        hash ^= ch;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+Experiment::Experiment(std::string id, std::string title,
+                       std::vector<std::string> headers, int precision)
+    : id_(std::move(id)), title_(std::move(title)),
+      table_(headers, precision), seed_(stable_seed(id_)) {
+    if (const char* dir = std::getenv("LIQUIDD_CSV_DIR")) {
+        csv_ = std::make_unique<support::CsvWriter>(std::string(dir) + "/" + id_ + ".csv",
+                                                    std::move(headers));
+    }
+}
+
+void Experiment::add_row(std::vector<support::Cell> cells) {
+    if (csv_) csv_->add_row(cells);
+    table_.add_row(std::move(cells));
+}
+
+void Experiment::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Experiment::finish() {
+    std::cout << "\n=== [" << id_ << "] " << title_ << " ===\n";
+    table_.print(std::cout);
+    for (const auto& note : notes_) std::cout << "  * " << note << '\n';
+    std::cout << "  (" << table_.row_count() << " rows, "
+              << stopwatch_.elapsed_seconds() << " s, seed 0x" << std::hex << seed_
+              << std::dec << ")\n";
+    if (csv_) csv_->close();
+    std::cout.flush();
+}
+
+std::vector<std::size_t> size_ladder(std::size_t start, double factor,
+                                     std::size_t limit, std::size_t max_points) {
+    expects(start >= 1, "size_ladder: start must be >= 1");
+    expects(factor > 1.0, "size_ladder: factor must exceed 1");
+    std::vector<std::size_t> sizes;
+    double value = static_cast<double>(start);
+    while (sizes.size() < max_points && static_cast<std::size_t>(value) <= limit) {
+        const auto v = static_cast<std::size_t>(value);
+        if (sizes.empty() || v != sizes.back()) sizes.push_back(v);
+        value *= factor;
+    }
+    return sizes;
+}
+
+}  // namespace ld::experiments

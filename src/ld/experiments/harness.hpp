@@ -1,0 +1,62 @@
+// Shared infrastructure for the experiment binaries in bench/: every
+// experiment prints a titled, aligned table of sweep results (the
+// regenerated paper figure/claim) and can mirror the rows to CSV when
+// LIQUIDD_CSV_DIR is set.  Seeding is explicit so every run is
+// reproducible bit-for-bit.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "support/csv_writer.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table_printer.hpp"
+
+namespace ld::experiments {
+
+/// One experiment's result table, CSV mirror, and timing.
+class Experiment {
+public:
+    /// `id` — the DESIGN.md experiment id (e.g. "F1", "E-T2"); `title` —
+    /// what the table shows; `headers` — column names.
+    Experiment(std::string id, std::string title, std::vector<std::string> headers,
+               int precision = 4);
+
+    /// Append one row (width must match the headers).
+    void add_row(std::vector<support::Cell> cells);
+
+    /// Free-form annotation printed under the table (paper claim, verdict).
+    void add_note(std::string note);
+
+    /// Print everything to stdout (and flush the CSV mirror, if any).
+    void finish();
+
+    /// Deterministic per-experiment master seed.
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Fresh generator derived from the experiment id (stable across runs).
+    rng::Rng make_rng() const { return rng::Rng(seed_); }
+
+private:
+    std::string id_;
+    std::string title_;
+    support::TablePrinter table_;
+    std::unique_ptr<support::CsvWriter> csv_;
+    std::vector<std::string> notes_;
+    support::Stopwatch stopwatch_;
+    std::uint64_t seed_;
+};
+
+/// FNV-1a hash of a string — the deterministic experiment-id → seed map.
+std::uint64_t stable_seed(const std::string& key);
+
+/// Geometric size ladder: start, start·factor, … capped at `limit`
+/// (inclusive), at most `max_points` entries.
+std::vector<std::size_t> size_ladder(std::size_t start, double factor,
+                                     std::size_t limit, std::size_t max_points = 16);
+
+}  // namespace ld::experiments

@@ -1,0 +1,105 @@
+#include "ld/experiments/workloads.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "ld/model/competency_gen.hpp"
+
+namespace ld::experiments {
+
+model::Instance complete_pc_instance(rng::Rng& rng, std::size_t n, double alpha, double a,
+                                     double spread) {
+    return model::Instance(graph::make_complete(n),
+                           model::pc_competencies(rng, n, a, spread), alpha);
+}
+
+model::Instance star_instance(std::size_t n, double centre, double leaf, double alpha) {
+    return model::Instance(graph::make_star(n),
+                           model::star_competencies(n, centre, leaf), alpha);
+}
+
+model::Instance figure2_instance() {
+    return model::Instance(graph::make_complete(9), model::figure2_competencies(), 0.01);
+}
+
+model::Instance d_regular_instance(rng::Rng& rng, std::size_t n, std::size_t d,
+                                   double alpha, double a, double spread) {
+    return model::Instance(graph::make_random_d_regular(rng, n, d),
+                           model::pc_competencies(rng, n, a, spread), alpha);
+}
+
+model::Instance bounded_degree_instance(rng::Rng& rng, std::size_t n,
+                                        std::size_t max_degree, double alpha, double lo,
+                                        double hi) {
+    // Aim for a dense-as-allowed graph under the cap: n·max_degree/4 edges.
+    const std::size_t target_edges = n * max_degree / 4;
+    return model::Instance(graph::make_bounded_degree(rng, n, max_degree, target_edges),
+                           model::uniform_competencies(rng, n, lo, hi), alpha);
+}
+
+model::Instance min_degree_instance(rng::Rng& rng, std::size_t n, std::size_t min_degree,
+                                    double alpha, double lo, double hi) {
+    return model::Instance(graph::make_min_degree_at_least(rng, n, min_degree),
+                           model::uniform_competencies(rng, n, lo, hi), alpha);
+}
+
+model::Instance barabasi_instance(rng::Rng& rng, std::size_t n, std::size_t m,
+                                  double alpha, double lo, double hi) {
+    return model::Instance(graph::make_barabasi_albert(rng, n, m),
+                           model::uniform_competencies(rng, n, lo, hi), alpha);
+}
+
+model::Instance two_tier_instance(rng::Rng& rng, std::size_t n, std::size_t hubs,
+                                  double hub_p, double leaf_p, double alpha) {
+    std::vector<double> p(n, leaf_p);
+    for (std::size_t h = 0; h < hubs && h < n; ++h) p[h] = hub_p;
+    return model::Instance(graph::make_two_tier(rng, n, hubs, 1),
+                           model::CompetencyVector(std::move(p)), alpha);
+}
+
+dnh::InstanceFamily complete_pc_family(double alpha, double a, double spread) {
+    return [=](std::size_t n, rng::Rng& rng) {
+        return complete_pc_instance(rng, n, alpha, a, spread);
+    };
+}
+
+dnh::InstanceFamily star_family(double centre, double leaf, double alpha) {
+    return [=](std::size_t n, rng::Rng&) { return star_instance(n, centre, leaf, alpha); };
+}
+
+dnh::InstanceFamily d_regular_family(std::size_t d, double alpha, double a,
+                                     double spread) {
+    return [=](std::size_t n, rng::Rng& rng) {
+        // Keep n·d even so the configuration model is well defined.
+        const std::size_t n_adj = (n * d) % 2 == 0 ? n : n + 1;
+        return d_regular_instance(rng, n_adj, d, alpha, a, spread);
+    };
+}
+
+dnh::InstanceFamily bounded_degree_family(double degree_exponent, double alpha, double lo,
+                                          double hi) {
+    return [=](std::size_t n, rng::Rng& rng) {
+        const auto cap = std::max<std::size_t>(
+            2, static_cast<std::size_t>(
+                   std::floor(std::pow(static_cast<double>(n), degree_exponent))));
+        return bounded_degree_instance(rng, n, cap, alpha, lo, hi);
+    };
+}
+
+dnh::InstanceFamily min_degree_family(double degree_exponent, double alpha, double lo,
+                                      double hi) {
+    return [=](std::size_t n, rng::Rng& rng) {
+        const auto floor_deg = std::max<std::size_t>(
+            2, static_cast<std::size_t>(
+                   std::floor(std::pow(static_cast<double>(n), degree_exponent))));
+        return min_degree_instance(rng, n, floor_deg, alpha, lo, hi);
+    };
+}
+
+dnh::InstanceFamily barabasi_family(std::size_t m, double alpha, double lo, double hi) {
+    return [=](std::size_t n, rng::Rng& rng) {
+        return barabasi_instance(rng, n, m, alpha, lo, hi);
+    };
+}
+
+}  // namespace ld::experiments

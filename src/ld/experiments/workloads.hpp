@@ -1,0 +1,58 @@
+// Named instance families used across benches, tests, and examples — the
+// concrete workloads behind each experiment id in DESIGN.md §4.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/dnh/verdicts.hpp"  // InstanceFamily
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::experiments {
+
+/// K_n with PC = a competencies drawn uniform around 1/2 + a (E-T2).
+model::Instance complete_pc_instance(rng::Rng& rng, std::size_t n, double alpha, double a,
+                                     double spread);
+
+/// Figure 1's star: centre 0 at competency `centre`, leaves at `leaf`.
+model::Instance star_instance(std::size_t n, double centre, double leaf, double alpha);
+
+/// The fixed 9-voter instance of Figure 2 (complete awareness graph,
+/// α = 0.01).
+model::Instance figure2_instance();
+
+/// Random d-regular graph with PC = a competencies (E-T3).
+model::Instance d_regular_instance(rng::Rng& rng, std::size_t n, std::size_t d,
+                                   double alpha, double a, double spread);
+
+/// Bounded-maximum-degree random graph with uniform competencies (E-T4).
+model::Instance bounded_degree_instance(rng::Rng& rng, std::size_t n,
+                                        std::size_t max_degree, double alpha, double lo,
+                                        double hi);
+
+/// Bounded-minimum-degree random graph with uniform competencies (E-T5).
+model::Instance min_degree_instance(rng::Rng& rng, std::size_t n, std::size_t min_degree,
+                                    double alpha, double lo, double hi);
+
+/// Barabási–Albert graph with uniform competencies (X3).
+model::Instance barabasi_instance(rng::Rng& rng, std::size_t n, std::size_t m,
+                                  double alpha, double lo, double hi);
+
+/// Two-tier hub/leaf graph: hubs highly competent, leaves mediocre —
+/// the generalized star used in variance-collapse demos (E-VAR).
+model::Instance two_tier_instance(rng::Rng& rng, std::size_t n, std::size_t hubs,
+                                  double hub_p, double leaf_p, double alpha);
+
+/// Families (size ↦ instance) wrapping the factories above with fixed
+/// parameters, for the desiderata checks in ld/dnh/verdicts.hpp.
+dnh::InstanceFamily complete_pc_family(double alpha, double a, double spread);
+dnh::InstanceFamily star_family(double centre, double leaf, double alpha);
+dnh::InstanceFamily d_regular_family(std::size_t d, double alpha, double a, double spread);
+dnh::InstanceFamily bounded_degree_family(double degree_exponent, double alpha, double lo,
+                                          double hi);
+dnh::InstanceFamily min_degree_family(double degree_exponent, double alpha, double lo,
+                                      double hi);
+dnh::InstanceFamily barabasi_family(std::size_t m, double alpha, double lo, double hi);
+
+}  // namespace ld::experiments

@@ -1,0 +1,143 @@
+#include "ld/game/delegation_game.hpp"
+
+#include <algorithm>
+
+#include "ld/election/evaluator.hpp"
+#include "ld/election/tally.hpp"
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::game {
+
+using support::expects;
+
+namespace {
+
+std::vector<mech::Action> profile_actions(const Profile& profile) {
+    std::vector<mech::Action> actions;
+    actions.reserve(profile.size());
+    for (graph::Vertex v = 0; v < profile.size(); ++v) {
+        if (profile[v] == v) {
+            actions.push_back(mech::Action::vote());
+        } else {
+            actions.push_back(mech::Action::delegate_to(profile[v]));
+        }
+    }
+    return actions;
+}
+
+/// Utility of `voter` at `profile` (profile must be cycle-free, which
+/// approval-respecting strategies guarantee).
+double utility_of(const model::Instance& instance, const Profile& profile,
+                  graph::Vertex voter, Utility utility) {
+    const delegation::DelegationOutcome outcome(profile_actions(profile));
+    if (utility == Utility::Cooperative) {
+        return election::exact_correct_probability(outcome, instance.competencies());
+    }
+    const graph::Vertex sink = outcome.sink_of(voter);
+    if (sink == delegation::DelegationOutcome::kNoSink) return 0.0;
+    return instance.competency(sink);
+}
+
+}  // namespace
+
+delegation::DelegationOutcome realize_profile(const model::Instance& instance,
+                                              const Profile& profile) {
+    expects(profile.size() == instance.voter_count(),
+            "realize_profile: one strategy per voter required");
+    for (graph::Vertex v = 0; v < profile.size(); ++v) {
+        const graph::Vertex t = profile[v];
+        expects(t < profile.size(), "realize_profile: strategy out of range");
+        if (t != v) {
+            expects(instance.competency(v) + instance.alpha() <=
+                        instance.competency(t),
+                    "realize_profile: delegation to a non-approved voter");
+            expects(instance.graph().has_edge(v, t),
+                    "realize_profile: delegation outside the neighbourhood");
+        }
+    }
+    return delegation::DelegationOutcome(profile_actions(profile));
+}
+
+EquilibriumResult best_response_dynamics(const model::Instance& instance,
+                                         rng::Rng& rng, const GameOptions& options) {
+    const std::size_t n = instance.voter_count();
+    expects(n >= 1, "best_response_dynamics: empty instance");
+    expects(options.max_rounds >= 1, "best_response_dynamics: need at least one round");
+
+    EquilibriumResult result;
+    result.profile.resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) result.profile[v] = v;  // all vote
+
+    // Precompute approval sets once: the strategy space per voter.
+    std::vector<std::vector<graph::Vertex>> choices(n);
+    for (graph::Vertex v = 0; v < n; ++v) choices[v] = instance.approved_neighbours(v);
+
+    std::vector<graph::Vertex> order(n);
+    for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+
+    for (std::size_t round = 0; round < options.max_rounds; ++round) {
+        ++result.rounds;
+        if (options.random_order) rng::shuffle(rng, order);
+        bool changed = false;
+        for (graph::Vertex v : order) {
+            const graph::Vertex current = result.profile[v];
+            double best_utility = utility_of(instance, result.profile, v,
+                                             options.utility);
+            graph::Vertex best_choice = current;
+            // Candidate: vote directly (if not already).
+            const auto consider = [&](graph::Vertex candidate) {
+                if (candidate == best_choice) return;
+                Profile trial = result.profile;
+                trial[v] = candidate;
+                const double u = utility_of(instance, trial, v, options.utility);
+                if (u > best_utility + options.improvement_epsilon) {
+                    best_utility = u;
+                    best_choice = candidate;
+                }
+            };
+            consider(v);
+            for (graph::Vertex t : choices[v]) consider(t);
+            if (best_choice != current) {
+                result.profile[v] = best_choice;
+                ++result.deviations;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    const auto outcome = realize_profile(instance, result.profile);
+    result.group_correct_probability =
+        election::exact_correct_probability(outcome, instance.competencies());
+    result.gain_vs_direct =
+        result.group_correct_probability - election::exact_direct_probability(instance);
+    result.stats = outcome.stats();
+    return result;
+}
+
+bool is_equilibrium(const model::Instance& instance, const Profile& profile,
+                    Utility utility, double improvement_epsilon) {
+    expects(profile.size() == instance.voter_count(),
+            "is_equilibrium: one strategy per voter required");
+    for (graph::Vertex v = 0; v < profile.size(); ++v) {
+        const double current = utility_of(instance, profile, v, utility);
+        const auto try_deviation = [&](graph::Vertex candidate) {
+            if (candidate == profile[v]) return false;
+            Profile trial = profile;
+            trial[v] = candidate;
+            return utility_of(instance, trial, v, utility) >
+                   current + improvement_epsilon;
+        };
+        if (try_deviation(v)) return false;
+        for (graph::Vertex t : instance.approved_neighbours(v)) {
+            if (try_deviation(t)) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace ld::game

@@ -1,0 +1,75 @@
+// Rational delegation (the paper's §1.2 "further upfield" related work:
+// Bloembergen–Grossi–Lackner, Zhang–Grossi): voters are strategic rather
+// than mechanism-driven.  Each voter chooses an action — vote directly, or
+// delegate to an approved neighbour — to maximise a utility, and we run
+// best-response dynamics to a pure Nash equilibrium.
+//
+// Two utilities bracket the space:
+//  * Selfish  — a voter maximises the competency of the sink that ends up
+//    holding their vote ("my vote should be cast well").  Best responses
+//    chase the most competent reachable guru, so equilibria concentrate
+//    weight — the game-theoretic route to the paper's dictatorship harm.
+//  * Cooperative — a voter maximises the group's probability of deciding
+//    correctly (the paper's objective).  Equilibria balance competence
+//    against the variance loss of concentration.
+//
+// Comparing equilibrium gain against the paper's simple local mechanisms
+// (bench_game) quantifies the price of anarchy of liquid democracy.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::game {
+
+/// What each strategic voter maximises.
+enum class Utility {
+    Selfish,      ///< competency of the sink holding my vote
+    Cooperative,  ///< exact P[group decides correctly]
+};
+
+/// A pure strategy profile: for each voter, either "vote" (encoded as the
+/// voter's own id) or the approved neighbour they delegate to.
+using Profile = std::vector<graph::Vertex>;
+
+/// Result of best-response dynamics.
+struct EquilibriumResult {
+    Profile profile;            ///< final strategy profile
+    bool converged = false;     ///< true iff no voter wants to deviate
+    std::size_t rounds = 0;     ///< full passes over the voters
+    std::size_t deviations = 0; ///< total strategy changes applied
+    double group_correct_probability = 0.0;  ///< exact P[correct] at the profile
+    double gain_vs_direct = 0.0;             ///< vs exact P^D
+    delegation::DelegationStats stats{};     ///< delegation shape at the profile
+};
+
+/// Options for the dynamics.
+struct GameOptions {
+    Utility utility = Utility::Selfish;
+    std::size_t max_rounds = 64;   ///< passes over all voters before giving up
+    bool random_order = true;      ///< shuffle the update order each round
+    /// Minimum utility improvement required to deviate (hysteresis that
+    /// guarantees termination of cooperative dynamics despite exact ties).
+    double improvement_epsilon = 1e-12;
+};
+
+/// Convert a profile into a delegation outcome (self-id = vote).
+delegation::DelegationOutcome realize_profile(const model::Instance& instance,
+                                              const Profile& profile);
+
+/// Run best-response dynamics from the all-vote profile.
+EquilibriumResult best_response_dynamics(const model::Instance& instance,
+                                         rng::Rng& rng,
+                                         const GameOptions& options = {});
+
+/// Check whether `profile` is a pure Nash equilibrium under `utility`
+/// (no voter can strictly improve by more than `improvement_epsilon`).
+bool is_equilibrium(const model::Instance& instance, const Profile& profile,
+                    Utility utility, double improvement_epsilon = 1e-12);
+
+}  // namespace ld::game

@@ -1,0 +1,28 @@
+#include "ld/mech/abstaining.hpp"
+
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+Abstaining::Abstaining(const Mechanism& inner, double abstain_prob)
+    : inner_(&inner), abstain_prob_(abstain_prob) {
+    expects(abstain_prob_ >= 0.0 && abstain_prob_ <= 1.0,
+            "Abstaining: probability out of [0,1]");
+}
+
+std::string Abstaining::name() const {
+    return "Abstaining(p=" + std::to_string(abstain_prob_) + ", " + inner_->name() + ")";
+}
+
+Action Abstaining::act(const model::Instance& instance, graph::Vertex v,
+                       rng::Rng& rng) const {
+    Action inner_action = inner_->act(instance, v, rng);
+    if (inner_action.kind == ActionKind::Delegate && rng.next_bernoulli(abstain_prob_)) {
+        return Action::abstain();
+    }
+    return inner_action;
+}
+
+}  // namespace ld::mech

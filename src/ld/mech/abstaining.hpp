@@ -1,0 +1,37 @@
+// §6 "Vote Abstaining" extension: a voter may abstain *only if they could
+// delegate* (decision-agnostic voters).  This wrapper takes any inner
+// mechanism; whenever the inner mechanism decides to delegate, the voter
+// instead abstains with probability `abstain_prob`.  Voters the inner
+// mechanism sends to direct voting never abstain — this is precisely the
+// restriction the paper imposes to keep DNH intact (footnote 4).
+
+#pragma once
+
+#include <memory>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Wraps a mechanism with the paper's restricted abstention model.
+class Abstaining final : public Mechanism {
+public:
+    /// `inner` must outlive this wrapper; `abstain_prob` in [0, 1].
+    Abstaining(const Mechanism& inner, double abstain_prob);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    bool may_abstain() const override { return true; }
+    bool multi_delegation() const override { return inner_->multi_delegation(); }
+
+    double abstain_probability() const noexcept { return abstain_prob_; }
+
+private:
+    const Mechanism* inner_;
+    double abstain_prob_;
+};
+
+}  // namespace ld::mech

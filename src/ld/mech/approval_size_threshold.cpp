@@ -1,0 +1,28 @@
+#include "ld/mech/approval_size_threshold.hpp"
+
+#include <algorithm>
+
+#include "rng/sampling.hpp"
+
+namespace ld::mech {
+
+ApprovalSizeThreshold::ApprovalSizeThreshold(std::size_t threshold)
+    : threshold_(std::max<std::size_t>(threshold, 1)) {}
+
+std::string ApprovalSizeThreshold::name() const {
+    return "ApprovalSizeThreshold(j=" + std::to_string(threshold_) + ")";
+}
+
+Action ApprovalSizeThreshold::act(const model::Instance& instance, graph::Vertex v,
+                                  rng::Rng& rng) const {
+    const auto approved = instance.approved_neighbours(v);
+    if (approved.size() < threshold_) return Action::vote();
+    return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+}
+
+std::optional<double> ApprovalSizeThreshold::vote_directly_probability(
+    const model::Instance& instance, graph::Vertex v) const {
+    return instance.approved_neighbours(v).size() < threshold_ ? 1.0 : 0.0;
+}
+
+}  // namespace ld::mech

@@ -1,0 +1,21 @@
+#include "ld/mech/best_neighbour.hpp"
+
+namespace ld::mech {
+
+Action BestNeighbour::act(const model::Instance& instance, graph::Vertex v,
+                          rng::Rng&) const {
+    const auto approved = instance.approved_neighbours(v);
+    if (approved.empty()) return Action::vote();
+    graph::Vertex best = approved.front();
+    for (graph::Vertex w : approved) {
+        if (instance.competency(w) > instance.competency(best)) best = w;
+    }
+    return Action::delegate_to(best);
+}
+
+std::optional<double> BestNeighbour::vote_directly_probability(
+    const model::Instance& instance, graph::Vertex v) const {
+    return instance.approved_neighbours(v).empty() ? 1.0 : 0.0;
+}
+
+}  // namespace ld::mech

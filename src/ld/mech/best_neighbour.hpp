@@ -1,0 +1,26 @@
+// The "dictator-prone" mechanism used in the Figure 1 star counterexample:
+// a voter with any approved neighbour delegates to the *most competent*
+// one (the paper permits local mechanisms to use an arbitrary ranking over
+// the approval set).  On a star this concentrates all weight on the centre
+// — exactly the failure mode whose loss the paper quantifies as 1/4.
+
+#pragma once
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Delegate to the highest-competency approved neighbour (ties → lowest
+/// vertex id); vote directly when no neighbour is approved.
+class BestNeighbour final : public Mechanism {
+public:
+    std::string name() const override { return "BestNeighbour"; }
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    std::optional<double> vote_directly_probability(const model::Instance& instance,
+                                                    graph::Vertex v) const override;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,41 @@
+#include "ld/mech/capped_target.hpp"
+
+#include <algorithm>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+CappedTarget::CappedTarget(std::size_t degree_cap) : degree_cap_(degree_cap) {
+    expects(degree_cap_ >= 1, "CappedTarget: cap must be at least 1");
+}
+
+std::string CappedTarget::name() const {
+    return "CappedTarget(cap=" + std::to_string(degree_cap_) + ")";
+}
+
+std::vector<graph::Vertex> CappedTarget::eligible_targets(
+    const model::Instance& instance, graph::Vertex v) const {
+    auto approved = instance.approved_neighbours(v);
+    std::erase_if(approved, [&](graph::Vertex t) {
+        return instance.graph().degree(t) > degree_cap_;
+    });
+    return approved;
+}
+
+Action CappedTarget::act(const model::Instance& instance, graph::Vertex v,
+                         rng::Rng& rng) const {
+    const auto targets = eligible_targets(instance, v);
+    if (targets.empty()) return Action::vote();
+    return Action::delegate_to(targets[rng::uniform_index(rng, targets.size())]);
+}
+
+std::optional<double> CappedTarget::vote_directly_probability(
+    const model::Instance& instance, graph::Vertex v) const {
+    return eligible_targets(instance, v).empty() ? 1.0 : 0.0;
+}
+
+}  // namespace ld::mech

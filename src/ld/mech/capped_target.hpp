@@ -1,0 +1,38 @@
+// A practical mechanism implementing the Lemma 5 max-weight condition from
+// the delegator's side: delegate to a uniformly random approved neighbour
+// whose *degree* is at most `degree_cap`.  High-degree voters are the ones
+// that accumulate weight (every neighbour may route votes to them), so
+// refusing to delegate into hubs caps the expected sink weight — the lever
+// the paper suggests real deployments (DAOs, §6) should enforce.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Delegate to a random approved neighbour of degree <= degree_cap; vote
+/// directly when no such neighbour exists.
+class CappedTarget final : public Mechanism {
+public:
+    explicit CappedTarget(std::size_t degree_cap);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    std::optional<double> vote_directly_probability(const model::Instance& instance,
+                                                    graph::Vertex v) const override;
+
+    std::size_t degree_cap() const noexcept { return degree_cap_; }
+
+private:
+    std::vector<graph::Vertex> eligible_targets(const model::Instance& instance,
+                                                graph::Vertex v) const;
+    std::size_t degree_cap_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,60 @@
+#include "ld/mech/d_out_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+DOutSampling::DOutSampling(std::size_t d, std::size_t threshold, SampleSource source)
+    : d_(d), threshold_(std::max<std::size_t>(1, threshold)), source_(source) {
+    expects(d_ >= 1, "DOutSampling: d must be >= 1");
+    expects(threshold_ <= d_, "DOutSampling: threshold cannot exceed d");
+}
+
+DOutSampling DOutSampling::with_fraction(std::size_t d, double fraction,
+                                         SampleSource source) {
+    expects(fraction > 0.0 && fraction <= 1.0, "DOutSampling: fraction out of (0,1]");
+    const auto j = static_cast<std::size_t>(std::floor(fraction * static_cast<double>(d)));
+    return DOutSampling(d, std::max<std::size_t>(1, j), source);
+}
+
+std::string DOutSampling::name() const {
+    return "Algorithm2(d=" + std::to_string(d_) + ",j=" + std::to_string(threshold_) +
+           (source_ == SampleSource::Population ? ",population" : ",neighbourhood") + ")";
+}
+
+Action DOutSampling::act(const model::Instance& instance, graph::Vertex v,
+                         rng::Rng& rng) const {
+    const auto& p = instance.competencies();
+    const double own = p[v];
+    const double alpha = instance.alpha();
+
+    std::vector<graph::Vertex> approved;
+    if (source_ == SampleSource::Population) {
+        const std::size_t n = instance.voter_count();
+        if (n <= 1) return Action::vote();
+        const std::size_t take = std::min(d_, n - 1);
+        // Sample `take` distinct voters other than v.
+        for (std::size_t t : rng::sample_without_replacement(rng, n - 1, take)) {
+            const auto u = static_cast<graph::Vertex>(t < v ? t : t + 1);
+            if (own + alpha <= p[u]) approved.push_back(u);
+        }
+    } else {
+        const auto nbrs = instance.graph().neighbours(v);
+        if (nbrs.empty()) return Action::vote();
+        const std::size_t take = std::min(d_, nbrs.size());
+        for (std::size_t t : rng::sample_without_replacement(rng, nbrs.size(), take)) {
+            const graph::Vertex u = nbrs[t];
+            if (own + alpha <= p[u]) approved.push_back(u);
+        }
+    }
+    if (approved.size() < threshold_) return Action::vote();
+    return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+}
+
+}  // namespace ld::mech

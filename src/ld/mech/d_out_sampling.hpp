@@ -1,0 +1,53 @@
+// Algorithm 2 (paper §4.2): the Rand(n, d) mechanism.  Each voter samples
+// d random voters, keeps the approved ones, and — if at least j(d) of the
+// sampled voters are approved — delegates to a uniformly random approved
+// sample; otherwise votes directly.
+//
+// Two sampling modes are provided:
+//  * Population — the literal Algorithm 2: the d samples are drawn from all
+//    voters, i.e. graph creation and delegation happen together (the paper
+//    notes Rand(n, d) is "generated after p is assigned").
+//  * Neighbourhood — the d samples are drawn from the voter's neighbours in
+//    a pre-built (e.g. d-regular) graph, keeping the mechanism local on an
+//    explicit topology.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Where Algorithm 2 draws its d samples from.
+enum class SampleSource { Population, Neighbourhood };
+
+/// Algorithm 2: sample d targets, delegate iff >= j(d) approved.
+class DOutSampling final : public Mechanism {
+public:
+    /// `d` — sample size; `threshold` — required approved count j(d)
+    /// (clamped to >= 1); `source` — population or neighbourhood sampling.
+    DOutSampling(std::size_t d, std::size_t threshold, SampleSource source);
+
+    /// Convenience: j(d) = max(1, floor(d · fraction)), the "j(d) is a
+    /// fraction of d" reading from Algorithm 2's comment.
+    static DOutSampling with_fraction(std::size_t d, double fraction, SampleSource source);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    std::size_t d() const noexcept { return d_; }
+    std::size_t threshold() const noexcept { return threshold_; }
+    SampleSource source() const noexcept { return source_; }
+
+private:
+    std::size_t d_;
+    std::size_t threshold_;
+    SampleSource source_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,4 @@
+#include "ld/mech/direct.hpp"
+
+// DirectVoting is fully inline; this translation unit anchors the header in
+// the library so its symbols participate in the build like every mechanism.

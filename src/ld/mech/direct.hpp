@@ -1,0 +1,25 @@
+// Direct voting (paper Example 2): nobody delegates.  This is the baseline
+// `D` in gain(M, G) = P^M(G) − P^D(G).
+
+#pragma once
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// The mechanism that never delegates.
+class DirectVoting final : public Mechanism {
+public:
+    std::string name() const override { return "DirectVoting"; }
+
+    Action act(const model::Instance&, graph::Vertex, rng::Rng&) const override {
+        return Action::vote();
+    }
+
+    std::optional<double> vote_directly_probability(const model::Instance&,
+                                                    graph::Vertex) const override {
+        return 1.0;
+    }
+};
+
+}  // namespace ld::mech

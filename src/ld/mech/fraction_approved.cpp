@@ -1,0 +1,40 @@
+#include "ld/mech/fraction_approved.hpp"
+
+#include <cmath>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+FractionApproved::FractionApproved(double fraction) : fraction_(fraction) {
+    expects(fraction_ > 0.0 && fraction_ <= 1.0, "FractionApproved: fraction out of (0,1]");
+}
+
+std::string FractionApproved::name() const {
+    return "FractionApproved(f=" + std::to_string(fraction_) + ")";
+}
+
+bool FractionApproved::should_delegate(const model::Instance& instance, graph::Vertex v,
+                                       std::size_t approved_count) const {
+    const std::size_t deg = instance.graph().degree(v);
+    if (deg == 0 || approved_count == 0) return false;
+    return static_cast<double>(approved_count) >= fraction_ * static_cast<double>(deg);
+}
+
+Action FractionApproved::act(const model::Instance& instance, graph::Vertex v,
+                             rng::Rng& rng) const {
+    const auto approved = instance.approved_neighbours(v);
+    if (!should_delegate(instance, v, approved.size())) return Action::vote();
+    return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+}
+
+std::optional<double> FractionApproved::vote_directly_probability(
+    const model::Instance& instance, graph::Vertex v) const {
+    const auto approved = instance.approved_neighbours(v);
+    return should_delegate(instance, v, approved.size()) ? 0.0 : 1.0;
+}
+
+}  // namespace ld::mech

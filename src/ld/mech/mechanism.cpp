@@ -1,0 +1,10 @@
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+std::optional<double> Mechanism::vote_directly_probability(const model::Instance&,
+                                                           graph::Vertex) const {
+    return std::nullopt;
+}
+
+}  // namespace ld::mech

@@ -1,0 +1,94 @@
+// Delegation mechanisms (paper §2.2).  A mechanism maps a problem instance
+// to, per voter, a decision: vote directly, delegate to some neighbour(s),
+// or abstain (§6 extension).  All mechanisms in this library are *local*:
+// they observe only a voter's neighbourhood and which neighbours are
+// approved (competency + α dominance), never raw competencies — except
+// through the "arbitrary ranking over the approval set" the paper permits.
+//
+// The interface is sampling-based: `act()` draws one decision for one voter
+// using the caller's Rng.  Mechanisms whose per-voter delegation law is a
+// simple closed form additionally expose `vote_directly_probability()` so
+// tests can check the sampler against the exact law.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ld/model/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::mech {
+
+/// What a voter decided to do.
+enum class ActionKind : std::uint8_t {
+    Vote,      ///< cast a direct vote (carrying any delegated weight)
+    Delegate,  ///< forward all held votes to `targets`
+    Abstain,   ///< cast no vote (only allowed when delegation was possible)
+};
+
+/// One voter's sampled decision.
+struct Action {
+    ActionKind kind = ActionKind::Vote;
+    /// Delegation targets; size 1 for the paper's single-delegate model,
+    /// size >= 1 for the §6 weighted-majority extension.  Empty unless
+    /// kind == Delegate.
+    std::vector<graph::Vertex> targets;
+    /// Optional per-target weights for the §6 "locally defined weight
+    /// function over the delegates": empty means uniform; otherwise one
+    /// positive weight per target, and the voter's effective vote is the
+    /// *weighted* majority of the targets' realized votes.
+    std::vector<double> target_weights;
+
+    static Action vote() { return {}; }
+    static Action abstain() { return {ActionKind::Abstain, {}, {}}; }
+    static Action delegate_to(graph::Vertex t) {
+        return {ActionKind::Delegate, {t}, {}};
+    }
+    static Action delegate_to_many(std::vector<graph::Vertex> ts) {
+        return {ActionKind::Delegate, std::move(ts), {}};
+    }
+    static Action delegate_weighted(std::vector<graph::Vertex> ts,
+                                    std::vector<double> ws) {
+        return {ActionKind::Delegate, std::move(ts), std::move(ws)};
+    }
+};
+
+/// Abstract delegation mechanism.
+class Mechanism {
+public:
+    virtual ~Mechanism() = default;
+
+    /// Mechanism name for experiment logs, e.g. "Algorithm1(j=sqrt)".
+    virtual std::string name() const = 0;
+
+    /// Sample voter `v`'s decision on `instance`.
+    ///
+    /// Implementations must be *per-voter independent*: the decision may
+    /// depend only on (instance, v) and fresh randomness, so that realizing
+    /// all n decisions yields the paper's product delegation law.
+    virtual Action act(const model::Instance& instance, graph::Vertex v,
+                       rng::Rng& rng) const = 0;
+
+    /// Exact probability that voter `v` votes directly (neither delegates
+    /// nor abstains), when available in closed form.  Used for testing and
+    /// for theory-side expected-delegation computations.
+    virtual std::optional<double> vote_directly_probability(
+        const model::Instance& instance, graph::Vertex v) const;
+
+    /// True if `act` may return multi-target delegations (§6 extension).
+    virtual bool multi_delegation() const { return false; }
+
+    /// True if `act` may return Abstain (§6 extension).
+    virtual bool may_abstain() const { return false; }
+
+    /// True if this mechanism only ever delegates to approved voters.
+    /// All approval-respecting mechanisms induce acyclic delegation graphs
+    /// because α > 0 strictly increases competency along every arc.
+    virtual bool approval_respecting() const { return true; }
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,38 @@
+#include "ld/mech/multi_delegate.hpp"
+
+#include <algorithm>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+MultiDelegate::MultiDelegate(std::size_t m, std::size_t threshold)
+    : m_(m), threshold_(std::max<std::size_t>(1, threshold)) {
+    expects(m_ >= 1, "MultiDelegate: m must be >= 1");
+    expects(m_ % 2 == 1, "MultiDelegate: m must be odd (tie-free majority)");
+}
+
+std::string MultiDelegate::name() const {
+    return "MultiDelegate(m=" + std::to_string(m_) + ",j=" + std::to_string(threshold_) +
+           ")";
+}
+
+Action MultiDelegate::act(const model::Instance& instance, graph::Vertex v,
+                          rng::Rng& rng) const {
+    const auto approved = instance.approved_neighbours(v);
+    if (approved.size() < threshold_) return Action::vote();
+    std::size_t take = std::min(m_, approved.size());
+    if (take % 2 == 0) --take;  // keep the delegate majority tie-free
+    if (take == 0) return Action::vote();
+    std::vector<graph::Vertex> targets;
+    targets.reserve(take);
+    for (std::size_t idx : rng::sample_without_replacement(rng, approved.size(), take)) {
+        targets.push_back(approved[idx]);
+    }
+    return Action::delegate_to_many(std::move(targets));
+}
+
+}  // namespace ld::mech

@@ -1,0 +1,41 @@
+// §6 "Weighted Majority Vote" extension: a voter delegates to *several*
+// approved delegates and their effective vote is the majority of the
+// delegates' realized votes.  The paper conjectures SPG transfers because
+// majority-of-m approved delegates stochastically dominates one random
+// approved delegate; `bench_multi_delegate` measures exactly that.
+//
+// The voter delegates to min(m, |approved|) targets — forced odd by
+// dropping one if needed, so the delegate majority is never tied — and only
+// when at least `threshold` neighbours are approved.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Delegate to up to `m` random approved neighbours; effective vote is the
+/// majority over the chosen delegates (resolved by the election evaluator).
+class MultiDelegate final : public Mechanism {
+public:
+    /// `m` — desired delegate count (must be odd); `threshold` — minimum
+    /// approved-neighbour count needed to delegate at all.
+    MultiDelegate(std::size_t m, std::size_t threshold);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    bool multi_delegation() const override { return true; }
+
+    std::size_t m() const noexcept { return m_; }
+
+private:
+    std::size_t m_;
+    std::size_t threshold_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,38 @@
+#include "ld/mech/noisy_threshold.hpp"
+
+#include <algorithm>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+NoisyThreshold::NoisyThreshold(std::size_t threshold, double noise)
+    : threshold_(std::max<std::size_t>(1, threshold)), noise_(noise) {
+    expects(noise_ >= 0.0 && noise_ < 0.5, "NoisyThreshold: noise must be in [0, 1/2)");
+}
+
+std::string NoisyThreshold::name() const {
+    return "NoisyThreshold(j=" + std::to_string(threshold_) +
+           ",eta=" + std::to_string(noise_) + ")";
+}
+
+Action NoisyThreshold::act(const model::Instance& instance, graph::Vertex v,
+                           rng::Rng& rng) const {
+    const auto& p = instance.competencies();
+    const double own = p[v];
+    const double alpha = instance.alpha();
+    std::vector<graph::Vertex> perceived_approved;
+    for (graph::Vertex w : instance.graph().neighbours(v)) {
+        bool approved = own + alpha <= p[w];
+        if (noise_ > 0.0 && rng.next_bernoulli(noise_)) approved = !approved;
+        if (approved) perceived_approved.push_back(w);
+    }
+    if (perceived_approved.size() < threshold_) return Action::vote();
+    return Action::delegate_to(
+        perceived_approved[rng::uniform_index(rng, perceived_approved.size())]);
+}
+
+}  // namespace ld::mech

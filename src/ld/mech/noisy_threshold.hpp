@@ -1,0 +1,42 @@
+// Noisy-approval mechanism (§6 "Practical Considerations"): in practice a
+// voter never observes true competencies; each pairwise "is my neighbour
+// at least α better than me?" judgement is an estimate.  This mechanism is
+// ApprovalSizeThreshold with every approval indicator independently
+// flipped with probability `noise` per decision.
+//
+// With noise > 0 the mechanism is NOT approval-respecting: it can delegate
+// downward, and realized delegation graphs can contain cycles — callers
+// must realize with CyclePolicy::Discard.  `bench_noisy_approval` measures
+// how fast the paper's guarantees degrade with the noise rate.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// ApprovalSizeThreshold under ε-noisy pairwise competency comparisons.
+class NoisyThreshold final : public Mechanism {
+public:
+    /// `threshold` — required (noisy) approval count; `noise` in [0, 1/2):
+    /// each neighbour's approval indicator flips with this probability.
+    NoisyThreshold(std::size_t threshold, double noise);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    bool approval_respecting() const override { return noise_ == 0.0; }
+
+    double noise() const noexcept { return noise_; }
+    std::size_t threshold() const noexcept { return threshold_; }
+
+private:
+    std::size_t threshold_;
+    double noise_;
+};
+
+}  // namespace ld::mech

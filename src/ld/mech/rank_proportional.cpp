@@ -1,0 +1,45 @@
+#include "ld/mech/rank_proportional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+RankProportional::RankProportional(std::size_t threshold, double sharpness)
+    : threshold_(std::max<std::size_t>(1, threshold)), sharpness_(sharpness) {
+    expects(sharpness_ >= 0.0, "RankProportional: sharpness must be non-negative");
+}
+
+std::string RankProportional::name() const {
+    return "RankProportional(j=" + std::to_string(threshold_) +
+           ",s=" + std::to_string(sharpness_) + ")";
+}
+
+Action RankProportional::act(const model::Instance& instance, graph::Vertex v,
+                             rng::Rng& rng) const {
+    auto approved = instance.approved_neighbours(v);
+    if (approved.size() < threshold_) return Action::vote();
+    // Sort approved by ascending competency; rank r = index + 1.
+    std::sort(approved.begin(), approved.end(),
+              [&](graph::Vertex a, graph::Vertex b) {
+                  return instance.competency(a) < instance.competency(b);
+              });
+    std::vector<double> weights(approved.size());
+    for (std::size_t r = 0; r < approved.size(); ++r) {
+        weights[r] = std::pow(static_cast<double>(r + 1), sharpness_);
+    }
+    const rng::AliasTable table(weights);
+    return Action::delegate_to(approved[table.sample(rng)]);
+}
+
+std::optional<double> RankProportional::vote_directly_probability(
+    const model::Instance& instance, graph::Vertex v) const {
+    return instance.approved_neighbours(v).size() < threshold_ ? 1.0 : 0.0;
+}
+
+}  // namespace ld::mech

@@ -1,0 +1,41 @@
+// A mechanism exploiting the paper's "arbitrary ranking over the approval
+// set" allowance without becoming a dictator-maker: delegate to an
+// approved neighbour with probability proportional to its *rank* in the
+// approval set (best neighbour most likely, worst approved least likely).
+// It interpolates between ApprovalSizeThreshold (uniform) and
+// BestNeighbour (argmax), trading expected competency boost against
+// weight concentration — the knob `sharpness` controls the trade-off and
+// `bench`/tests chart where DNH starts to erode.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Delegate to approved neighbour of competency-rank r (1 = worst approved)
+/// with probability ∝ r^sharpness; vote when fewer than `threshold`
+/// neighbours are approved.  sharpness = 0 is uniform; large sharpness
+/// approaches BestNeighbour.
+class RankProportional final : public Mechanism {
+public:
+    RankProportional(std::size_t threshold, double sharpness);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    std::optional<double> vote_directly_probability(const model::Instance& instance,
+                                                    graph::Vertex v) const override;
+
+    double sharpness() const noexcept { return sharpness_; }
+
+private:
+    std::size_t threshold_;
+    double sharpness_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,27 @@
+#include "ld/mech/unrestricted_abstaining.hpp"
+
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+UnrestrictedAbstaining::UnrestrictedAbstaining(const Mechanism& inner,
+                                               double abstain_prob)
+    : inner_(&inner), abstain_prob_(abstain_prob) {
+    expects(abstain_prob_ >= 0.0 && abstain_prob_ <= 1.0,
+            "UnrestrictedAbstaining: probability out of [0,1]");
+}
+
+std::string UnrestrictedAbstaining::name() const {
+    return "UnrestrictedAbstaining(p=" + std::to_string(abstain_prob_) + ", " +
+           inner_->name() + ")";
+}
+
+Action UnrestrictedAbstaining::act(const model::Instance& instance, graph::Vertex v,
+                                   rng::Rng& rng) const {
+    if (rng.next_bernoulli(abstain_prob_)) return Action::abstain();
+    return inner_->act(instance, v, rng);
+}
+
+}  // namespace ld::mech

@@ -1,0 +1,38 @@
+// The *cautionary* abstention model from the paper's footnote 4: "Allowing
+// all voters the possibility of abstaining from voting could result in all
+// but one sink abstaining and thus could violate DNH."
+//
+// Unlike `Abstaining` (which only lets would-be delegators opt out), this
+// wrapper lets EVERY voter — including direct voters — abstain with
+// probability q.  At high q the surviving sinks are a small random subset
+// and the outcome degenerates towards a coin flip of whoever is left:
+// `bench_abstention` contrasts the two models to demonstrate exactly the
+// footnote's failure mode.
+
+#pragma once
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Every voter abstains with probability q, regardless of role.
+class UnrestrictedAbstaining final : public Mechanism {
+public:
+    /// `inner` must outlive this wrapper; q in [0, 1].
+    UnrestrictedAbstaining(const Mechanism& inner, double abstain_prob);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    bool may_abstain() const override { return true; }
+    bool multi_delegation() const override { return inner_->multi_delegation(); }
+    bool approval_respecting() const override { return inner_->approval_respecting(); }
+
+private:
+    const Mechanism* inner_;
+    double abstain_prob_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,46 @@
+#include "ld/mech/weighted_delegates.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::mech {
+
+using support::expects;
+
+WeightedDelegates::WeightedDelegates(std::size_t m, std::size_t threshold, double decay)
+    : m_(m), threshold_(std::max<std::size_t>(1, threshold)), decay_(decay) {
+    expects(m_ >= 1, "WeightedDelegates: m must be >= 1");
+    expects(decay_ > 0.0 && decay_ <= 1.0, "WeightedDelegates: decay out of (0,1]");
+}
+
+std::string WeightedDelegates::name() const {
+    return "WeightedDelegates(m=" + std::to_string(m_) + ",j=" +
+           std::to_string(threshold_) + ",decay=" + std::to_string(decay_) + ")";
+}
+
+Action WeightedDelegates::act(const model::Instance& instance, graph::Vertex v,
+                              rng::Rng&) const {
+    auto approved = instance.approved_neighbours(v);
+    if (approved.size() < threshold_) return Action::vote();
+    // Top-m by competency (descending), deterministic local ranking.
+    std::sort(approved.begin(), approved.end(),
+              [&](graph::Vertex a, graph::Vertex b) {
+                  if (instance.competency(a) != instance.competency(b)) {
+                      return instance.competency(a) > instance.competency(b);
+                  }
+                  return a < b;
+              });
+    const std::size_t take = std::min(m_, approved.size());
+    std::vector<graph::Vertex> targets(approved.begin(),
+                                       approved.begin() + static_cast<std::ptrdiff_t>(take));
+    std::vector<double> weights(take);
+    double w = 1.0;
+    for (std::size_t k = 0; k < take; ++k) {
+        weights[k] = w;
+        w *= decay_;
+    }
+    return Action::delegate_weighted(std::move(targets), std::move(weights));
+}
+
+}  // namespace ld::mech

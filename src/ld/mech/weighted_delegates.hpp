@@ -1,0 +1,43 @@
+// §6 "Weighted Majority Vote" with an explicit locally defined weight
+// function: the voter delegates to its top-m approved neighbours (by the
+// local competency ranking the paper permits) and weights the k-th best
+// delegate by decay^k.  The voter's effective vote is the weighted
+// majority of the delegates' realized votes; weighted ties are broken by
+// the voter's own draw.
+//
+// decay = 1 recovers uniform weights (MultiDelegate over the top-m set);
+// decay → 0 approaches BestNeighbour.  The paper notes any non-trivial
+// weight function assumes extra information about the delegates — this
+// mechanism uses only the ranking, the weakest such information.
+
+#pragma once
+
+#include <cstddef>
+
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::mech {
+
+/// Delegate to the top-m approved neighbours with geometric rank weights.
+class WeightedDelegates final : public Mechanism {
+public:
+    /// `m` — delegate count; `threshold` — minimum approved neighbours to
+    /// delegate at all; `decay` ∈ (0, 1] — weight ratio between ranks.
+    WeightedDelegates(std::size_t m, std::size_t threshold, double decay);
+
+    std::string name() const override;
+
+    Action act(const model::Instance& instance, graph::Vertex v,
+               rng::Rng& rng) const override;
+
+    bool multi_delegation() const override { return true; }
+
+    double decay() const noexcept { return decay_; }
+
+private:
+    std::size_t m_;
+    std::size_t threshold_;
+    double decay_;
+};
+
+}  // namespace ld::mech

@@ -1,0 +1,50 @@
+#include "ld/model/approval.hpp"
+
+#include "support/expect.hpp"
+
+namespace ld::model {
+
+using support::expects;
+
+bool approves(const CompetencyVector& p, std::size_t i, std::size_t j, double alpha) {
+    expects(i < p.size() && j < p.size(), "approves: voter out of range");
+    expects(alpha > 0.0, "approves: alpha must be positive");
+    return p[i] + alpha <= p[j];
+}
+
+std::vector<graph::Vertex> approved_neighbours(const graph::Graph& g,
+                                               const CompetencyVector& p,
+                                               graph::Vertex v, double alpha) {
+    expects(g.vertex_count() == p.size(), "approved_neighbours: size mismatch");
+    expects(v < g.vertex_count(), "approved_neighbours: vertex out of range");
+    std::vector<graph::Vertex> out;
+    for (graph::Vertex w : g.neighbours(v)) {
+        if (p[v] + alpha <= p[w]) out.push_back(w);
+    }
+    return out;
+}
+
+std::vector<std::size_t> approved_neighbour_counts(const graph::Graph& g,
+                                                   const CompetencyVector& p,
+                                                   double alpha) {
+    expects(g.vertex_count() == p.size(), "approved_neighbour_counts: size mismatch");
+    std::vector<std::size_t> counts(g.vertex_count(), 0);
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+        for (graph::Vertex w : g.neighbours(v)) {
+            if (p[v] + alpha <= p[w]) ++counts[v];
+        }
+    }
+    return counts;
+}
+
+std::vector<std::size_t> global_approval_set(const CompetencyVector& p, std::size_t i,
+                                             double alpha) {
+    expects(i < p.size(), "global_approval_set: voter out of range");
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+        if (j != i && p[i] + alpha <= p[j]) out.push_back(j);
+    }
+    return out;
+}
+
+}  // namespace ld::model

@@ -1,0 +1,37 @@
+// Approval sets (paper §2.1, "Available Information"): given the approval
+// margin α > 0, voter i approves of voter j iff p_i + α <= p_j.  Local
+// mechanisms may only use (a) a voter's neighbourhood and (b) which of its
+// neighbours are approved — never the raw competency values.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ld/model/competency.hpp"
+
+namespace ld::model {
+
+/// True iff voter `i` approves voter `j` under margin `alpha`:
+/// p_i + alpha <= p_j.
+bool approves(const CompetencyVector& p, std::size_t i, std::size_t j, double alpha);
+
+/// The approved *neighbours* of vertex `v` in graph `g` — the information a
+/// local mechanism may see.  Returned ascending by vertex id.
+std::vector<graph::Vertex> approved_neighbours(const graph::Graph& g,
+                                               const CompetencyVector& p,
+                                               graph::Vertex v, double alpha);
+
+/// Sizes |J(i) ∩ N(i)| for every voter, in one O(n + m) pass.
+std::vector<std::size_t> approved_neighbour_counts(const graph::Graph& g,
+                                                   const CompetencyVector& p,
+                                                   double alpha);
+
+/// The global approval set J(i) over *all* voters (not just neighbours) —
+/// used by theory-side computations (e.g. partition complexity ⌈1/α⌉
+/// reasoning), not by local mechanisms.
+std::vector<std::size_t> global_approval_set(const CompetencyVector& p, std::size_t i,
+                                             double alpha);
+
+}  // namespace ld::model

@@ -1,0 +1,128 @@
+#include "ld/model/competency_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace ld::model {
+
+using support::expects;
+
+CompetencyVector uniform_competencies(rng::Rng& rng, std::size_t n, double lo, double hi) {
+    expects(0.0 <= lo && lo < hi && hi <= 1.0, "uniform_competencies: bad interval");
+    std::vector<double> p(n);
+    for (auto& x : p) x = rng::uniform_real(rng, lo, hi);
+    return CompetencyVector(std::move(p));
+}
+
+CompetencyVector pc_competencies(rng::Rng& rng, std::size_t n, double a, double spread,
+                                 double beta_floor) {
+    expects(a > 0.0 && a <= 0.25, "pc_competencies: a must be in (0, 1/4]");
+    expects(spread >= 0.0, "pc_competencies: spread must be non-negative");
+    const double centre = 0.5 - a;
+    double lo = centre - spread;
+    double hi = centre + spread;
+    lo = std::max(lo, beta_floor);
+    hi = std::min(hi, 1.0 - beta_floor);
+    expects(lo < hi || spread == 0.0, "pc_competencies: interval collapsed");
+    std::vector<double> p(n);
+    if (spread == 0.0) {
+        std::fill(p.begin(), p.end(), centre);
+    } else {
+        for (auto& x : p) x = rng::uniform_real(rng, lo, hi);
+        // Recentre the sample mean onto `centre` so PC = a holds exactly,
+        // then clip back into the bounded-competency box.
+        double mean = 0.0;
+        for (double x : p) mean += x;
+        mean /= static_cast<double>(n);
+        const double shift = centre - mean;
+        for (auto& x : p) x = std::clamp(x + shift, beta_floor, 1.0 - beta_floor);
+    }
+    return CompetencyVector(std::move(p));
+}
+
+CompetencyVector two_point_competencies(rng::Rng& rng, std::size_t n, double low,
+                                        double high, double high_fraction) {
+    expects(0.0 <= low && low <= high && high <= 1.0, "two_point: bad levels");
+    expects(high_fraction >= 0.0 && high_fraction <= 1.0, "two_point: bad fraction");
+    const auto high_count =
+        static_cast<std::size_t>(std::floor(high_fraction * static_cast<double>(n)));
+    std::vector<double> p(n, low);
+    for (std::size_t i = 0; i < high_count; ++i) p[i] = high;
+    rng::shuffle(rng, p);
+    return CompetencyVector(std::move(p));
+}
+
+CompetencyVector star_competencies(std::size_t n, double centre, double leaf) {
+    expects(n >= 1, "star_competencies: need at least one voter");
+    std::vector<double> p(n, leaf);
+    p[0] = centre;
+    return CompetencyVector(std::move(p));
+}
+
+CompetencyVector figure2_competencies() {
+    return CompetencyVector({0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1});
+}
+
+namespace {
+
+/// Marsaglia–Tsang gamma sampler for shape >= 1 (boosted for shape < 1).
+double sample_gamma(rng::Rng& rng, double shape) {
+    if (shape < 1.0) {
+        const double u = rng.next_double();
+        return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        // Box–Muller standard normal.
+        const double u1 = std::max(rng.next_double(), 1e-300);
+        const double u2 = rng.next_double();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+        const double v = 1.0 + c * z;
+        if (v <= 0.0) continue;
+        const double v3 = v * v * v;
+        const double u = rng.next_double();
+        if (u < 1.0 - 0.0331 * z * z * z * z) return d * v3;
+        if (std::log(u) < 0.5 * z * z + d * (1.0 - v3 + std::log(v3))) return d * v3;
+    }
+}
+
+}  // namespace
+
+CompetencyVector beta_competencies(rng::Rng& rng, std::size_t n, double a, double b) {
+    expects(a > 0.0 && b > 0.0, "beta_competencies: shape parameters must be positive");
+    std::vector<double> p(n);
+    for (auto& x : p) {
+        const double ga = sample_gamma(rng, a);
+        const double gb = sample_gamma(rng, b);
+        x = ga / (ga + gb);
+    }
+    return CompetencyVector(std::move(p));
+}
+
+CompetencyVector truncated_normal_competencies(rng::Rng& rng, std::size_t n, double mu,
+                                               double sigma, double lo, double hi) {
+    expects(sigma > 0.0, "truncated_normal: sigma must be positive");
+    expects(0.0 <= lo && lo < hi && hi <= 1.0, "truncated_normal: bad interval");
+    std::vector<double> p(n);
+    for (auto& x : p) {
+        for (;;) {
+            const double u1 = std::max(rng.next_double(), 1e-300);
+            const double u2 = rng.next_double();
+            const double z =
+                std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+            const double candidate = mu + sigma * z;
+            if (candidate > lo && candidate < hi) {
+                x = candidate;
+                break;
+            }
+        }
+    }
+    return CompetencyVector(std::move(p));
+}
+
+}  // namespace ld::model

@@ -1,0 +1,54 @@
+// Competency-vector generators for the paper's instance families:
+//
+//  * uniform on an interval (β, 1−β)         — bounded-competency instances,
+//  * uniform shifted to satisfy PC = a       — SPG workloads,
+//  * two-point mixtures                      — Theorem 2's case analysis,
+//  * star profile (centre 3/4, leaves ~1/2)  — Figure 1,
+//  * the fixed 9-voter vector of Figure 2,
+//  * beta / truncated-normal profiles        — "probabilistic competencies"
+//                                              future-work direction (§6).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ld/model/competency.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::model {
+
+/// i.i.d. uniform competencies on (lo, hi).  Requires 0 <= lo < hi <= 1.
+CompetencyVector uniform_competencies(rng::Rng& rng, std::size_t n, double lo, double hi);
+
+/// Uniform on an interval of half-width `spread` recentred so that the
+/// sample mean is exactly 1/2 − a (the bottom of the PC = a band: direct
+/// voting loses, delegation can flip the outcome), clipped to stay within
+/// (beta_floor, 1 − beta_floor).
+CompetencyVector pc_competencies(rng::Rng& rng, std::size_t n, double a, double spread,
+                                 double beta_floor = 0.02);
+
+/// Two-point mixture: fraction `high_fraction` of voters at `high`, the
+/// rest at `low`.  Deterministic counts (floor), positions shuffled.
+CompetencyVector two_point_competencies(rng::Rng& rng, std::size_t n, double low,
+                                        double high, double high_fraction);
+
+/// Figure 1 star profile for a star graph with vertex 0 as the centre:
+/// centre competency 3/4, each leaf slightly above 1/2 so that direct
+/// voting converges to correct w.p. → 1 while delegation to the centre
+/// stays at 3/4.
+CompetencyVector star_competencies(std::size_t n, double centre = 0.75,
+                                   double leaf = 0.55);
+
+/// The fixed 9-voter competency vector from Figure 2:
+/// {0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1} for v1..v9 (vertex 0 = v1).
+CompetencyVector figure2_competencies();
+
+/// Beta(a, b) distributed competencies (rejection-free via Jöhnk/gamma).
+CompetencyVector beta_competencies(rng::Rng& rng, std::size_t n, double a, double b);
+
+/// Normal(mu, sigma) truncated to (lo, hi) by rejection.
+CompetencyVector truncated_normal_competencies(rng::Rng& rng, std::size_t n, double mu,
+                                               double sigma, double lo, double hi);
+
+}  // namespace ld::model

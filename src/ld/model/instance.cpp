@@ -1,0 +1,39 @@
+#include "ld/model/instance.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "ld/model/approval.hpp"
+#include "support/expect.hpp"
+
+namespace ld::model {
+
+using support::expects;
+
+Instance::Instance(graph::Graph g, CompetencyVector p, double alpha)
+    : graph_(std::move(g)), competencies_(std::move(p)), alpha_(alpha) {
+    expects(graph_.vertex_count() == competencies_.size(),
+            "Instance: graph/competency size mismatch");
+    expects(alpha_ > 0.0, "Instance: alpha must be positive (acyclicity requires it)");
+}
+
+std::vector<graph::Vertex> Instance::approved_neighbours(graph::Vertex v) const {
+    return model::approved_neighbours(graph_, competencies_, v, alpha_);
+}
+
+std::vector<std::size_t> Instance::approved_neighbour_counts() const {
+    return model::approved_neighbour_counts(graph_, competencies_, alpha_);
+}
+
+std::size_t Instance::partition_complexity_bound() const {
+    return static_cast<std::size_t>(std::ceil(1.0 / alpha_));
+}
+
+std::string Instance::describe() const {
+    std::ostringstream os;
+    os << "Instance(n=" << voter_count() << ", m=" << graph_.edge_count()
+       << ", alpha=" << alpha_ << ", mean_p=" << competencies_.mean() << ")";
+    return os.str();
+}
+
+}  // namespace ld::model

@@ -1,0 +1,55 @@
+// A problem instance G = (V, E, p) plus the approval margin α (paper §2.1).
+// Instances are immutable; mechanisms, evaluators, and condition checkers
+// all consume `const Instance&`.
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/restrictions.hpp"
+#include "ld/model/competency.hpp"
+
+namespace ld::model {
+
+/// Immutable voting-problem instance.
+class Instance {
+public:
+    /// Graph and competencies must agree on the voter count; alpha > 0.
+    Instance(graph::Graph g, CompetencyVector p, double alpha);
+
+    std::size_t voter_count() const noexcept { return graph_.vertex_count(); }
+    const graph::Graph& graph() const noexcept { return graph_; }
+    const CompetencyVector& competencies() const noexcept { return competencies_; }
+    double alpha() const noexcept { return alpha_; }
+
+    /// Competency of voter v.
+    double competency(graph::Vertex v) const { return competencies_[v]; }
+
+    /// Approved neighbours of `v` (the local mechanism's view).
+    std::vector<graph::Vertex> approved_neighbours(graph::Vertex v) const;
+
+    /// |approved neighbours| for all voters in one pass.
+    std::vector<std::size_t> approved_neighbour_counts() const;
+
+    /// Graph-side restriction check (Definition 1).
+    bool satisfies(const graph::GraphRestriction& r) const { return r.satisfied_by(graph_); }
+
+    /// Upper bound ⌈1/α⌉ on the partition complexity of any approval-
+    /// respecting delegation process on this instance (paper §3.1:
+    /// "a simple upper bound for any mechanism is 1/α <= c").
+    std::size_t partition_complexity_bound() const;
+
+    /// Short human-readable description for experiment logs.
+    std::string describe() const;
+
+private:
+    graph::Graph graph_;
+    CompetencyVector competencies_;
+    double alpha_;
+};
+
+}  // namespace ld::model

@@ -1,0 +1,70 @@
+#include "ld/model/instance_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+
+namespace ld::model {
+
+namespace {
+constexpr int kVersion = 1;
+}
+
+void write_instance(std::ostream& os, const Instance& instance) {
+    os << "liquidd-instance " << kVersion << '\n';
+    os << std::setprecision(17);
+    os << "alpha " << instance.alpha() << '\n';
+    os << "graph ";
+    graph::write_edge_list(os, instance.graph());
+    os << "competencies";
+    for (double p : instance.competencies().values()) os << ' ' << p;
+    os << '\n';
+}
+
+Instance read_instance(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "liquidd-instance") {
+        throw std::runtime_error("read_instance: not a liquidd instance file");
+    }
+    if (version != kVersion) {
+        throw std::runtime_error("read_instance: unsupported version " +
+                                 std::to_string(version));
+    }
+    std::string keyword;
+    double alpha = 0.0;
+    if (!(is >> keyword >> alpha) || keyword != "alpha") {
+        throw std::runtime_error("read_instance: missing alpha");
+    }
+    if (!(is >> keyword) || keyword != "graph") {
+        throw std::runtime_error("read_instance: missing graph section");
+    }
+    graph::Graph g = graph::read_edge_list(is);
+    if (!(is >> keyword) || keyword != "competencies") {
+        throw std::runtime_error("read_instance: missing competencies section");
+    }
+    std::vector<double> p(g.vertex_count());
+    for (double& x : p) {
+        if (!(is >> x)) throw std::runtime_error("read_instance: truncated competencies");
+    }
+    return Instance(std::move(g), CompetencyVector(std::move(p)), alpha);
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+    write_instance(out, instance);
+    if (!out) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+Instance load_instance(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+    return read_instance(in);
+}
+
+}  // namespace ld::model

@@ -1,0 +1,32 @@
+// Versioned text serialization for problem instances, so experiments can
+// be pinned, shared, and replayed (e.g. an adversarially-found worst-case
+// instance, or a real-world graph with measured competencies).
+//
+// Format (whitespace-separated):
+//   liquidd-instance 1
+//   alpha <alpha>
+//   graph <n> <m>
+//   <m edge lines: "u v">
+//   competencies <n values>
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ld/model/instance.hpp"
+
+namespace ld::model {
+
+/// Serialize `instance` to `os`.
+void write_instance(std::ostream& os, const Instance& instance);
+
+/// Parse the format produced by `write_instance`.
+/// Throws `std::runtime_error` on malformed input or version mismatch.
+Instance read_instance(std::istream& is);
+
+/// Convenience file wrappers; throw `std::runtime_error` on I/O failure.
+void save_instance(const std::string& path, const Instance& instance);
+Instance load_instance(const std::string& path);
+
+}  // namespace ld::model

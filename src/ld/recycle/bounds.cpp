@@ -1,0 +1,65 @@
+#include "ld/recycle/bounds.hpp"
+
+#include "ld/recycle/recycle_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace ld::recycle {
+
+using support::expects;
+
+double lemma1_failure_bound(std::size_t j, std::size_t n, double eps, double mean_rate) {
+    expects(j >= 1 && j <= n, "lemma1_failure_bound: need 1 <= j <= n");
+    expects(eps > 0.0, "lemma1_failure_bound: eps must be positive");
+    expects(mean_rate > 0.0 && mean_rate <= 1.0, "lemma1_failure_bound: bad mean rate");
+    const double delta = eps / std::cbrt(static_cast<double>(j));
+    if (delta >= 1.0) return 1.0;  // Chernoff form needs delta < 1
+    // Σ_{i=j}^{n} exp(−a·i) with a = δ²·mean_rate/2 — geometric series.
+    const double a = delta * delta * mean_rate / 2.0;
+    if (a <= 0.0) return 1.0;
+    const double first = std::exp(-a * static_cast<double>(j));
+    const double ratio = std::exp(-a);
+    const double sum = first * (1.0 - std::pow(ratio, static_cast<double>(n - j + 1))) /
+                       (1.0 - ratio);
+    return std::min(1.0, sum);
+}
+
+double lemma2_deviation(std::size_t n, std::size_t j, double eps, std::size_t c) {
+    expects(j >= 1, "lemma2_deviation: j must be >= 1");
+    expects(c >= 1, "lemma2_deviation: c must be >= 1");
+    return static_cast<double>(c) * eps * static_cast<double>(n) /
+           std::cbrt(static_cast<double>(j));
+}
+
+double lemma2_failure_bound(std::size_t j, std::size_t n, double eps, double mean_rate,
+                            std::size_t c) {
+    return std::min(1.0, static_cast<double>(c) *
+                             lemma1_failure_bound(j, n, eps, mean_rate));
+}
+
+std::vector<double> decorrelated_parameters(const RecycleGraph& graph, double eps) {
+    expects(eps > 0.0, "decorrelated_parameters: eps must be positive");
+    const std::size_t j = std::max<std::size_t>(graph.j(), 1);
+    const double deficit_unit = eps / std::cbrt(static_cast<double>(j));
+    const auto& mu = graph.expectations();
+    std::vector<double> modified(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        const auto level = static_cast<double>(graph.partition_level(i));
+        modified[i] = std::clamp(mu[i] - (level - 1.0) * deficit_unit, 0.0, 1.0);
+    }
+    return modified;
+}
+
+double lemma7_lower_bound(double direct_mean, std::size_t n, std::size_t k, double alpha,
+                          double eps, std::size_t j) {
+    expects(alpha > 0.0, "lemma7_lower_bound: alpha must be positive");
+    expects(j >= 1, "lemma7_lower_bound: j must be >= 1");
+    expects(k <= n, "lemma7_lower_bound: k cannot exceed n");
+    return direct_mean + static_cast<double>(n - k) * alpha -
+           eps * static_cast<double>(n) / (alpha * std::cbrt(static_cast<double>(j)));
+}
+
+}  // namespace ld::recycle

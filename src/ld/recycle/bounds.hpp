@@ -1,0 +1,43 @@
+// Closed-form evaluations of the Lemma 1 / Lemma 2 bounds so the benches
+// can print "paper bound vs measured tail frequency".
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ld::recycle {
+
+/// Lemma 1's failure bound: P[∃ i >= j : X_i < (1 − ε/j^{1/3}) μ(X_i)]
+/// <= Σ_{i >= j} exp(−(ε/j^{1/3})²·μ(X_i)/2), evaluated with the linear
+/// mean model μ(X_i) ≈ mean_rate · i.  Closed geometric-sum form.
+double lemma1_failure_bound(std::size_t j, std::size_t n, double eps, double mean_rate);
+
+/// Lemma 2's deviation radius c·ε·n / j^{1/3}.
+double lemma2_deviation(std::size_t n, std::size_t j, double eps, std::size_t c);
+
+/// Lemma 2's failure bound e^{−Ω(j^{1/3})}, instantiated (consistently with
+/// lemma1_failure_bound's constants) as c · that bound.
+double lemma2_failure_bound(std::size_t j, std::size_t n, double eps, double mean_rate,
+                            std::size_t c);
+
+/// The Lemma 2 proof's Steps 2–3 as an executable construction: the
+/// *modified independent sequence* X̃.  Each vertex of partition level t
+/// becomes an independent Bernoulli with parameter
+///   p̃_i = μ_i − (t − 1)·ε / j^{1/3}     (clamped to [0, 1]),
+/// i.e. its true marginal expectation lowered by the worst-case deficit
+/// the proof charges per peeled partition.  The proof shows Σ x̃_i is
+/// (w.h.p.) a stochastic lower envelope for the dependent sum X_n; because
+/// X̃ is an independent Poisson-binomial, Chernoff applies to it directly.
+/// `test_recycle` / `bench_recycle_concentration` verify the envelope
+/// empirically.
+class RecycleGraph;  // fwd (defined in recycle_graph.hpp)
+
+std::vector<double> decorrelated_parameters(const RecycleGraph& graph, double eps);
+
+/// Lemma 7's expectation lower bound for Algorithm 1:
+/// μ(X_n) + (n − k)·α − ε·n/(α·j^{1/3}), where k voters do not delegate.
+double lemma7_lower_bound(double direct_mean, std::size_t n, std::size_t k, double alpha,
+                          double eps, std::size_t j);
+
+}  // namespace ld::recycle

@@ -1,0 +1,97 @@
+// Recycle sampling (paper Definition 6): the dependency model behind
+// delegated voting.  Vertices v_1, …, v_n are processed in order; vertex i
+// either draws a fresh Bernoulli(p_i) (with probability z_i) or *recycles*
+// the realized value of a uniformly random successor — a vertex among its
+// predecessor window [0, successor_prefix_i).  In the delegation reading,
+// vertices are voters sorted by descending competency, z_i is the
+// probability of voting directly, and the window is the approval set
+// (voters at least α more competent).
+//
+// The "partition complexity" c is the longest directed path; the paper
+// upper-bounds it by ⌈1/α⌉ because recycling always jumps across an
+// α-width competency band.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ld/mech/mechanism.hpp"
+#include "ld/model/instance.hpp"
+
+namespace ld::recycle {
+
+/// One vertex of a recycle-sampling graph.
+struct RecycleNode {
+    /// Probability of drawing a fresh Bernoulli instead of recycling.
+    double z = 1.0;
+    /// Fresh-draw success probability.
+    double p = 0.5;
+    /// Recycling window: successors are indices [0, successor_prefix).
+    /// Must be 0 (never recycles) or <= own index.
+    std::size_t successor_prefix = 0;
+};
+
+/// A (j, c, n)-recycle-sampling graph (Definition 6).
+class RecycleGraph {
+public:
+    /// Build and validate.  Node i with successor_prefix > 0 must have
+    /// successor_prefix <= i (edges point to strictly earlier vertices) and
+    /// z < 1 is only meaningful when the window is non-empty.
+    explicit RecycleGraph(std::vector<RecycleNode> nodes);
+
+    std::size_t size() const noexcept { return nodes_.size(); }
+    const RecycleNode& node(std::size_t i) const { return nodes_[i]; }
+    const std::vector<RecycleNode>& nodes() const noexcept { return nodes_; }
+
+    /// The parameter j: the length of the leading block of vertices that
+    /// never recycle (successor_prefix == 0 or z == 1).
+    std::size_t j() const noexcept { return j_; }
+
+    /// Partition complexity: length (in edges) of the longest possible
+    /// recycling chain, + 1 for the fresh draw at its end — the paper's c.
+    /// Computed exactly in O(n) via prefix maxima.
+    std::size_t partition_complexity() const noexcept { return partition_complexity_; }
+
+    /// Partition level of vertex i (1 = can only draw fresh / recycle from
+    /// nothing earlier; t = depends on vertices up to level t − 1).  This
+    /// is the partition index the Lemma 2 proof peels off recursively.
+    std::size_t partition_level(std::size_t i) const { return levels_[i]; }
+
+    /// Exact expectations μ_i = E[x_i] and the prefix sums μ(X_i); O(n).
+    const std::vector<double>& expectations() const noexcept { return mu_; }
+    const std::vector<double>& prefix_means() const noexcept { return mu_prefix_; }
+
+    /// μ(X_n) — the expected total.
+    double total_expectation() const noexcept {
+        return mu_prefix_.empty() ? 0.0 : mu_prefix_.back();
+    }
+
+    /// Construct the recycle graph induced by a threshold-style local
+    /// mechanism on an instance: voters sorted by descending competency;
+    /// z_i = the mechanism's exact direct-voting probability (must be
+    /// available); window = voters at least α more competent.  This is the
+    /// Lemma 7 construction generalized to any closed-form mechanism.
+    static RecycleGraph from_instance(const model::Instance& instance,
+                                      const mech::Mechanism& mechanism);
+
+    /// Synthetic family used by the recycle-sampling benches: the first j
+    /// vertices are fresh Bernoulli(p_fresh); each later vertex recycles
+    /// with probability 1 − z over the window [0, i), with fresh parameter
+    /// p_fresh, chained into `bands` equal partitions (vertex windows stop
+    /// at the previous band boundary, giving partition complexity ~bands).
+    static RecycleGraph synthetic(std::size_t n, std::size_t j, double z, double p_fresh,
+                                  std::size_t bands);
+
+private:
+    void compute_derived();
+
+    std::vector<RecycleNode> nodes_;
+    std::size_t j_ = 0;
+    std::size_t partition_complexity_ = 0;
+    std::vector<std::size_t> levels_;
+    std::vector<double> mu_;         // E[x_i]
+    std::vector<double> mu_prefix_;  // μ(X_i) = Σ_{k<=i} E[x_k]
+};
+
+}  // namespace ld::recycle

@@ -1,0 +1,57 @@
+#include "ld/recycle/sampler.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::recycle {
+
+using support::expects;
+
+double Realization::min_prefix_ratio(const RecycleGraph& g, std::size_t from) const {
+    expects(g.size() == values.size(), "min_prefix_ratio: graph/realization mismatch");
+    double best = 1e300;
+    const auto& mu_prefix = g.prefix_means();
+    for (std::size_t i = from; i < values.size(); ++i) {
+        if (mu_prefix[i] <= 0.0) continue;
+        best = std::min(best, static_cast<double>(prefix[i]) / mu_prefix[i]);
+    }
+    return best;
+}
+
+Realization sample(const RecycleGraph& g, rng::Rng& rng) {
+    const std::size_t n = g.size();
+    Realization r;
+    r.values.resize(n);
+    r.prefix.resize(n);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const RecycleNode& nd = g.node(i);
+        std::uint8_t x;
+        if (nd.successor_prefix == 0 || rng.next_bernoulli(nd.z)) {
+            x = rng.next_bernoulli(nd.p) ? 1 : 0;
+        } else {
+            const auto k = static_cast<std::size_t>(rng.next_below(nd.successor_prefix));
+            x = r.values[k];
+        }
+        r.values[i] = x;
+        running += x;
+        r.prefix[i] = running;
+    }
+    r.total = running;
+    return r;
+}
+
+double tail_frequency_below(const RecycleGraph& g, rng::Rng& rng, double deviation,
+                            std::size_t replications) {
+    expects(replications > 0, "tail_frequency_below: need replications");
+    const double threshold = g.total_expectation() - deviation;
+    std::size_t hits = 0;
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+        const auto r = sample(g, rng);
+        if (static_cast<double>(r.total) < threshold) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(replications);
+}
+
+}  // namespace ld::recycle

@@ -1,0 +1,34 @@
+// Realizing a recycle-sampling graph (Definition 6's "outcome of realizing
+// G") and the trajectory statistics Lemmas 1 and 2 are about.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ld/recycle/recycle_graph.hpp"
+#include "rng/rng.hpp"
+
+namespace ld::recycle {
+
+/// One realization of the recycle-sampled sequence.
+struct Realization {
+    std::vector<std::uint8_t> values;   ///< x_i ∈ {0, 1}
+    std::vector<std::uint64_t> prefix;  ///< X_i = Σ_{k<=i} x_k
+    std::uint64_t total = 0;            ///< X_n
+
+    /// min over i >= j of X_i / μ(X_i) — the statistic Lemma 1 lower
+    /// bounds.  Indices with μ(X_i) = 0 are skipped.
+    double min_prefix_ratio(const RecycleGraph& g, std::size_t from) const;
+};
+
+/// Sample one realization: for increasing i, x_i is fresh Bernoulli(p_i)
+/// with probability z_i, else a copy of a uniform window element.
+Realization sample(const RecycleGraph& g, rng::Rng& rng);
+
+/// Monte-Carlo check of Lemma 2: fraction of `replications` realizations
+/// with X_n < μ(X_n) − deviation.
+double tail_frequency_below(const RecycleGraph& g, rng::Rng& rng, double deviation,
+                            std::size_t replications);
+
+}  // namespace ld::recycle

@@ -1,0 +1,79 @@
+#include "ld/theory/theorems.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace ld::theory {
+
+using support::expects;
+
+Theorem2Regime theorem2_regime(std::size_t n, double alpha, double k) {
+    expects(n >= 1, "theorem2_regime: empty instance");
+    expects(alpha > 0.0 && alpha < 1.0, "theorem2_regime: alpha out of (0,1)");
+    expects(k >= 1.0, "theorem2_regime: k must be >= 1");
+    Theorem2Regime r;
+    r.n = n;
+    r.alpha = alpha;
+    r.k = k;
+    r.pc = alpha / k;
+    r.delegate_floor = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(n) / k));
+    r.max_threshold = n / 3;
+    return r;
+}
+
+Theorem3Regime theorem3_regime(std::size_t n, std::size_t d, double alpha, double k,
+                               double threshold_fraction) {
+    expects(d >= 1 && d < n, "theorem3_regime: need 1 <= d < n");
+    expects(threshold_fraction > 0.0 && threshold_fraction <= 1.0,
+            "theorem3_regime: fraction out of (0,1]");
+    Theorem3Regime r;
+    r.n = n;
+    r.d = d;
+    r.alpha = alpha;
+    r.pc = alpha / k;
+    r.delegate_floor =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(n) / k));
+    r.threshold = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(threshold_fraction * static_cast<double>(d))));
+    return r;
+}
+
+Theorem4Regime theorem4_regime(std::size_t n, double eps, std::size_t t) {
+    expects(eps > 0.0, "theorem4_regime: eps must be positive");
+    expects(t >= 1 && t <= n, "theorem4_regime: need 1 <= t <= n");
+    Theorem4Regime r;
+    r.n = n;
+    r.eps = eps;
+    r.delegate_floor = t;
+    r.spg_max_degree = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(std::pow(static_cast<double>(t), eps / (1.0 + eps)))));
+    r.dnh_max_degree = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(std::pow(static_cast<double>(n), eps / (2.0 + eps)))));
+    return r;
+}
+
+Theorem5Regime theorem5_regime(std::size_t n, double c) {
+    expects(c > 0.0 && c < 1.0, "theorem5_regime: exponent out of (0,1)");
+    Theorem5Regime r;
+    r.n = n;
+    r.c = c;
+    r.min_degree = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::floor(std::pow(static_cast<double>(n), c))));
+    r.delegate_floor = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    return r;
+}
+
+double figure1_asymptotic_loss(double centre_competency) {
+    expects(centre_competency >= 0.0 && centre_competency <= 1.0,
+            "figure1_asymptotic_loss: competency out of [0,1]");
+    return 1.0 - centre_competency;
+}
+
+}  // namespace ld::theory

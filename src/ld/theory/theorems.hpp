@@ -1,0 +1,68 @@
+// One place for the paper's theorem-level parameter regimes, so benches,
+// tests, and examples all agree on what "the Theorem 4 setting" means.
+// Each struct bundles the restrictions a theorem needs; `*_regime(n, …)`
+// factories compute the concrete parameters for a given size.
+
+#pragma once
+
+#include <cstddef>
+
+namespace ld::theory {
+
+/// Theorem 2 (complete graphs, Algorithm 1): SPG for {K_n, PC = α/k} with
+/// Delegate(n) >= n/k; DNH for {K_n} assuming j(n) <= n/3.
+struct Theorem2Regime {
+    std::size_t n = 0;
+    double alpha = 0.0;
+    double k = 0.0;          ///< PC = α/k and delegate restriction n/k
+    double pc = 0.0;         ///< the required plausible changeability α/k
+    std::size_t delegate_floor = 0;  ///< f(n) = n/k
+    std::size_t max_threshold = 0;   ///< j(n) must stay <= n/3 for DNH
+};
+
+Theorem2Regime theorem2_regime(std::size_t n, double alpha, double k);
+
+/// Theorem 3 (random d-regular, Algorithm 2): same shape as Theorem 2 with
+/// the d-sample threshold j(d).
+struct Theorem3Regime {
+    std::size_t n = 0;
+    std::size_t d = 0;
+    double alpha = 0.0;
+    double pc = 0.0;
+    std::size_t delegate_floor = 0;
+    std::size_t threshold = 0;  ///< j(d)
+};
+
+Theorem3Regime theorem3_regime(std::size_t n, std::size_t d, double alpha, double k,
+                               double threshold_fraction);
+
+/// Theorem 4 (bounded degree): SPG for Δ <= t^{ε/(1+ε)} with
+/// Delegate(n) >= t; DNH for Δ <= n^{ε/(2+ε)} with bounded competency.
+struct Theorem4Regime {
+    std::size_t n = 0;
+    double eps = 0.0;
+    std::size_t spg_max_degree = 0;  ///< t^{ε/(1+ε)} at t = delegate floor
+    std::size_t dnh_max_degree = 0;  ///< n^{ε/(2+ε)}
+    std::size_t delegate_floor = 0;  ///< t
+};
+
+Theorem4Regime theorem4_regime(std::size_t n, double eps, std::size_t t);
+
+/// Theorem 5 (bounded minimum degree): the 1/3-fraction mechanism; SPG for
+/// δ >= n^c with Delegate(n) >= h, h >= √n; DNH adds bounded competency.
+struct Theorem5Regime {
+    std::size_t n = 0;
+    double c = 0.0;
+    std::size_t min_degree = 0;      ///< n^c
+    std::size_t delegate_floor = 0;  ///< h = max(√n, requested)
+};
+
+Theorem5Regime theorem5_regime(std::size_t n, double c);
+
+/// Figure 1 asymptotics: on the star with centre competency p_c and leaf
+/// competency p_l > 1/2, direct voting is correct w.p. → 1 while
+/// concentrating delegation is correct w.p. p_c, so the loss → 1 − p_c
+/// (= 1/4 for the paper's p_c = 3/4).
+double figure1_asymptotic_loss(double centre_competency);
+
+}  // namespace ld::theory

@@ -1,0 +1,65 @@
+#include "prob/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace ld::prob {
+
+using support::expects;
+
+double chernoff_lower_tail(double mu, double delta) {
+    expects(mu >= 0.0, "chernoff_lower_tail: mean must be non-negative");
+    expects(delta >= 0.0 && delta <= 1.0, "chernoff_lower_tail: delta out of [0,1]");
+    return std::exp(-delta * delta * mu / 2.0);
+}
+
+double chernoff_upper_tail(double mu, double delta) {
+    expects(mu >= 0.0, "chernoff_upper_tail: mean must be non-negative");
+    expects(delta >= 0.0, "chernoff_upper_tail: delta must be non-negative");
+    return std::exp(-delta * delta * mu / (2.0 + delta));
+}
+
+double hoeffding_two_sided(double t, double sum_sq_ranges) {
+    expects(t >= 0.0, "hoeffding_two_sided: t must be non-negative");
+    expects(sum_sq_ranges > 0.0, "hoeffding_two_sided: ranges must be positive");
+    return std::min(1.0, 2.0 * std::exp(-2.0 * t * t / sum_sq_ranges));
+}
+
+double lemma6_deviation_bound(double t, double total_weight, double max_weight) {
+    expects(total_weight > 0.0 && max_weight > 0.0, "lemma6: weights must be positive");
+    // At least total_weight / max_weight sinks, each contributing at most
+    // max_weight² to Σ (b_i − a_i)² — hence the bound below.
+    return hoeffding_two_sided(t, total_weight * max_weight);
+}
+
+double lemma5_radius(std::size_t n, double eps, double max_weight, double c) {
+    expects(c > 0.0, "lemma5_radius: c must be positive");
+    return std::sqrt(std::pow(static_cast<double>(n), 1.0 + eps)) * max_weight / c;
+}
+
+double lemma5_failure_bound(std::size_t n, double eps, double c) {
+    expects(c > 0.0, "lemma5_failure_bound: c must be positive");
+    // Plugging t = radius into Lemma 6's 2·exp(−2t²/(n·w·w_max)) with the
+    // conservative total_weight = n, max_weight = w:
+    //   2·exp(−2·n^{1+eps}·w² / (c²·n·w²)) = 2·exp(−2·n^{eps}/c²).
+    return std::min(1.0, 2.0 * std::exp(-2.0 * std::pow(static_cast<double>(n), eps) / (c * c)));
+}
+
+double lemma3_flip_probability(std::size_t n, double beta, double flipped_votes) {
+    expects(beta > 0.0 && beta < 0.5, "lemma3: beta must be in (0, 1/2)");
+    expects(flipped_votes >= 0.0, "lemma3: flipped_votes must be non-negative");
+    const double sigma = std::sqrt(static_cast<double>(n) * beta * (1.0 - beta));
+    // P[X^D within ±flipped_votes of the threshold] <= mass of a window of
+    // half-width `flipped_votes` anywhere under N(mu, sigma²), which is at
+    // most the central window mass erf(r/(σ√2)).
+    return std::erf(flipped_votes / (sigma * 1.4142135623730951));
+}
+
+std::size_t lemma3_delegation_budget(std::size_t n, double eps) {
+    expects(eps >= 0.0 && eps < 0.5, "lemma3_delegation_budget: eps out of [0, 1/2)");
+    return static_cast<std::size_t>(std::floor(std::pow(static_cast<double>(n), 0.5 - eps)));
+}
+
+}  // namespace ld::prob

@@ -1,0 +1,48 @@
+// Concentration-inequality calculators used throughout the paper's proofs:
+// Chernoff multiplicative bounds (Lemma 1), Hoeffding's inequality
+// (Theorem 1 / Lemma 6), and the Lemma 3 erf anti-concentration bound.
+// Benches print these alongside measured tail frequencies so the "paper
+// bound vs measured" comparison is explicit.
+
+#pragma once
+
+#include <cstddef>
+
+namespace ld::prob {
+
+/// Chernoff multiplicative lower-tail bound for a sum X of independent
+/// Bernoullis with mean mu:  P[X <= (1 − delta)·mu] <= exp(−delta²·mu / 2).
+double chernoff_lower_tail(double mu, double delta);
+
+/// Chernoff multiplicative upper-tail bound:
+/// P[X >= (1 + delta)·mu] <= exp(−delta²·mu / (2 + delta)).
+double chernoff_upper_tail(double mu, double delta);
+
+/// Hoeffding two-sided bound for S = Σ X_i, a_i <= X_i <= b_i:
+/// P[|S − E S| >= t] <= 2 exp(−2 t² / Σ (b_i − a_i)²).
+/// `sum_sq_ranges` = Σ (b_i − a_i)².
+double hoeffding_two_sided(double t, double sum_sq_ranges);
+
+/// Specialisation of Hoeffding for `sink_count` sinks of weight at most
+/// `max_weight` (Lemma 6): ranges are (b−a) = w_i <= max_weight, and there
+/// are at least total_weight / max_weight sinks, so
+/// Σ (b_i−a_i)² <= total_weight · max_weight.
+double lemma6_deviation_bound(double t, double total_weight, double max_weight);
+
+/// The deviation radius from Lemma 5: (1/c)·sqrt(n^{1+eps})·w per the paper
+/// statement — with failure probability at most `lemma5_failure_bound`.
+double lemma5_radius(std::size_t n, double eps, double max_weight, double c);
+
+/// Failure probability e^{−Ω(n^{eps})} instantiated as exp(−n^{eps}·/(c²))
+/// matching the Lemma 6 proof's `2 exp(−2 t²/(n·w²))` at t = radius.
+double lemma5_failure_bound(std::size_t n, double eps, double c);
+
+/// Lemma 3's flip-probability bound: the probability that the direct-vote
+/// sum X^D falls within ±`flipped_votes` of the majority threshold, upper
+/// bounded by erf(flipped_votes / (σ √2)) with σ >= sqrt(n·beta·(1−beta)).
+double lemma3_flip_probability(std::size_t n, double beta, double flipped_votes);
+
+/// Number of delegations allowed by Lemma 3: floor(n^{1/2 − eps}).
+std::size_t lemma3_delegation_budget(std::size_t n, double eps);
+
+}  // namespace ld::prob

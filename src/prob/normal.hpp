@@ -1,0 +1,32 @@
+// Normal-distribution utilities.  The paper's Lemma 4 (quoted from Kahng et
+// al.) justifies approximating the direct-voting outcome by a normal with
+// matched mean/variance; Lemma 3's anti-concentration argument is an erf
+// bound we evaluate with these functions.
+
+#pragma once
+
+namespace ld::prob {
+
+/// Standard normal density φ(x).
+double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x), via std::erfc for accuracy in the tails.
+double normal_cdf(double x);
+
+/// General normal CDF with mean mu, standard deviation sigma > 0.
+double normal_cdf(double x, double mu, double sigma);
+
+/// Inverse standard normal CDF (quantile).  Acklam's rational approximation
+/// refined with one Halley step; |error| < 1e-13 over (0, 1).
+double normal_quantile(double p);
+
+/// P[|Z| <= r] for standard normal Z — the two-sided window mass
+/// erf(r / √2).  This is the quantity bounded in Lemma 3: the probability
+/// that the direct-voting sum lands within ±r·σ of its mean, i.e. the
+/// probability a small number of flipped votes can change the outcome.
+double central_window_mass(double r);
+
+/// Probability mass of the interval (lo, hi) under N(mu, sigma²).
+double interval_mass(double lo, double hi, double mu, double sigma);
+
+}  // namespace ld::prob

@@ -1,0 +1,54 @@
+#include "prob/poisson_binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace ld::prob {
+
+using support::expects;
+
+PoissonBinomial::PoissonBinomial(std::span<const double> probabilities) {
+    pmf_.assign(probabilities.size() + 1, 0.0);
+    pmf_[0] = 1.0;
+    std::size_t used = 0;
+    for (double p : probabilities) {
+        expects(p >= 0.0 && p <= 1.0, "PoissonBinomial: probability out of [0,1]");
+        // In-place convolution with {1-p, p}; iterate downwards so each
+        // entry is read before being overwritten.
+        for (std::size_t k = used + 1; k-- > 0;) {
+            pmf_[k + 1] += pmf_[k] * p;
+            pmf_[k] *= (1.0 - p);
+        }
+        ++used;
+        mean_ += p;
+        variance_ += p * (1.0 - p);
+    }
+}
+
+double PoissonBinomial::pmf(std::size_t k) const {
+    expects(k < pmf_.size(), "pmf: k out of range");
+    return pmf_[k];
+}
+
+double PoissonBinomial::cdf(std::size_t k) const {
+    expects(k < pmf_.size(), "cdf: k out of range");
+    double acc = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) acc += pmf_[i];
+    return std::min(acc, 1.0);
+}
+
+double PoissonBinomial::tail_above(double t) const {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < pmf_.size(); ++k) {
+        if (static_cast<double>(k) > t) acc += pmf_[k];
+    }
+    return std::min(acc, 1.0);
+}
+
+double direct_majority_probability(std::span<const double> probabilities) {
+    return PoissonBinomial(probabilities).majority_probability();
+}
+
+}  // namespace ld::prob

@@ -1,0 +1,55 @@
+#include "prob/weighted_bernoulli_sum.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::prob {
+
+using support::expects;
+
+WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weights,
+                                           std::span<const double> probs) {
+    expects(weights.size() == probs.size(),
+            "WeightedBernoulliSum: weights/probs length mismatch");
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        expects(probs[i] >= 0.0 && probs[i] <= 1.0,
+                "WeightedBernoulliSum: probability out of [0,1]");
+        total_weight_ += weights[i];
+    }
+    pmf_.assign(static_cast<std::size_t>(total_weight_) + 1, 0.0);
+    pmf_[0] = 1.0;
+    std::uint64_t used = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const std::uint64_t w = weights[i];
+        if (w == 0) continue;
+        const double p = probs[i];
+        // Convolve with the two-point distribution {0 ↦ 1−p, w ↦ p},
+        // iterating downwards to avoid overwriting unread entries.
+        for (std::size_t s = static_cast<std::size_t>(used) + 1; s-- > 0;) {
+            const double mass = pmf_[s];
+            if (mass == 0.0) continue;
+            pmf_[s] = mass * (1.0 - p);
+            pmf_[s + static_cast<std::size_t>(w)] += mass * p;
+        }
+        used += w;
+        mean_ += static_cast<double>(w) * p;
+        variance_ += static_cast<double>(w) * static_cast<double>(w) * p * (1.0 - p);
+    }
+}
+
+double WeightedBernoulliSum::pmf(std::uint64_t s) const {
+    expects(s < pmf_.size(), "pmf: value out of range");
+    return pmf_[static_cast<std::size_t>(s)];
+}
+
+double WeightedBernoulliSum::tail_above(double t) const {
+    double acc = 0.0;
+    for (std::size_t s = pmf_.size(); s-- > 0;) {
+        if (static_cast<double>(s) > t) acc += pmf_[s];
+        else break;  // pmf indices below t contribute nothing
+    }
+    return std::min(acc, 1.0);
+}
+
+}  // namespace ld::prob

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for all stochastic code in
+// the library.  Every stochastic API in liquidd takes an `Rng&` so that
+// experiments are reproducible from a single seed.
+//
+// The engine is xoshiro256++ (Blackman & Vigna), seeded via SplitMix64 as its
+// authors recommend.  It satisfies the C++ UniformRandomBitGenerator
+// requirements, so it composes with <random> distributions, but the helpers
+// in sampling.hpp avoid libstdc++ distributions where cross-platform
+// reproducibility of the exact stream matters.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ld::rng {
+
+/// SplitMix64: a tiny, statistically strong 64-bit generator used to expand
+/// a single seed into the xoshiro state (and useful on its own for hashing).
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    /// Next 64-bit value.
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256++ engine.  Period 2^256 − 1; passes BigCrush.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seed the 256-bit state from a single 64-bit seed via SplitMix64.
+    explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept;
+
+    /// UniformRandomBitGenerator interface.
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+    result_type operator()() noexcept { return next(); }
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() noexcept;
+
+    /// Uniform double in [0, 1).  Uses the top 53 bits.
+    double next_double() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound).  `bound` must be nonzero.
+    /// Lemire's nearly-divisionless method; unbiased.
+    std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    bool next_bernoulli(double p) noexcept { return next_double() < p; }
+
+    /// Jump function: advances the state by 2^128 steps, giving a stream
+    /// that will not overlap the original for 2^128 draws.  Used to derive
+    /// independent per-thread / per-replication streams from one seed.
+    void jump() noexcept;
+
+    /// Derive an independent child generator: copy + jump, then jump self.
+    Rng split() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace ld::rng

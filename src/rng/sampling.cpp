@@ -1,0 +1,111 @@
+#include "rng/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/expect.hpp"
+
+namespace ld::rng {
+
+using support::expects;
+
+std::size_t uniform_index(Rng& rng, std::size_t n) {
+    expects(n > 0, "uniform_index: empty range");
+    return static_cast<std::size_t>(rng.next_below(n));
+}
+
+double uniform_real(Rng& rng, double lo, double hi) {
+    expects(lo <= hi, "uniform_real: inverted range");
+    return lo + (hi - lo) * rng.next_double();
+}
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n, std::size_t k) {
+    expects(k <= n, "sample_without_replacement: k exceeds population");
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    if (k == 0) return out;
+    if (k * 3 >= n) {
+        // Dense case: partial Fisher–Yates over the whole population.
+        std::vector<std::size_t> pop(n);
+        for (std::size_t i = 0; i < n; ++i) pop[i] = i;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t j = i + static_cast<std::size_t>(rng.next_below(n - i));
+            std::swap(pop[i], pop[j]);
+        }
+        out.assign(pop.begin(), pop.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+        // Sparse case: Floyd's algorithm — k expected-O(1) insertions.
+        std::unordered_set<std::size_t> chosen;
+        chosen.reserve(k * 2);
+        for (std::size_t j = n - k; j < n; ++j) {
+            const std::size_t t = static_cast<std::size_t>(rng.next_below(j + 1));
+            if (!chosen.insert(t).second) chosen.insert(j);
+        }
+        out.assign(chosen.begin(), chosen.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::size_t> sample_with_replacement(Rng& rng, std::size_t n, std::size_t k) {
+    expects(n > 0 || k == 0, "sample_with_replacement: empty population");
+    std::vector<std::size_t> out(k);
+    for (auto& v : out) v = static_cast<std::size_t>(rng.next_below(n));
+    return out;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+    expects(!weights.empty(), "AliasTable: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        expects(w >= 0.0, "AliasTable: negative weight");
+        total += w;
+    }
+    expects(total > 0.0, "AliasTable: all weights zero");
+
+    const std::size_t n = weights.size();
+    normalised_.resize(n);
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        normalised_[i] = weights[i] / total;
+        scaled[i] = normalised_[i] * static_cast<double>(n);
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.back();
+        small.pop_back();
+        const std::size_t l = large.back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+        }
+    }
+    for (std::size_t i : large) prob_[i] = 1.0;
+    for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+    const std::size_t column = static_cast<std::size_t>(rng.next_below(prob_.size()));
+    return rng.next_double() < prob_[column] ? column : alias_[column];
+}
+
+void ReservoirSampler::offer(Rng& rng, std::size_t value) {
+    ++seen_;
+    if (reservoir_.size() < k_) {
+        reservoir_.push_back(value);
+        return;
+    }
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(seen_));
+    if (j < k_) reservoir_[j] = value;
+}
+
+}  // namespace ld::rng

@@ -1,0 +1,88 @@
+// Sampling primitives built on `ld::rng::Rng`.  These implement the random
+// choices the paper's mechanisms make: uniform choice from an approval set,
+// d random neighbours (Algorithm 2), random k-subsets, shuffles, and
+// weighted choice (alias method) for general delegation plans.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace ld::rng {
+
+/// Uniformly random element index in [0, n).  Precondition: n > 0.
+std::size_t uniform_index(Rng& rng, std::size_t n);
+
+/// Uniformly random element of a non-empty span.
+template <typename T>
+const T& uniform_choice(Rng& rng, std::span<const T> items) {
+    return items[uniform_index(rng, items.size())];
+}
+
+/// Uniform double in [lo, hi).
+double uniform_real(Rng& rng, double lo, double hi);
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(Rng& rng, std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+        using std::swap;
+        swap(items[i - 1], items[j]);
+    }
+}
+
+/// Sample `k` distinct values from {0, …, n−1}, uniformly over k-subsets,
+/// returned in ascending order.  Uses Floyd's algorithm (O(k) expected) for
+/// small k and a partial shuffle for k close to n.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n, std::size_t k);
+
+/// Sample `k` values from {0, …, n−1} *with* replacement.
+std::vector<std::size_t> sample_with_replacement(Rng& rng, std::size_t n, std::size_t k);
+
+/// Walker's alias method for repeated sampling from a fixed discrete
+/// distribution.  Construction is O(n); each draw is O(1).
+class AliasTable {
+public:
+    /// Build from (unnormalised, non-negative) weights; at least one weight
+    /// must be strictly positive.
+    explicit AliasTable(std::span<const double> weights);
+
+    /// Draw an index distributed proportionally to the weights.
+    std::size_t sample(Rng& rng) const;
+
+    std::size_t size() const noexcept { return prob_.size(); }
+
+    /// Normalised probability of index `i` (for testing).
+    double probability(std::size_t i) const noexcept { return normalised_[i]; }
+
+private:
+    std::vector<double> prob_;          // acceptance thresholds
+    std::vector<std::size_t> alias_;    // alias targets
+    std::vector<double> normalised_;    // normalised input weights
+};
+
+/// Reservoir sampling: uniformly sample `k` items from a stream presented
+/// via repeated `offer()` calls, without knowing the stream length upfront.
+class ReservoirSampler {
+public:
+    explicit ReservoirSampler(std::size_t k) : k_(k) {}
+
+    /// Offer the next stream element (identified by its index/value).
+    void offer(Rng& rng, std::size_t value);
+
+    /// Items currently held (k of them once ≥ k elements were offered).
+    const std::vector<std::size_t>& sample() const noexcept { return reservoir_; }
+
+    std::size_t stream_size() const noexcept { return seen_; }
+
+private:
+    std::size_t k_;
+    std::size_t seen_ = 0;
+    std::vector<std::size_t> reservoir_;
+};
+
+}  // namespace ld::rng

@@ -1,0 +1,65 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "prob/normal.hpp"
+#include "support/expect.hpp"
+
+namespace ld::stats {
+
+using support::expects;
+
+namespace {
+
+double z_for(double confidence) {
+    expects(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    return prob::normal_quantile(0.5 + confidence / 2.0);
+}
+
+}  // namespace
+
+Interval mean_interval(double mean, double standard_error, double confidence) {
+    expects(standard_error >= 0.0, "mean_interval: negative standard error");
+    const double z = z_for(confidence);
+    return {mean - z * standard_error, mean + z * standard_error};
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double confidence) {
+    expects(successes <= trials, "wilson_interval: successes exceed trials");
+    if (trials == 0) return {0.0, 1.0};
+    const double z = z_for(confidence);
+    const double n = static_cast<double>(trials);
+    const double phat = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double centre = (phat + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+    return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+Interval bootstrap_mean_interval(rng::Rng& rng, std::span<const double> sample,
+                                 std::size_t resamples, double confidence) {
+    expects(!sample.empty(), "bootstrap_mean_interval: empty sample");
+    expects(resamples >= 2, "bootstrap_mean_interval: need at least 2 resamples");
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (std::size_t r = 0; r < resamples; ++r) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+            sum += sample[rng.next_below(sample.size())];
+        }
+        means.push_back(sum / static_cast<double>(sample.size()));
+    }
+    std::sort(means.begin(), means.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    const auto idx = [&](double q) {
+        const auto i = static_cast<std::size_t>(q * static_cast<double>(means.size() - 1));
+        return means[i];
+    };
+    return {idx(alpha), idx(1.0 - alpha)};
+}
+
+}  // namespace ld::stats

@@ -1,0 +1,34 @@
+// Confidence intervals for the Monte-Carlo estimators: normal (Wald)
+// intervals on means, Wilson score intervals on proportions, and a
+// percentile bootstrap for statistics without a clean variance formula.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rng/rng.hpp"
+
+namespace ld::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+    double width() const noexcept { return hi - lo; }
+    bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+};
+
+/// Wald interval mean ± z·se for the given confidence level (e.g. 0.95).
+Interval mean_interval(double mean, double standard_error, double confidence);
+
+/// Wilson score interval for a proportion with `successes` out of `trials`.
+/// Well-behaved near 0 and 1, unlike the Wald interval.
+Interval wilson_interval(std::size_t successes, std::size_t trials, double confidence);
+
+/// Percentile bootstrap CI for the mean of `sample` using `resamples`
+/// bootstrap replicates.
+Interval bootstrap_mean_interval(rng::Rng& rng, std::span<const double> sample,
+                                 std::size_t resamples, double confidence);
+
+}  // namespace ld::stats

@@ -1,0 +1,34 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::stats {
+
+using support::expects;
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+    expects(!sorted_.empty(), "Ecdf: empty sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::fraction_below(double x) const {
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::fraction_above(double x) const { return 1.0 - cdf(x); }
+
+double Ecdf::quantile(double q) const {
+    expects(q >= 0.0 && q <= 1.0, "Ecdf::quantile: q out of [0,1]");
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_.size() - 1));
+    return sorted_[idx];
+}
+
+}  // namespace ld::stats

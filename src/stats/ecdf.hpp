@@ -1,0 +1,39 @@
+// Empirical CDF over a finite sample, used to compare measured tail
+// frequencies against the Chernoff / Hoeffding bounds in the recycle-
+// sampling and Lemma 5 experiments.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ld::stats {
+
+/// Immutable empirical distribution of a sample.
+class Ecdf {
+public:
+    /// Copies and sorts the sample.  Must be non-empty.
+    explicit Ecdf(std::span<const double> sample);
+
+    std::size_t size() const noexcept { return sorted_.size(); }
+
+    /// F(x) = fraction of observations <= x.
+    double cdf(double x) const;
+
+    /// Fraction of observations strictly below x (lower tail frequency).
+    double fraction_below(double x) const;
+
+    /// Fraction of observations strictly above x (upper tail frequency).
+    double fraction_above(double x) const;
+
+    /// q-th sample quantile (nearest-rank), q in [0, 1].
+    double quantile(double q) const;
+
+    double min() const noexcept { return sorted_.front(); }
+    double max() const noexcept { return sorted_.back(); }
+
+private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace ld::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/expect.hpp"
+
+namespace ld::stats {
+
+using support::expects;
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0) {
+    expects(hi > lo, "Histogram: empty range");
+    expects(bin_count > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi
+    ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+    expects(bin < counts_.size(), "Histogram::count: bin out of range");
+    return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_edges(std::size_t bin) const {
+    expects(bin < counts_.size(), "Histogram::bin_edges: bin out of range");
+    return {lo_ + bin_width_ * static_cast<double>(bin),
+            lo_ + bin_width_ * static_cast<double>(bin + 1)};
+}
+
+double Histogram::fraction(std::size_t bin) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::size_t peak = 1;
+    for (std::size_t c : counts_) peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto [lo, hi] = bin_edges(b);
+        const auto bar = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[b]) * static_cast<double>(width) /
+                         static_cast<double>(peak)));
+        os << '[' << lo << ", " << hi << ") " << std::string(bar, '#') << ' '
+           << counts_[b] << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace ld::stats

@@ -1,0 +1,47 @@
+// Fixed-bin histogram for outcome distributions (e.g. the distribution of
+// correct-vote counts under delegation vs direct voting, the sink-weight
+// distribution in Lemma 5 audits).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ld::stats {
+
+/// Histogram over [lo, hi) with `bin_count` equal-width bins plus underflow
+/// and overflow counters.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bin_count);
+
+    /// Record one observation.
+    void add(double x) noexcept;
+
+    std::size_t bin_count() const noexcept { return counts_.size(); }
+    std::size_t count(std::size_t bin) const;
+    std::size_t underflow() const noexcept { return underflow_; }
+    std::size_t overflow() const noexcept { return overflow_; }
+    std::size_t total() const noexcept { return total_; }
+
+    /// [lower, upper) edges of bin `bin`.
+    std::pair<double, double> bin_edges(std::size_t bin) const;
+
+    /// Fraction of all observations (including under/overflow) in `bin`.
+    double fraction(std::size_t bin) const;
+
+    /// Simple fixed-width ASCII rendering, one line per bin.
+    std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+}  // namespace ld::stats

@@ -1,0 +1,54 @@
+#include "stats/running_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ld::stats {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const noexcept {
+    return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n_total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                            static_cast<double>(other.n_) / n_total;
+    mean_ += delta * static_cast<double>(other.n_) / n_total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+void PairedStats::add(double a, double b) noexcept {
+    a_.add(a);
+    b_.add(b);
+    diff_.add(a - b);
+}
+
+}  // namespace ld::stats

@@ -1,0 +1,61 @@
+// Welford online mean/variance accumulator and a paired-difference variant
+// used by the gain estimator (delegation minus direct on common random
+// numbers).
+
+#pragma once
+
+#include <cstddef>
+
+namespace ld::stats {
+
+/// Numerically stable streaming mean / variance / min / max (Welford).
+class RunningStats {
+public:
+    /// Fold one observation into the accumulator.
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return mean_; }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    double variance() const noexcept;
+
+    /// Sample standard deviation.
+    double stddev() const noexcept;
+
+    /// Standard error of the mean.
+    double standard_error() const noexcept;
+
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+    /// Merge another accumulator (parallel Welford / Chan et al.).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Accumulates paired observations (a_i, b_i) and tracks statistics of the
+/// difference a − b, plus each marginal.  Used for common-random-number
+/// gain estimation: a = delegated outcome, b = direct outcome, same seed.
+class PairedStats {
+public:
+    void add(double a, double b) noexcept;
+
+    std::size_t count() const noexcept { return diff_.count(); }
+    const RunningStats& first() const noexcept { return a_; }
+    const RunningStats& second() const noexcept { return b_; }
+    const RunningStats& difference() const noexcept { return diff_; }
+
+private:
+    RunningStats a_;
+    RunningStats b_;
+    RunningStats diff_;
+};
+
+}  // namespace ld::stats

@@ -1,0 +1,66 @@
+#include "support/csv_writer.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/expect.hpp"
+
+namespace ld::support {
+
+namespace {
+
+std::string render(const Cell& cell) {
+    std::ostringstream os;
+    if (const auto* s = std::get_if<std::string>(&cell)) {
+        os << *s;
+    } else if (const auto* i = std::get_if<long long>(&cell)) {
+        os << *i;
+    } else {
+        os << std::setprecision(17) << std::get<double>(cell);
+    }
+    return os.str();
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), width_(headers.size()) {
+    expects(width_ > 0, "csv must have at least one column");
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    write_row(headers);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+    if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char ch : field) {
+        if (ch == '"') quoted += "\"\"";
+        else quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<Cell>& cells) {
+    expects(cells.size() == width_, "csv row width must match header width");
+    std::vector<std::string> fields;
+    fields.reserve(cells.size());
+    for (const auto& c : cells) fields.push_back(render(c));
+    write_row(fields);
+    ++rows_written_;
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+}  // namespace ld::support

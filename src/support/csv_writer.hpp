@@ -1,0 +1,42 @@
+// Minimal RFC-4180-ish CSV emission so that bench binaries can dump their
+// sweep data for external plotting alongside the console table.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/table_printer.hpp"  // for Cell
+
+namespace ld::support {
+
+/// Streams rows of `Cell`s to a CSV file.  Quotes fields containing commas,
+/// quotes, or newlines; doubles are written with full round-trip precision.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header row.
+    /// Throws `std::runtime_error` if the file cannot be opened.
+    CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+    /// Append one data row; must match the header width.
+    void add_row(const std::vector<Cell>& cells);
+
+    /// Flushes and closes the underlying stream (also done by destructor).
+    void close();
+
+    /// Number of data rows written.
+    std::size_t row_count() const noexcept { return rows_written_; }
+
+    /// Escape a single field per RFC 4180.
+    static std::string escape(const std::string& field);
+
+private:
+    void write_row(const std::vector<std::string>& fields);
+
+    std::ofstream out_;
+    std::size_t width_;
+    std::size_t rows_written_ = 0;
+};
+
+}  // namespace ld::support

@@ -1,0 +1,15 @@
+#include "support/expect.hpp"
+
+#include <sstream>
+
+namespace ld::support::detail {
+
+void throw_contract_violation(std::string_view kind, std::string_view message,
+                              const std::source_location& loc) {
+    std::ostringstream os;
+    os << kind << " violated: " << message << " [" << loc.file_name() << ':' << loc.line()
+       << " in " << loc.function_name() << ']';
+    throw ContractViolation(os.str());
+}
+
+}  // namespace ld::support::detail

@@ -1,0 +1,54 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions").
+//
+// We use plain functions rather than macros (Core Guidelines ES.31): the
+// condition is always evaluated, and a violation throws `ContractViolation`
+// carrying the caller's source location.  Contract checks guard the public
+// API of every module in this library; they are cheap relative to the
+// Monte-Carlo work the library performs, so they stay on in release builds.
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ld::support {
+
+/// Thrown when a precondition (`expects`) or postcondition (`ensures`) is
+/// violated.  Carries a human-readable message that includes the source
+/// location of the failed check.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(std::string_view kind,
+                                           std::string_view message,
+                                           const std::source_location& loc);
+}  // namespace detail
+
+/// Check a precondition.  Throws `ContractViolation` if `condition` is false.
+inline void expects(bool condition,
+                    std::string_view message = "precondition failed",
+                    const std::source_location loc = std::source_location::current()) {
+    if (!condition) detail::throw_contract_violation("Precondition", message, loc);
+}
+
+/// Check a postcondition.  Throws `ContractViolation` if `condition` is false.
+inline void ensures(bool condition,
+                    std::string_view message = "postcondition failed",
+                    const std::source_location loc = std::source_location::current()) {
+    if (!condition) detail::throw_contract_violation("Postcondition", message, loc);
+}
+
+/// Check an internal invariant.  Throws `ContractViolation` on failure.
+inline void invariant(bool condition,
+                      std::string_view message = "invariant failed",
+                      const std::source_location loc = std::source_location::current()) {
+    if (!condition) detail::throw_contract_violation("Invariant", message, loc);
+}
+
+}  // namespace ld::support

@@ -1,0 +1,10 @@
+#include "support/stopwatch.hpp"
+
+namespace ld::support {
+
+double Stopwatch::elapsed_seconds() const noexcept {
+    const auto now = Clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace ld::support

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the experiment harness to report per-sweep
+// timings without pulling google-benchmark into table-style experiments.
+
+#pragma once
+
+#include <chrono>
+
+namespace ld::support {
+
+/// Monotonic stopwatch.  Starts on construction; `elapsed_seconds()` may be
+/// called repeatedly; `restart()` resets the origin.
+class Stopwatch {
+public:
+    Stopwatch() noexcept : start_(Clock::now()) {}
+
+    /// Seconds elapsed since construction or the last `restart()`.
+    double elapsed_seconds() const noexcept;
+
+    /// Milliseconds elapsed since construction or the last `restart()`.
+    double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+    /// Reset the stopwatch origin to now.
+    void restart() noexcept { start_ = Clock::now(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace ld::support

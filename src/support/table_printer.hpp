@@ -1,0 +1,48 @@
+// Fixed-width console table emission used by the benchmark harness to print
+// paper-style result tables (one row per sweep point, one column per metric).
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ld::support {
+
+/// A single table cell: string, integer, or floating point.  Doubles are
+/// rendered with a per-table precision; integers right-aligned.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Accumulates rows and renders an aligned ASCII table.
+///
+/// Typical use in a bench binary:
+/// ```
+/// TablePrinter t({"n", "gain", "ci95"});
+/// t.add_row({1000LL, 0.0123, 0.0005});
+/// t.print(std::cout);
+/// ```
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers, int precision = 4);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<Cell> cells);
+
+    /// Number of data rows added so far.
+    std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Render the table (headers, separator, rows) to `os`.
+    void print(std::ostream& os) const;
+
+    /// Render a single cell using this table's precision.
+    std::string format_cell(const Cell& cell) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<Cell>> rows_;
+    int precision_;
+};
+
+}  // namespace ld::support

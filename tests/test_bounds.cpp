@@ -1,0 +1,103 @@
+// Tests for the concentration-bound calculators (Chernoff, Hoeffding,
+// Lemma 3/5/6 instantiations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/bounds.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace prob = ld::prob;
+using ld::support::ContractViolation;
+
+TEST(Chernoff, LowerTailKnownValue) {
+    // exp(−δ²μ/2) at δ=0.1, μ=200 → exp(−1).
+    EXPECT_NEAR(prob::chernoff_lower_tail(200.0, 0.1), std::exp(-1.0), 1e-12);
+}
+
+TEST(Chernoff, LowerTailMonotonicity) {
+    EXPECT_GT(prob::chernoff_lower_tail(100.0, 0.1), prob::chernoff_lower_tail(100.0, 0.2));
+    EXPECT_GT(prob::chernoff_lower_tail(100.0, 0.1), prob::chernoff_lower_tail(200.0, 0.1));
+    EXPECT_NEAR(prob::chernoff_lower_tail(100.0, 0.0), 1.0, 1e-15);
+}
+
+TEST(Chernoff, UpperTailFormula) {
+    EXPECT_NEAR(prob::chernoff_upper_tail(100.0, 1.0), std::exp(-100.0 / 3.0), 1e-12);
+    EXPECT_LT(prob::chernoff_upper_tail(100.0, 2.0), prob::chernoff_upper_tail(100.0, 1.0));
+}
+
+TEST(Chernoff, InputValidation) {
+    EXPECT_THROW(prob::chernoff_lower_tail(-1.0, 0.5), ContractViolation);
+    EXPECT_THROW(prob::chernoff_lower_tail(1.0, 1.5), ContractViolation);
+    EXPECT_THROW(prob::chernoff_upper_tail(1.0, -0.5), ContractViolation);
+}
+
+TEST(Hoeffding, MatchesTheoremOne) {
+    // n unit-range variables: P[|S−E| >= t] <= 2 exp(−2t²/n).
+    const double n = 50.0, t = 10.0;
+    EXPECT_NEAR(prob::hoeffding_two_sided(t, n), 2.0 * std::exp(-2.0 * t * t / n), 1e-12);
+}
+
+TEST(Hoeffding, IsCappedAtOne) {
+    EXPECT_NEAR(prob::hoeffding_two_sided(0.0, 10.0), 1.0, 1e-15);
+}
+
+TEST(Lemma6, BoundShrinksWithMoreSinks) {
+    // Fixed total weight, smaller max weight ⇒ more sinks ⇒ smaller bound.
+    const double t = 50.0, total = 1000.0;
+    EXPECT_LT(prob::lemma6_deviation_bound(t, total, 5.0),
+              prob::lemma6_deviation_bound(t, total, 50.0));
+}
+
+TEST(Lemma5, RadiusFormula) {
+    // radius = √(n^{1+ε})·w / c.
+    const std::size_t n = 10000;
+    EXPECT_NEAR(prob::lemma5_radius(n, 0.0, 3.0, 2.0), std::sqrt(10000.0) * 3.0 / 2.0,
+                1e-9);
+    EXPECT_GT(prob::lemma5_radius(n, 0.5, 3.0, 2.0), prob::lemma5_radius(n, 0.1, 3.0, 2.0));
+}
+
+TEST(Lemma5, FailureBoundDecaysWithN) {
+    double prev = 1.0;
+    for (std::size_t n : {100u, 10000u, 1000000u}) {
+        const double b = prob::lemma5_failure_bound(n, 0.3, 1.0);
+        EXPECT_LE(b, prev);
+        prev = b;
+    }
+    EXPECT_LT(prev, 1e-10);
+}
+
+TEST(Lemma3, FlipProbabilityVanishesUnderBudget) {
+    // Delegations within the n^{1/2−ε} budget: flip probability → 0.
+    double prev = 1.0;
+    for (std::size_t n : {100u, 10000u, 1000000u, 100000000u}) {
+        const auto budget = prob::lemma3_delegation_budget(n, 0.25);
+        const double flip =
+            prob::lemma3_flip_probability(n, 0.25, 2.0 * static_cast<double>(budget));
+        EXPECT_LT(flip, prev) << n;
+        prev = flip;
+    }
+    EXPECT_LT(prev, 0.05);
+}
+
+TEST(Lemma3, FlipProbabilityNearOneWhenOverBudget) {
+    // Delegating Θ(n) votes swamps the √n standard deviation.
+    const std::size_t n = 10000;
+    EXPECT_GT(prob::lemma3_flip_probability(n, 0.25, static_cast<double>(n) / 2.0), 0.99);
+}
+
+TEST(Lemma3, BudgetFormula) {
+    EXPECT_EQ(prob::lemma3_delegation_budget(10000, 0.0), 100u);
+    EXPECT_EQ(prob::lemma3_delegation_budget(10000, 0.25), 10u);
+    EXPECT_THROW(prob::lemma3_delegation_budget(100, 0.7), ContractViolation);
+}
+
+TEST(Lemma3, BetaValidation) {
+    EXPECT_THROW(prob::lemma3_flip_probability(100, 0.0, 1.0), ContractViolation);
+    EXPECT_THROW(prob::lemma3_flip_probability(100, 0.5, 1.0), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the enumerative (exact) evaluator — ground truth for the
+// Monte-Carlo estimators.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/election/brute_force.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace election = ld::election;
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+model::Instance small_instance(std::uint64_t seed, std::size_t n = 8) {
+    Rng rng(seed);
+    return model::Instance(g::make_complete(n),
+                           model::uniform_competencies(rng, n, 0.2, 0.8), 0.07);
+}
+
+TEST(BruteForce, DirectVotingMatchesPoissonBinomial) {
+    const auto inst = small_instance(1);
+    const mech::DirectVoting direct;
+    const auto laws = election::uniform_approved_laws(direct, inst);
+    const double exact = election::exact_mechanism_probability(inst, laws);
+    EXPECT_NEAR(exact, election::exact_direct_probability(inst), 1e-12);
+}
+
+TEST(BruteForce, DeterministicDictatorHandCase) {
+    // 3 voters on a path 0-1-2 with ascending competency and BestNeighbour:
+    // 0 -> 1 -> 2, so P^M = p_2 = 0.9 exactly.
+    const model::Instance inst(g::make_path(3),
+                               model::CompetencyVector({0.3, 0.6, 0.9}), 0.05);
+    const mech::BestNeighbour best;
+    Rng rng(2);
+    const auto laws = election::estimate_laws(best, inst, rng, 200);
+    const double exact = election::exact_mechanism_probability(inst, laws);
+    EXPECT_NEAR(exact, 0.9, 1e-12);
+}
+
+TEST(BruteForce, UniformLawsMatchEmpiricalLaws) {
+    const auto inst = small_instance(3);
+    const mech::ApprovalSizeThreshold m(2);
+    Rng rng(4);
+    const auto closed = election::uniform_approved_laws(m, inst);
+    const auto empirical = election::estimate_laws(m, inst, rng, 30000);
+    ASSERT_EQ(closed.size(), empirical.size());
+    for (std::size_t v = 0; v < closed.size(); ++v) {
+        EXPECT_NEAR(closed[v].vote_probability, empirical[v].vote_probability, 0.02);
+        // Compare total delegation mass per target.
+        for (const auto& [target, prob] : closed[v].delegate_probabilities) {
+            double emp = 0.0;
+            for (const auto& [t2, p2] : empirical[v].delegate_probabilities) {
+                if (t2 == target) emp = p2;
+            }
+            EXPECT_NEAR(prob, emp, 0.02) << "voter " << v << " target " << target;
+        }
+    }
+}
+
+TEST(BruteForce, MonteCarloEstimatorIsUnbiased) {
+    const auto inst = small_instance(5, 7);
+    const mech::ApprovalSizeThreshold m(1);
+    const auto laws = election::uniform_approved_laws(m, inst);
+    const double exact = election::exact_mechanism_probability(inst, laws);
+
+    Rng rng(6);
+    election::EvalOptions opts;
+    opts.replications = 4000;
+    const auto estimate = election::estimate_correct_probability(m, inst, rng, opts);
+    EXPECT_NEAR(estimate.value, exact, 4.0 * estimate.std_error + 1e-4);
+}
+
+TEST(BruteForce, GainEstimatorAgreesOnSmallInstances) {
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        const auto inst = small_instance(seed, 7);
+        const mech::ApprovalSizeThreshold m(2);
+        const auto laws = election::uniform_approved_laws(m, inst);
+        const double exact_pm = election::exact_mechanism_probability(inst, laws);
+        const double exact_gain = exact_pm - election::exact_direct_probability(inst);
+
+        Rng rng(seed * 1000);
+        election::EvalOptions opts;
+        opts.replications = 3000;
+        const auto report = election::estimate_gain(m, inst, rng, opts);
+        EXPECT_NEAR(report.gain, exact_gain, 5.0 * report.pm.std_error + 1e-4)
+            << "seed " << seed;
+    }
+}
+
+TEST(BruteForce, EnumerationGuardTriggers) {
+    const auto inst = small_instance(8, 12);
+    const mech::ApprovalSizeThreshold m(1);
+    const auto laws = election::uniform_approved_laws(m, inst);
+    EXPECT_THROW(election::exact_mechanism_probability(inst, laws, 100),
+                 ContractViolation);
+}
+
+TEST(BruteForce, LawCountMustMatchVoterCount) {
+    const auto inst = small_instance(9, 5);
+    std::vector<election::VoterLaw> laws(4);
+    EXPECT_THROW(election::exact_mechanism_probability(inst, laws), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Tests for CompetencyVector: ordering, plausible changeability, bounded
+// competency (Definition 1's competency-side restrictions).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ld/model/competency.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::model::CompetencyVector;
+using ld::support::ContractViolation;
+
+TEST(Competency, StoresValuesByVertex) {
+    const CompetencyVector p({0.8, 0.2, 0.5});
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_DOUBLE_EQ(p[0], 0.8);
+    EXPECT_DOUBLE_EQ(p[1], 0.2);
+    EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(Competency, RejectsOutOfRangeValues) {
+    EXPECT_THROW(CompetencyVector({0.5, 1.01}), ContractViolation);
+    EXPECT_THROW(CompetencyVector({-0.1}), ContractViolation);
+}
+
+TEST(Competency, AscendingOrderIsThePaperIndexing) {
+    const CompetencyVector p({0.8, 0.2, 0.5, 0.2});
+    const auto order = p.ascending_order();
+    ASSERT_EQ(order.size(), 4u);
+    // ties broken by vertex id (stable)
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 2u);
+    EXPECT_EQ(order[3], 0u);
+    EXPECT_DOUBLE_EQ(p.kth_smallest(0), 0.2);
+    EXPECT_DOUBLE_EQ(p.kth_smallest(3), 0.8);
+    EXPECT_THROW(p.kth_smallest(4), ContractViolation);
+}
+
+TEST(Competency, MeanAndOutcomeVariance) {
+    const CompetencyVector p({0.5, 0.5, 1.0});
+    EXPECT_NEAR(p.mean(), 2.0 / 3.0, 1e-15);
+    EXPECT_NEAR(p.outcome_variance(), 0.25 + 0.25 + 0.0, 1e-15);
+}
+
+TEST(Competency, PlausibleChangeability) {
+    // PC = a requires 1/2 − a <= mean <= 1/2: the mean sits close to 1/2
+    // from below, so delegation boosts of α per vote can flip the outcome.
+    const CompetencyVector p({0.4, 0.4, 0.4});
+    EXPECT_NEAR(p.plausible_changeability(), 0.1, 1e-12);
+    EXPECT_TRUE(p.satisfies_pc(0.1));
+    EXPECT_TRUE(p.satisfies_pc(0.2));   // larger allowance still contains it
+    EXPECT_FALSE(p.satisfies_pc(0.05)); // mean too far below 1/2
+
+    const CompetencyVector at_half({0.5, 0.5});
+    EXPECT_EQ(at_half.plausible_changeability(), 0.0);
+    EXPECT_TRUE(at_half.satisfies_pc(0.01));
+
+    const CompetencyVector winning({0.6, 0.6});
+    EXPECT_EQ(winning.plausible_changeability(), 0.0);  // mean above 1/2
+    EXPECT_FALSE(winning.satisfies_pc(0.1));
+}
+
+TEST(Competency, BoundedAway) {
+    const CompetencyVector p({0.3, 0.5, 0.7});
+    EXPECT_TRUE(p.bounded_away(0.2));
+    EXPECT_TRUE(p.bounded_away(0.29));
+    EXPECT_FALSE(p.bounded_away(0.3));  // p=0.3 not strictly above beta
+    EXPECT_FALSE(p.bounded_away(0.5));
+    EXPECT_FALSE(p.bounded_away(-0.1));
+
+    const CompetencyVector extreme({0.0, 0.5});
+    EXPECT_FALSE(extreme.bounded_away(0.0));  // p=0 is never strictly inside
+}
+
+TEST(Competency, BoundingBeta) {
+    const CompetencyVector p({0.3, 0.5, 0.65});
+    EXPECT_NEAR(p.bounding_beta(), 0.3, 1e-15);
+    const CompetencyVector q({0.1, 0.95});
+    EXPECT_NEAR(q.bounding_beta(), 0.05, 1e-15);
+    const CompetencyVector z({0.0, 0.5});
+    EXPECT_NEAR(z.bounding_beta(), 0.0, 1e-15);
+}
+
+TEST(Competency, EmptyVectorDefaults) {
+    const CompetencyVector p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.plausible_changeability(), 0.0);
+    EXPECT_FALSE(p.satisfies_pc(0.1));
+}
+
+}  // namespace

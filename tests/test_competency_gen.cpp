@@ -1,0 +1,113 @@
+// Tests for the competency generators behind each workload family.
+
+#include <gtest/gtest.h>
+
+#include "ld/model/competency_gen.hpp"
+#include "rng/rng.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace model = ld::model;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(UniformCompetencies, StaysInInterval) {
+    Rng rng(1);
+    const auto p = model::uniform_competencies(rng, 1000, 0.3, 0.7);
+    EXPECT_EQ(p.size(), 1000u);
+    for (double x : p.values()) {
+        EXPECT_GE(x, 0.3);
+        EXPECT_LT(x, 0.7);
+    }
+    EXPECT_NEAR(p.mean(), 0.5, 0.02);
+    EXPECT_THROW(model::uniform_competencies(rng, 10, 0.7, 0.3), ContractViolation);
+}
+
+TEST(PcCompetencies, HitsTheTargetMeanExactly) {
+    Rng rng(2);
+    for (double a : {0.05, 0.1, 0.2}) {
+        const auto p = model::pc_competencies(rng, 500, a, 0.15);
+        EXPECT_NEAR(p.mean(), 0.5 - a, 1e-6) << "a=" << a;
+        EXPECT_TRUE(p.satisfies_pc(a * 1.001));
+    }
+}
+
+TEST(PcCompetencies, ZeroSpreadIsConstant) {
+    Rng rng(3);
+    const auto p = model::pc_competencies(rng, 10, 0.1, 0.0);
+    for (double x : p.values()) EXPECT_DOUBLE_EQ(x, 0.4);
+}
+
+TEST(PcCompetencies, RespectsBetaFloor) {
+    Rng rng(4);
+    const auto p = model::pc_competencies(rng, 2000, 0.24, 0.5, 0.05);
+    for (double x : p.values()) {
+        EXPECT_GE(x, 0.05);
+        EXPECT_LE(x, 0.95);
+    }
+    EXPECT_THROW(model::pc_competencies(rng, 10, 0.3, 0.1), ContractViolation);
+}
+
+TEST(TwoPoint, ExactCounts) {
+    Rng rng(5);
+    const auto p = model::two_point_competencies(rng, 100, 0.2, 0.9, 0.25);
+    std::size_t high = 0;
+    for (double x : p.values()) {
+        EXPECT_TRUE(x == 0.2 || x == 0.9);
+        if (x == 0.9) ++high;
+    }
+    EXPECT_EQ(high, 25u);
+}
+
+TEST(TwoPoint, EdgeFractions) {
+    Rng rng(6);
+    const auto all_low = model::two_point_competencies(rng, 10, 0.3, 0.8, 0.0);
+    for (double x : all_low.values()) EXPECT_DOUBLE_EQ(x, 0.3);
+    const auto all_high = model::two_point_competencies(rng, 10, 0.3, 0.8, 1.0);
+    for (double x : all_high.values()) EXPECT_DOUBLE_EQ(x, 0.8);
+}
+
+TEST(StarCompetencies, Figure1Profile) {
+    const auto p = model::star_competencies(9);
+    EXPECT_DOUBLE_EQ(p[0], 0.75);
+    for (std::size_t v = 1; v < 9; ++v) EXPECT_DOUBLE_EQ(p[v], 0.55);
+}
+
+TEST(Figure2Competencies, MatchesThePaper) {
+    const auto p = model::figure2_competencies();
+    ASSERT_EQ(p.size(), 9u);
+    const double expected[] = {0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1};
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(p[i], expected[i]);
+}
+
+TEST(BetaCompetencies, MomentsMatchBetaLaw) {
+    Rng rng(7);
+    const double a = 2.0, b = 5.0;
+    const auto p = model::beta_competencies(rng, 20000, a, b);
+    // Beta(2,5): mean 2/7, var ab/((a+b)²(a+b+1)) = 10/(49·8).
+    EXPECT_NEAR(p.mean(), 2.0 / 7.0, 0.01);
+    double var = 0.0;
+    for (double x : p.values()) var += (x - p.mean()) * (x - p.mean());
+    var /= static_cast<double>(p.size());
+    EXPECT_NEAR(var, 10.0 / (49.0 * 8.0), 0.005);
+    for (double x : p.values()) {
+        EXPECT_GT(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+    EXPECT_THROW(model::beta_competencies(rng, 5, 0.0, 1.0), ContractViolation);
+}
+
+TEST(TruncatedNormal, StaysInWindowWithRightMode) {
+    Rng rng(8);
+    const auto p = model::truncated_normal_competencies(rng, 5000, 0.6, 0.1, 0.4, 0.8);
+    for (double x : p.values()) {
+        EXPECT_GT(x, 0.4);
+        EXPECT_LT(x, 0.8);
+    }
+    EXPECT_NEAR(p.mean(), 0.6, 0.01);
+    EXPECT_THROW(model::truncated_normal_competencies(rng, 5, 0.5, 0.0, 0.1, 0.9),
+                 ContractViolation);
+}
+
+}  // namespace

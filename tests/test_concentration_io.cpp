@@ -1,0 +1,218 @@
+// Tests for concentration metrics, instance serialization, the
+// unrestricted-abstention wrapper (footnote 4), and the adversarial
+// instance search.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/concentration.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/adversarial.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/abstaining.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/unrestricted_abstaining.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "ld/model/instance_io.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::delegation::concentration_metrics;
+using ld::delegation::DelegationOutcome;
+using ld::mech::Action;
+using ld::rng::Rng;
+
+TEST(Concentration, EqualSinksAreUnconcentrated) {
+    std::vector<Action> actions(10, Action::vote());
+    const DelegationOutcome out(std::move(actions));
+    const auto m = concentration_metrics(out);
+    EXPECT_NEAR(m.gini, 0.0, 1e-12);
+    EXPECT_NEAR(m.hhi, 0.1, 1e-12);
+    EXPECT_NEAR(m.effective_sinks, 10.0, 1e-9);
+    EXPECT_NEAR(m.top1_share, 0.1, 1e-12);
+    EXPECT_EQ(m.nakamoto, 6u);  // need 6 of 10 for a strict majority
+}
+
+TEST(Concentration, DictatorIsMaximallyConcentrated) {
+    std::vector<Action> actions(9, Action::delegate_to(0));
+    actions[0] = Action::vote();
+    const DelegationOutcome out(std::move(actions));
+    const auto m = concentration_metrics(out);
+    EXPECT_NEAR(m.hhi, 1.0, 1e-12);
+    EXPECT_NEAR(m.effective_sinks, 1.0, 1e-12);
+    EXPECT_NEAR(m.top1_share, 1.0, 1e-12);
+    EXPECT_EQ(m.nakamoto, 1u);
+    EXPECT_NEAR(m.gini, 0.0, 1e-12);  // only one sink — equality among sinks
+}
+
+TEST(Concentration, HandComputedTwoSinkCase) {
+    // Sinks with weights 3 and 1: shares 0.75/0.25.
+    std::vector<Action> actions{Action::vote(), Action::delegate_to(0),
+                                Action::delegate_to(0), Action::vote()};
+    const DelegationOutcome out(std::move(actions));
+    const auto m = concentration_metrics(out);
+    EXPECT_NEAR(m.hhi, 0.75 * 0.75 + 0.25 * 0.25, 1e-12);
+    EXPECT_NEAR(m.top1_share, 0.75, 1e-12);
+    EXPECT_EQ(m.nakamoto, 1u);
+    // Gini for {1, 3}: mean 2; G = |1-3|·... = (2·1−2−1)·1 + (2·2−2−1)·3 over 2·4
+    EXPECT_NEAR(m.gini, 0.25, 1e-12);
+}
+
+TEST(Concentration, NoVotesCastGivesZeros) {
+    std::vector<Action> actions{Action::abstain(), Action::delegate_to(0)};
+    const DelegationOutcome out(std::move(actions));
+    const auto m = concentration_metrics(out);
+    EXPECT_EQ(m.nakamoto, 0u);
+    EXPECT_EQ(m.effective_sinks, 0.0);
+}
+
+TEST(Concentration, StarVersusCompleteOrdering) {
+    Rng rng(1);
+    const auto star_inst = ld::experiments::star_instance(101, 0.75, 0.55, 0.05);
+    const mech::BestNeighbour best;
+    const auto star_m = concentration_metrics(
+        ld::delegation::realize(best, star_inst, rng));
+
+    const auto complete_inst =
+        ld::experiments::complete_pc_instance(rng, 101, 0.05, 0.02, 0.25);
+    const mech::ApprovalSizeThreshold threshold(1);
+    const auto complete_m = concentration_metrics(
+        ld::delegation::realize(threshold, complete_inst, rng));
+
+    EXPECT_GT(star_m.top1_share, complete_m.top1_share);
+    EXPECT_LT(star_m.effective_sinks, complete_m.effective_sinks);
+    EXPECT_LT(star_m.nakamoto, complete_m.nakamoto + 1);
+}
+
+TEST(InstanceIo, RoundTripsExactly) {
+    Rng rng(2);
+    const auto original = ld::experiments::complete_pc_instance(rng, 30, 0.07, 0.05, 0.2);
+    std::stringstream ss;
+    model::write_instance(ss, original);
+    const auto parsed = model::read_instance(ss);
+    EXPECT_EQ(parsed.voter_count(), original.voter_count());
+    EXPECT_DOUBLE_EQ(parsed.alpha(), original.alpha());
+    EXPECT_EQ(parsed.graph(), original.graph());
+    for (std::size_t v = 0; v < 30; ++v) {
+        EXPECT_DOUBLE_EQ(parsed.competency(v), original.competency(v));
+    }
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+    Rng rng(3);
+    const auto original = ld::experiments::barabasi_instance(rng, 40, 2, 0.05, 0.2, 0.8);
+    const std::string path = ::testing::TempDir() + "/liquidd_instance_test.txt";
+    model::save_instance(path, original);
+    const auto loaded = model::load_instance(path);
+    EXPECT_EQ(loaded.graph(), original.graph());
+    EXPECT_DOUBLE_EQ(loaded.competency(17), original.competency(17));
+    std::remove(path.c_str());
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+    {
+        std::stringstream ss("not-an-instance 1");
+        EXPECT_THROW(model::read_instance(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss("liquidd-instance 99\nalpha 0.05\n");
+        EXPECT_THROW(model::read_instance(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss("liquidd-instance 1\nalpha 0.05\ngraph 2 0\ncompetencies 0.5");
+        EXPECT_THROW(model::read_instance(ss), std::runtime_error);  // truncated
+    }
+    EXPECT_THROW(model::load_instance("/no/such/liquidd/file"), std::runtime_error);
+}
+
+TEST(UnrestrictedAbstaining, EveryoneCanAbstain) {
+    Rng rng(4);
+    const auto inst = ld::experiments::complete_pc_instance(rng, 50, 0.05, 0.02, 0.2);
+    const mech::ApprovalSizeThreshold inner(1);
+    const mech::UnrestrictedAbstaining wrapper(inner, 1.0);
+    for (g::Vertex v = 0; v < 50; ++v) {
+        EXPECT_EQ(wrapper.act(inst, v, rng).kind, mech::ActionKind::Abstain);
+    }
+    EXPECT_THROW(mech::UnrestrictedAbstaining(inner, -0.1),
+                 ld::support::ContractViolation);
+}
+
+TEST(UnrestrictedAbstaining, HighAbstentionDegradesTheOutcome) {
+    // Footnote 4: letting everyone abstain shrinks the electorate to a few
+    // random sinks — the variance advantage of the crowd disappears.
+    Rng rng(5);
+    const auto inst = ld::experiments::complete_pc_instance(rng, 201, 0.05, 0.02, 0.2);
+    const mech::ApprovalSizeThreshold inner(1);
+    const mech::Abstaining restricted(inner, 0.95);
+    const mech::UnrestrictedAbstaining unrestricted(inner, 0.95);
+    ld::election::EvalOptions opts;
+    opts.replications = 150;
+    const auto r = ld::election::estimate_gain(restricted, inst, rng, opts);
+    const auto u = ld::election::estimate_gain(unrestricted, inst, rng, opts);
+    // Restricted abstention keeps competent sinks voting; unrestricted
+    // loses them too.
+    EXPECT_GT(r.pm.value, u.pm.value);
+}
+
+TEST(Adversarial, FindsTheStarCounterexample) {
+    // On a star with BestNeighbour, the adversary should discover a
+    // negative-gain instance (competent centre, mediocre leaves).
+    Rng rng(6);
+    const auto graph = g::make_star(101);
+    const mech::BestNeighbour best;
+    ld::experiments::AdversaryOptions opts;
+    opts.restarts = 12;
+    opts.steps = 400;
+    opts.batch = 12;
+    opts.step_size = 0.2;
+    // BestNeighbour is deterministic, so tiny replication counts already
+    // give noise-free gain evaluations — pure hill climbing.
+    opts.eval.replications = 2;
+    const auto result =
+        ld::experiments::find_worst_competencies(best, graph, 0.05, rng, opts);
+    EXPECT_LT(result.worst_gain, -0.05);
+    EXPECT_GT(result.evaluations, 200u);
+    EXPECT_EQ(result.worst_competencies.size(), 101u);
+}
+
+TEST(Adversarial, Theorem2RegimeSurvivesTheAttack) {
+    // Inside Theorem 2's class (K_n, PC constraint) the worst instance the
+    // adversary finds must still have positive gain.
+    Rng rng(7);
+    const auto graph = g::make_complete(101);
+    const mech::ApprovalSizeThreshold m(1);
+    ld::experiments::AdversaryOptions opts;
+    opts.restarts = 2;
+    opts.steps = 30;
+    opts.eval.replications = 20;
+    opts.constraint = [](const model::CompetencyVector& p) {
+        return p.satisfies_pc(0.05);
+    };
+    const auto result =
+        ld::experiments::find_worst_competencies(m, graph, 0.05, rng, opts);
+    // Inside the class, the adversary can at best neutralise delegation
+    // (flat competencies => nobody approved => gain 0); it must not find
+    // meaningful harm.
+    EXPECT_GT(result.worst_gain, -0.02);
+    EXPECT_TRUE(result.worst_competencies.satisfies_pc(0.05));
+}
+
+TEST(Adversarial, InfeasibleConstraintIsDiagnosed) {
+    Rng rng(8);
+    const auto graph = g::make_complete(10);
+    const mech::ApprovalSizeThreshold m(1);
+    ld::experiments::AdversaryOptions opts;
+    opts.constraint = [](const model::CompetencyVector&) { return false; };
+    EXPECT_THROW(ld::experiments::find_worst_competencies(m, graph, 0.05, rng, opts),
+                 ld::support::ContractViolation);
+}
+
+}  // namespace

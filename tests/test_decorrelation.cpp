@@ -1,0 +1,114 @@
+// The Lemma 2 proof companion: the modified independent sequence X̃
+// (decorrelated_parameters) must be a stochastic lower envelope for the
+// dependent recycle-sampled sum X_n.
+
+#include <gtest/gtest.h>
+
+#include "ld/recycle/bounds.hpp"
+#include "ld/recycle/recycle_graph.hpp"
+#include "ld/recycle/sampler.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "prob/bounds.hpp"
+#include "prob/poisson_binomial.hpp"
+#include "stats/ecdf.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace recycle = ld::recycle;
+using ld::recycle::RecycleGraph;
+using ld::recycle::RecycleNode;
+using ld::rng::Rng;
+
+TEST(Decorrelation, LevelsMatchTheChainStructure) {
+    // fresh, fresh, recycles-from-{0,1}, recycles-from-{0..2}.
+    std::vector<RecycleNode> nodes{RecycleNode{1.0, 0.5, 0}, RecycleNode{1.0, 0.6, 0},
+                                   RecycleNode{0.5, 0.5, 2}, RecycleNode{0.5, 0.5, 3}};
+    const RecycleGraph g(std::move(nodes));
+    EXPECT_EQ(g.partition_level(0), 1u);
+    EXPECT_EQ(g.partition_level(1), 1u);
+    EXPECT_EQ(g.partition_level(2), 2u);
+    EXPECT_EQ(g.partition_level(3), 3u);
+    EXPECT_EQ(g.partition_complexity(), 3u);
+}
+
+TEST(Decorrelation, FirstPartitionIsUntouched) {
+    const auto g = RecycleGraph::synthetic(100, 20, 0.5, 0.6, 3);
+    const auto modified = recycle::decorrelated_parameters(g, 0.3);
+    ASSERT_EQ(modified.size(), 100u);
+    for (std::size_t i = 0; i < g.j(); ++i) {
+        EXPECT_DOUBLE_EQ(modified[i], g.expectations()[i]) << i;
+    }
+}
+
+TEST(Decorrelation, DeficitGrowsWithPartitionLevel) {
+    const auto g = RecycleGraph::synthetic(200, 20, 0.5, 0.6, 4);
+    const double eps = 0.3;
+    const auto modified = recycle::decorrelated_parameters(g, eps);
+    const double unit = eps / std::cbrt(20.0);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const double expected =
+            std::clamp(g.expectations()[i] -
+                           (static_cast<double>(g.partition_level(i)) - 1.0) * unit,
+                       0.0, 1.0);
+        EXPECT_NEAR(modified[i], expected, 1e-12);
+    }
+    EXPECT_THROW(recycle::decorrelated_parameters(g, 0.0),
+                 ld::support::ContractViolation);
+}
+
+TEST(Decorrelation, ModifiedSumIsAStochasticLowerEnvelope) {
+    // The proof's claim in testable form: quantiles of X_n dominate the
+    // matching quantiles of the independent Poisson-binomial X̃ (up to the
+    // Lemma-1 failure mass, absorbed here into a half-vote slack).
+    Rng rng(1);
+    const std::size_t n = 400, j = 50;
+    const auto g = RecycleGraph::synthetic(n, j, 0.5, 0.55, 4);
+    const auto modified = recycle::decorrelated_parameters(g, 0.3);
+    const ld::prob::PoissonBinomial envelope(modified);
+
+    std::vector<double> sample;
+    sample.reserve(4000);
+    for (int rep = 0; rep < 4000; ++rep) {
+        sample.push_back(static_cast<double>(recycle::sample(g, rng).total));
+    }
+    const ld::stats::Ecdf x(sample);
+
+    // Envelope quantile q̃(delta): smallest k with CDF >= delta.
+    const auto envelope_quantile = [&](double delta) {
+        for (std::size_t k = 0; k <= n; ++k) {
+            if (envelope.cdf(k) >= delta) return static_cast<double>(k);
+        }
+        return static_cast<double>(n);
+    };
+    for (double delta : {0.01, 0.05, 0.25, 0.5}) {
+        EXPECT_GE(x.quantile(delta), envelope_quantile(delta) - 0.5) << delta;
+    }
+    // Mean dominance as well.
+    EXPECT_GE(g.total_expectation(), envelope.mean() - 1e-9);
+}
+
+TEST(Decorrelation, ChernoffOnTheEnvelopeBoundsTheDependentTail) {
+    // The whole point of the construction: apply Chernoff to X̃ and get a
+    // valid tail bound for the *dependent* X_n.
+    Rng rng(2);
+    const std::size_t n = 600, j = 80;
+    const auto g = RecycleGraph::synthetic(n, j, 0.5, 0.55, 3);
+    const auto modified = recycle::decorrelated_parameters(g, 0.3);
+    const ld::prob::PoissonBinomial envelope(modified);
+
+    const double threshold = 0.9 * envelope.mean();  // delta = 0.1 on X̃
+    const double chernoff =
+        ld::prob::chernoff_lower_tail(envelope.mean(), 0.1);
+
+    std::size_t below = 0;
+    constexpr int kReps = 4000;
+    for (int rep = 0; rep < kReps; ++rep) {
+        if (static_cast<double>(recycle::sample(g, rng).total) < threshold) ++below;
+    }
+    EXPECT_LE(static_cast<double>(below) / kReps, chernoff + 0.01);
+}
+
+}  // namespace

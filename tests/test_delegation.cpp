@@ -1,0 +1,213 @@
+// Tests for delegation-graph realization: sink resolution, weight
+// accumulation, statistics, abstention semantics, and cycle detection.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::delegation::DelegationOutcome;
+using ld::mech::Action;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(DelegationOutcome, AllVotersVotingAreTheirOwnSinks) {
+    std::vector<Action> actions(5, Action::vote());
+    const DelegationOutcome out(std::move(actions));
+    EXPECT_TRUE(out.functional());
+    for (g::Vertex v = 0; v < 5; ++v) {
+        EXPECT_EQ(out.sink_of(v), v);
+        EXPECT_EQ(out.weights()[v], 1u);
+    }
+    EXPECT_EQ(out.stats().voting_sink_count, 5u);
+    EXPECT_EQ(out.stats().delegator_count, 0u);
+    EXPECT_EQ(out.stats().max_weight, 1u);
+    EXPECT_EQ(out.stats().cast_weight, 5u);
+    EXPECT_EQ(out.stats().longest_path, 0u);
+}
+
+TEST(DelegationOutcome, ChainResolvesToTerminalVoter) {
+    // 0 -> 1 -> 2 -> 3 (votes).
+    std::vector<Action> actions{Action::delegate_to(1), Action::delegate_to(2),
+                                Action::delegate_to(3), Action::vote()};
+    const DelegationOutcome out(std::move(actions));
+    for (g::Vertex v = 0; v < 4; ++v) EXPECT_EQ(out.sink_of(v), 3u);
+    EXPECT_EQ(out.weights()[3], 4u);
+    EXPECT_EQ(out.stats().max_weight, 4u);
+    EXPECT_EQ(out.stats().voting_sink_count, 1u);
+    EXPECT_EQ(out.stats().longest_path, 3u);
+    EXPECT_EQ(out.voting_sinks(), (std::vector<g::Vertex>{3}));
+}
+
+TEST(DelegationOutcome, StarDelegation) {
+    // Everyone delegates to voter 0 (the Figure 1 disaster).
+    std::vector<Action> actions(9, Action::delegate_to(0));
+    actions[0] = Action::vote();
+    const DelegationOutcome out(std::move(actions));
+    EXPECT_EQ(out.weights()[0], 9u);
+    EXPECT_EQ(out.stats().voting_sink_count, 1u);
+    EXPECT_EQ(out.stats().delegator_count, 8u);
+    EXPECT_EQ(out.stats().longest_path, 1u);
+}
+
+TEST(DelegationOutcome, SelfDelegationCountsAsVoting) {
+    std::vector<Action> actions{Action::delegate_to(0), Action::delegate_to(0)};
+    const DelegationOutcome out(std::move(actions));
+    EXPECT_EQ(out.sink_of(0), 0u);
+    EXPECT_EQ(out.sink_of(1), 0u);
+    EXPECT_EQ(out.weights()[0], 2u);
+}
+
+TEST(DelegationOutcome, CycleIsRejected) {
+    std::vector<Action> actions{Action::delegate_to(1), Action::delegate_to(0)};
+    EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+}
+
+TEST(DelegationOutcome, LongCycleIsRejected) {
+    std::vector<Action> actions;
+    for (g::Vertex v = 0; v < 10; ++v) {
+        actions.push_back(Action::delegate_to((v + 1) % 10));
+    }
+    EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+}
+
+TEST(DelegationOutcome, ValidationOfMalformedActions) {
+    {
+        std::vector<Action> actions{Action{ld::mech::ActionKind::Delegate, {}, {}}};
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+    {
+        std::vector<Action> actions{Action::delegate_to(7)};  // out of range
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+    {
+        Action bad = Action::vote();
+        bad.targets.push_back(0);
+        std::vector<Action> actions{bad, Action::vote()};
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+}
+
+TEST(DelegationOutcome, AbstainerDiscardsIncomingVotes) {
+    // 0 -> 1 (abstains); 2 votes.
+    std::vector<Action> actions{Action::delegate_to(1), Action::abstain(),
+                                Action::vote()};
+    const DelegationOutcome out(std::move(actions));
+    EXPECT_EQ(out.sink_of(0), DelegationOutcome::kNoSink);
+    EXPECT_EQ(out.sink_of(1), DelegationOutcome::kNoSink);
+    EXPECT_EQ(out.sink_of(2), 2u);
+    EXPECT_EQ(out.stats().cast_weight, 1u);
+    EXPECT_EQ(out.stats().abstainer_count, 1u);
+    EXPECT_EQ(out.stats().voting_sink_count, 1u);
+}
+
+TEST(DelegationOutcome, WeightsSumToCastWeightPlusDiscarded) {
+    Rng rng(1);
+    const model::Instance inst(g::make_complete(80),
+                               model::uniform_competencies(rng, 80, 0.1, 0.9), 0.05);
+    const mech::ApprovalSizeThreshold m(1);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto out = ld::delegation::realize(m, inst, rng);
+        const auto& w = out.weights();
+        const auto total = std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+        EXPECT_EQ(total, out.stats().cast_weight);
+        EXPECT_EQ(total, 80u);  // no abstentions: every vote lands somewhere
+    }
+}
+
+TEST(DelegationOutcome, SinksNeverDelegatedAndHoldTheirOwnVote) {
+    Rng rng(2);
+    const model::Instance inst(g::make_complete(60),
+                               model::uniform_competencies(rng, 60, 0.1, 0.9), 0.05);
+    const mech::ApprovalSizeThreshold m(2);
+    const auto out = ld::delegation::realize(m, inst, rng);
+    for (g::Vertex s : out.voting_sinks()) {
+        EXPECT_EQ(out.action(s).kind, ld::mech::ActionKind::Vote);
+        EXPECT_EQ(out.sink_of(s), s);
+        EXPECT_GE(out.weights()[s], 1u);
+    }
+}
+
+TEST(DelegationOutcome, LongestPathMatchesDigraphLongestPath) {
+    Rng rng(3);
+    const model::Instance inst(g::make_complete(50),
+                               model::uniform_competencies(rng, 50, 0.1, 0.9), 0.02);
+    const mech::BestNeighbour m;
+    const auto out = ld::delegation::realize(m, inst, rng);
+    EXPECT_EQ(out.stats().longest_path, out.as_digraph().longest_path_length());
+}
+
+TEST(DelegationOutcome, AsDigraphHasOneArcPerDelegator) {
+    std::vector<Action> actions{Action::delegate_to(2), Action::vote(), Action::vote()};
+    const DelegationOutcome out(std::move(actions));
+    const auto d = out.as_digraph();
+    EXPECT_EQ(d.arc_count(), 1u);
+    EXPECT_EQ(d.successors(0).size(), 1u);
+    EXPECT_EQ(d.successors(0)[0], 2u);
+}
+
+TEST(DelegationOutcome, MultiTargetOutcomesAreNotFunctional) {
+    std::vector<Action> actions{Action::delegate_to_many({1, 2, 3}), Action::vote(),
+                                Action::vote(), Action::vote()};
+    const DelegationOutcome out(std::move(actions));
+    EXPECT_FALSE(out.functional());
+    EXPECT_THROW(out.weights(), ContractViolation);
+    EXPECT_THROW(out.sink_of(0), ContractViolation);
+    EXPECT_THROW(out.voting_sinks(), ContractViolation);
+    EXPECT_EQ(out.stats().delegator_count, 1u);
+}
+
+TEST(Realize, BestNeighbourOnApprovalChainCompressesPaths) {
+    // Path graph with ascending competencies: everyone's best approved
+    // neighbour is the next voter; delegation forms one long chain.
+    const std::size_t n = 30;
+    std::vector<double> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = 0.1 + 0.8 * static_cast<double>(i) / n;
+    Rng rng(4);
+    const model::Instance inst(g::make_path(n), model::CompetencyVector(std::move(p)),
+                               0.01);
+    const mech::BestNeighbour m;
+    const auto out = ld::delegation::realize(m, inst, rng);
+    EXPECT_EQ(out.stats().voting_sink_count, 1u);
+    EXPECT_EQ(out.sink_of(0), static_cast<g::Vertex>(n - 1));
+    EXPECT_EQ(out.weights()[n - 1], n);
+    EXPECT_EQ(out.stats().longest_path, n - 1);
+}
+
+TEST(Realize, ExpectedDirectVoterCountClosedForm) {
+    Rng rng(5);
+    const model::Instance inst(g::make_complete(40),
+                               model::uniform_competencies(rng, 40, 0.1, 0.9), 0.05);
+    const mech::ApprovalSizeThreshold m(3);
+    const double expected = ld::delegation::expected_direct_voter_count(m, inst);
+    ASSERT_GE(expected, 0.0);
+    // The mechanism is deterministic in who delegates; realize once and
+    // compare.
+    const auto out = ld::delegation::realize(m, inst, rng);
+    EXPECT_NEAR(expected,
+                static_cast<double>(inst.voter_count() - out.stats().delegator_count),
+                1e-9);
+}
+
+TEST(Realize, DirectVotingHasNoClosedFormGap) {
+    Rng rng(6);
+    const model::Instance inst(g::make_complete(10),
+                               model::uniform_competencies(rng, 10, 0.3, 0.7), 0.05);
+    const mech::DirectVoting direct;
+    EXPECT_DOUBLE_EQ(ld::delegation::expected_direct_voter_count(direct, inst), 10.0);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Unit tests for Digraph: CSR arcs, cycle detection, topological order,
+// longest path (partition complexity of delegation outcomes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::graph::Arc;
+using ld::graph::Digraph;
+using ld::graph::Vertex;
+using ld::support::ContractViolation;
+
+TEST(Digraph, EmptyDigraph) {
+    const Digraph d = Digraph::empty(4);
+    EXPECT_EQ(d.vertex_count(), 4u);
+    EXPECT_EQ(d.arc_count(), 0u);
+    EXPECT_TRUE(d.is_acyclic_up_to_self_loops());
+    EXPECT_EQ(d.longest_path_length(), 0u);
+}
+
+TEST(Digraph, ZeroVerticesIsAcyclic) {
+    const Digraph d = Digraph::empty(0);
+    EXPECT_TRUE(d.is_acyclic_up_to_self_loops());
+}
+
+TEST(Digraph, RejectsOutOfRangeArcs) {
+    EXPECT_THROW(Digraph(2, {Arc{0, 2}}), ContractViolation);
+    EXPECT_THROW(Digraph(2, {Arc{5, 0}}), ContractViolation);
+}
+
+TEST(Digraph, DeduplicatesArcs) {
+    const Digraph d(3, {Arc{0, 1}, Arc{0, 1}, Arc{1, 2}});
+    EXPECT_EQ(d.arc_count(), 2u);
+    EXPECT_EQ(d.out_degree(0), 1u);
+}
+
+TEST(Digraph, SuccessorsAreSorted) {
+    const Digraph d(5, {Arc{0, 4}, Arc{0, 1}, Arc{0, 3}});
+    const auto succ = d.successors(0);
+    EXPECT_TRUE(std::is_sorted(succ.begin(), succ.end()));
+    EXPECT_EQ(succ.size(), 3u);
+}
+
+TEST(Digraph, InDegrees) {
+    const Digraph d(4, {Arc{0, 2}, Arc{1, 2}, Arc{3, 2}, Arc{2, 0}});
+    const auto in = d.in_degrees();
+    EXPECT_EQ(in[2], 3u);
+    EXPECT_EQ(in[0], 1u);
+    EXPECT_EQ(in[1], 0u);
+    EXPECT_EQ(in[3], 0u);
+}
+
+TEST(Digraph, DetectsTwoCycle) {
+    const Digraph d(2, {Arc{0, 1}, Arc{1, 0}});
+    EXPECT_FALSE(d.is_acyclic_up_to_self_loops());
+    EXPECT_THROW(d.topological_order(), ContractViolation);
+}
+
+TEST(Digraph, SelfLoopsDoNotCountAsCycles) {
+    const Digraph d(3, {Arc{0, 0}, Arc{0, 1}, Arc{1, 2}});
+    EXPECT_TRUE(d.is_acyclic_up_to_self_loops());
+    EXPECT_EQ(d.longest_path_length(), 2u);
+}
+
+TEST(Digraph, TopologicalOrderRespectsArcs) {
+    const Digraph d(6, {Arc{0, 2}, Arc{1, 2}, Arc{2, 3}, Arc{3, 4}, Arc{1, 5}});
+    const auto order = d.topological_order();
+    ASSERT_EQ(order.size(), 6u);
+    std::vector<std::size_t> pos(6);
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    // Every arc must go forward in the order.
+    for (Vertex v = 0; v < 6; ++v) {
+        for (Vertex w : d.successors(v)) {
+            if (w != v) {
+                EXPECT_LT(pos[v], pos[w]) << v << "->" << static_cast<int>(w);
+            }
+        }
+    }
+}
+
+TEST(Digraph, LongestPathOnChain) {
+    // 0 -> 1 -> 2 -> 3: longest path is 3 arcs.
+    const Digraph d(4, {Arc{0, 1}, Arc{1, 2}, Arc{2, 3}});
+    EXPECT_EQ(d.longest_path_length(), 3u);
+}
+
+TEST(Digraph, LongestPathOnStarIsOne) {
+    const Digraph d(5, {Arc{1, 0}, Arc{2, 0}, Arc{3, 0}, Arc{4, 0}});
+    EXPECT_EQ(d.longest_path_length(), 1u);
+}
+
+TEST(Digraph, LongestPathPicksDeepestBranch) {
+    const Digraph d(7, {Arc{0, 1}, Arc{1, 2}, Arc{0, 3}, Arc{3, 4}, Arc{4, 5}, Arc{5, 6}});
+    EXPECT_EQ(d.longest_path_length(), 4u);  // 0-3-4-5-6
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the DNH audits (Lemmas 3 and 5), desiderata verdicts, and the
+// theorem regime calculators.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/dnh/conditions.hpp"
+#include "ld/dnh/verdicts.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "ld/theory/theorems.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace dnh = ld::dnh;
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+namespace theory = ld::theory;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(Lemma3Audit, DirectVotingTriviallySatisfies) {
+    Rng rng(1);
+    const model::Instance inst(g::make_complete(100),
+                               model::uniform_competencies(rng, 100, 0.3, 0.7), 0.05);
+    const mech::DirectVoting direct;
+    const auto audit = dnh::audit_lemma3(inst, direct, rng, 0.1);
+    EXPECT_TRUE(audit.bounded_competency);
+    EXPECT_GT(audit.beta, 0.25);
+    EXPECT_EQ(audit.mean_delegators, 0.0);
+    EXPECT_TRUE(audit.within_budget);
+    EXPECT_TRUE(audit.hypotheses_hold);
+    EXPECT_LT(audit.flip_probability_bound, 0.01);
+}
+
+TEST(Lemma3Audit, HeavyDelegationBreaksTheBudget) {
+    Rng rng(2);
+    const model::Instance inst(g::make_complete(100),
+                               model::uniform_competencies(rng, 100, 0.3, 0.7), 0.02);
+    const mech::ApprovalSizeThreshold m(1);  // almost everyone delegates
+    const auto audit = dnh::audit_lemma3(inst, m, rng, 0.1);
+    EXPECT_TRUE(audit.bounded_competency);
+    EXPECT_GT(audit.mean_delegators, 50.0);
+    EXPECT_FALSE(audit.within_budget);
+    EXPECT_FALSE(audit.hypotheses_hold);
+    EXPECT_GT(audit.flip_probability_bound, 0.9);
+}
+
+TEST(Lemma3Audit, UnboundedCompetencyIsFlagged) {
+    Rng rng(3);
+    std::vector<double> p(50, 0.6);
+    p[0] = 1.0;  // an oracle voter breaks p ∈ (β, 1−β)
+    const model::Instance inst(g::make_complete(50),
+                               model::CompetencyVector(std::move(p)), 0.05);
+    const mech::DirectVoting direct;
+    const auto audit = dnh::audit_lemma3(inst, direct, rng, 0.1);
+    EXPECT_FALSE(audit.bounded_competency);
+    EXPECT_FALSE(audit.hypotheses_hold);
+    EXPECT_EQ(audit.flip_probability_bound, 1.0);
+}
+
+TEST(Lemma5Audit, StarConcentrationIsDetected) {
+    Rng rng(4);
+    const auto inst = ld::experiments::star_instance(101, 0.75, 0.52, 0.05);
+    const mech::BestNeighbour m;
+    const auto audit = dnh::audit_lemma5(inst, m, rng, 0.2, 1.0, 16);
+    // All 100 leaves delegate to the centre: max weight 101.
+    EXPECT_NEAR(audit.worst_max_weight, 101.0, 1e-9);
+    EXPECT_FALSE(audit.weight_small_enough);
+}
+
+TEST(Lemma5Audit, ThresholdMechanismKeepsWeightsSmall) {
+    Rng rng(5);
+    const auto inst = ld::experiments::complete_pc_instance(rng, 200, 0.05, 0.1, 0.2);
+    const mech::ApprovalSizeThreshold m(1);
+    const auto audit = dnh::audit_lemma5(inst, m, rng, 0.2, 1.0, 16);
+    EXPECT_LT(audit.mean_max_weight, 80.0);
+    EXPECT_GT(audit.mean_max_weight, 1.0);
+    EXPECT_LT(audit.failure_bound, 1.0);
+}
+
+TEST(Verdicts, SweepGainProducesOnePointPerSize) {
+    Rng rng(6);
+    const auto family = ld::experiments::complete_pc_family(0.05, 0.1, 0.2);
+    const mech::ApprovalSizeThreshold m(1);
+    ld::election::EvalOptions eval;
+    eval.replications = 24;
+    const auto sweep = dnh::sweep_gain(family, m, {20, 40, 80}, rng, eval);
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep[0].n, 20u);
+    EXPECT_EQ(sweep[2].n, 80u);
+    for (const auto& pt : sweep) {
+        EXPECT_GE(pt.pd, 0.0);
+        EXPECT_LE(pt.pm, 1.0);
+        EXPECT_LE(pt.gain_ci_lo, pt.gain);
+        EXPECT_GE(pt.gain_ci_hi, pt.gain);
+    }
+}
+
+TEST(Verdicts, CompleteGraphPassesDnhAndSpg) {
+    Rng rng(7);
+    const auto family = ld::experiments::complete_pc_family(0.05, 0.08, 0.2);
+    const mech::ApprovalSizeThreshold m(1);
+    dnh::VerdictOptions opts;
+    opts.eval.replications = 48;
+    const auto dnh_verdict = dnh::check_dnh(family, m, {31, 61, 121, 241}, rng, opts);
+    EXPECT_TRUE(dnh_verdict.satisfied) << dnh_verdict.detail;
+    const auto spg_verdict = dnh::check_spg(family, m, {31, 61, 121, 241}, rng, opts);
+    EXPECT_TRUE(spg_verdict.satisfied) << spg_verdict.detail;
+    EXPECT_GT(spg_verdict.gamma, 0.0);
+}
+
+TEST(Verdicts, StarWithBestNeighbourFailsDnh) {
+    Rng rng(8);
+    const auto family = ld::experiments::star_family(0.75, 0.55, 0.05);
+    const mech::BestNeighbour m;
+    dnh::VerdictOptions opts;
+    opts.eval.replications = 16;  // outcome is deterministic given the star
+    const auto verdict = dnh::check_dnh(family, m, {65, 129, 257, 513}, rng, opts);
+    EXPECT_FALSE(verdict.satisfied) << verdict.detail;
+    // Loss approaches 1/4 (Figure 1's asymptotic).
+    EXPECT_LT(verdict.worst_gain, -0.15);
+}
+
+TEST(Verdicts, BurnInValidation) {
+    Rng rng(9);
+    const auto family = ld::experiments::star_family(0.75, 0.55, 0.05);
+    const mech::DirectVoting m;
+    dnh::VerdictOptions opts;
+    opts.spg_burn_in = 5;
+    EXPECT_THROW(dnh::check_spg(family, m, {10, 20}, rng, opts), ContractViolation);
+}
+
+TEST(Theorem2Regime, Parameters) {
+    const auto r = theory::theorem2_regime(900, 0.2, 4.0);
+    EXPECT_NEAR(r.pc, 0.05, 1e-12);
+    EXPECT_EQ(r.delegate_floor, 225u);
+    EXPECT_EQ(r.max_threshold, 300u);
+    EXPECT_THROW(theory::theorem2_regime(10, 0.0, 2.0), ContractViolation);
+    EXPECT_THROW(theory::theorem2_regime(10, 0.1, 0.5), ContractViolation);
+}
+
+TEST(Theorem3Regime, ThresholdFraction) {
+    const auto r = theory::theorem3_regime(1000, 16, 0.2, 4.0, 0.25);
+    EXPECT_EQ(r.threshold, 4u);
+    EXPECT_EQ(r.delegate_floor, 250u);
+    EXPECT_THROW(theory::theorem3_regime(10, 10, 0.1, 2.0, 0.5), ContractViolation);
+}
+
+TEST(Theorem4Regime, DegreeExponents) {
+    const auto r = theory::theorem4_regime(10000, 1.0, 100);
+    // t^{ε/(1+ε)} = 100^{1/2} = 10; n^{ε/(2+ε)} = 10000^{1/3} ≈ 21.
+    EXPECT_EQ(r.spg_max_degree, 10u);
+    EXPECT_EQ(r.dnh_max_degree, 21u);
+    EXPECT_THROW(theory::theorem4_regime(10, 0.0, 5), ContractViolation);
+}
+
+TEST(Theorem5Regime, MinDegreeAndDelegateFloor) {
+    const auto r = theory::theorem5_regime(10000, 0.5);
+    EXPECT_EQ(r.min_degree, 100u);
+    EXPECT_EQ(r.delegate_floor, 100u);
+    EXPECT_THROW(theory::theorem5_regime(100, 1.0), ContractViolation);
+}
+
+TEST(Figure1, AsymptoticLossIsOneQuarter) {
+    EXPECT_NEAR(theory::figure1_asymptotic_loss(0.75), 0.25, 1e-15);
+    EXPECT_NEAR(theory::figure1_asymptotic_loss(1.0), 0.0, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the rational-delegation game: profile validation, best-response
+// dynamics convergence, equilibrium checking, and the selfish-concentration
+// phenomenon.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/game/delegation_game.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace game = ld::game;
+namespace model = ld::model;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+model::Instance ascending_path() {
+    // 0 — 1 — 2 — 3 with ascending competency; α = 0.05.
+    return model::Instance(g::make_path(4),
+                           model::CompetencyVector({0.3, 0.5, 0.7, 0.9}), 0.05);
+}
+
+TEST(Profile, ValidationCatchesIllegalStrategies) {
+    const auto inst = ascending_path();
+    // Delegating to a non-neighbour.
+    EXPECT_THROW(game::realize_profile(inst, {2, 1, 2, 3}), ContractViolation);
+    // Delegating to a non-approved (less competent) neighbour.
+    EXPECT_THROW(game::realize_profile(inst, {0, 0, 2, 3}), ContractViolation);
+    // Wrong length.
+    EXPECT_THROW(game::realize_profile(inst, {0, 1, 2}), ContractViolation);
+    // Legal: 0→1, 1→2, 2 votes, 3 votes.
+    const auto out = game::realize_profile(inst, {1, 2, 2, 3});
+    EXPECT_EQ(out.weights()[2], 3u);
+}
+
+TEST(Game, SelfishDynamicsOnPathConverge) {
+    const auto inst = ascending_path();
+    Rng rng(1);
+    game::GameOptions opts;
+    opts.utility = game::Utility::Selfish;
+    const auto result = game::best_response_dynamics(inst, rng, opts);
+    EXPECT_TRUE(result.converged);
+    // Selfish chains chase the best reachable voter: 0→1→2→3.
+    EXPECT_EQ(result.profile[0], 1u);
+    EXPECT_EQ(result.profile[1], 2u);
+    EXPECT_EQ(result.profile[2], 3u);
+    EXPECT_EQ(result.profile[3], 3u);
+    EXPECT_EQ(result.stats.max_weight, 4u);
+    EXPECT_NEAR(result.group_correct_probability, 0.9, 1e-12);
+    EXPECT_TRUE(game::is_equilibrium(inst, result.profile, game::Utility::Selfish));
+}
+
+TEST(Game, SelfishEquilibriumOnCompleteGraphIsADictatorship) {
+    Rng rng(2);
+    const model::Instance inst(g::make_complete(40),
+                               model::uniform_competencies(rng, 40, 0.2, 0.8), 0.05);
+    game::GameOptions opts;
+    opts.utility = game::Utility::Selfish;
+    const auto result = game::best_response_dynamics(inst, rng, opts);
+    EXPECT_TRUE(result.converged);
+    // Everyone who approves anyone chases the top voter; only voters
+    // within alpha of the maximum (empty approval sets) remain sinks.
+    EXPECT_LE(result.stats.voting_sink_count, 5u);
+    EXPECT_GE(result.stats.max_weight, 35u);
+    // Group probability = the top voter's competency.
+    double top = 0.0;
+    for (g::Vertex v = 0; v < 40; ++v) top = std::max(top, inst.competency(v));
+    EXPECT_NEAR(result.group_correct_probability, top, 1e-12);
+    EXPECT_TRUE(game::is_equilibrium(inst, result.profile, game::Utility::Selfish));
+}
+
+TEST(Game, CooperativeDynamicsNeverEndBelowDirectVoting) {
+    // Starting from all-vote, cooperative best responses only accept
+    // strict improvements of the group probability — so the equilibrium's
+    // gain is non-negative by construction.
+    Rng rng(3);
+    const model::Instance inst(g::make_complete(25),
+                               model::pc_competencies(rng, 25, 0.03, 0.2), 0.05);
+    game::GameOptions opts;
+    opts.utility = game::Utility::Cooperative;
+    const auto result = game::best_response_dynamics(inst, rng, opts);
+    EXPECT_TRUE(result.converged);
+    EXPECT_GE(result.gain_vs_direct, -1e-12);
+    EXPECT_TRUE(
+        game::is_equilibrium(inst, result.profile, game::Utility::Cooperative));
+}
+
+TEST(Game, CooperativeBeatsSelfishOnTheStar) {
+    // The star is where selfishness hurts: everyone rationally delegates
+    // to the competent centre (their personal best), and the group loses
+    // the jury effect; cooperative play delegates less.
+    Rng rng(4);
+    const model::Instance inst(g::make_star(41),
+                               model::star_competencies(41, 0.75, 0.55), 0.05);
+    game::GameOptions selfish;
+    selfish.utility = game::Utility::Selfish;
+    game::GameOptions coop;
+    coop.utility = game::Utility::Cooperative;
+    const auto s = game::best_response_dynamics(inst, rng, selfish);
+    const auto c = game::best_response_dynamics(inst, rng, coop);
+    EXPECT_TRUE(s.converged);
+    EXPECT_TRUE(c.converged);
+    EXPECT_NEAR(s.group_correct_probability, 0.75, 1e-12);  // dictator centre
+    EXPECT_GT(c.group_correct_probability, s.group_correct_probability);
+}
+
+TEST(Game, IsEquilibriumDetectsProfitableDeviation) {
+    const auto inst = ascending_path();
+    // Voter 2 voting directly is not a selfish equilibrium: it can reach
+    // 0.9 by delegating to 3.
+    EXPECT_FALSE(game::is_equilibrium(inst, {1, 2, 2, 3}, game::Utility::Selfish));
+}
+
+}  // namespace

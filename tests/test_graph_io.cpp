@@ -1,0 +1,79 @@
+// Tests for edge-list round trips and DOT emission.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "rng/rng.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+using ld::graph::Arc;
+using ld::graph::Digraph;
+using ld::graph::Graph;
+
+TEST(EdgeList, RoundTripsACompleteGraph) {
+    const Graph original = g::make_complete(6);
+    std::stringstream ss;
+    g::write_edge_list(ss, original);
+    const Graph parsed = g::read_edge_list(ss);
+    EXPECT_EQ(parsed, original);
+}
+
+TEST(EdgeList, RoundTripsARandomGraph) {
+    ld::rng::Rng rng(1);
+    const Graph original = g::make_erdos_renyi_gnp(rng, 40, 0.15);
+    std::stringstream ss;
+    g::write_edge_list(ss, original);
+    EXPECT_EQ(g::read_edge_list(ss), original);
+}
+
+TEST(EdgeList, RejectsMalformedInput) {
+    {
+        std::stringstream ss("");
+        EXPECT_THROW(g::read_edge_list(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss("3 2\n0 1\n");  // truncated
+        EXPECT_THROW(g::read_edge_list(ss), std::runtime_error);
+    }
+    {
+        std::stringstream ss("3 1\n0 7\n");  // vertex out of range
+        EXPECT_THROW(g::read_edge_list(ss), std::runtime_error);
+    }
+}
+
+TEST(Dot, UndirectedContainsAllEdges) {
+    std::ostringstream os;
+    g::write_dot(os, g::make_path(3), "P3");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("graph P3 {"), std::string::npos);
+    EXPECT_NE(out.find("0 -- 1;"), std::string::npos);
+    EXPECT_NE(out.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(Dot, DirectedWithLabels) {
+    const Digraph d(3, {Arc{1, 0}, Arc{2, 0}});
+    const std::vector<std::string> labels{"v1 p=0.8", "v2 p=0.6", "v3 p=0.5"};
+    std::ostringstream os;
+    g::write_dot(os, d, labels, "Delegation");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("digraph Delegation {"), std::string::npos);
+    EXPECT_NE(out.find("label=\"v1 p=0.8\""), std::string::npos);
+    EXPECT_NE(out.find("1 -> 0;"), std::string::npos);
+    EXPECT_NE(out.find("2 -> 0;"), std::string::npos);
+}
+
+TEST(Dot, LabelCountMustMatch) {
+    const Digraph d(3, {Arc{1, 0}});
+    const std::vector<std::string> labels{"only one"};
+    std::ostringstream os;
+    EXPECT_THROW(g::write_dot(os, d, labels), ld::support::ContractViolation);
+}
+
+}  // namespace

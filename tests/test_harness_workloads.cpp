@@ -1,0 +1,120 @@
+// Tests for the experiment harness and the named workload families.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/properties.hpp"
+#include "graph/restrictions.hpp"
+#include "ld/experiments/harness.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace experiments = ld::experiments;
+namespace g = ld::graph;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(Harness, StableSeedIsDeterministicAndDiscriminating) {
+    EXPECT_EQ(experiments::stable_seed("E-T2"), experiments::stable_seed("E-T2"));
+    EXPECT_NE(experiments::stable_seed("E-T2"), experiments::stable_seed("E-T3"));
+}
+
+TEST(Harness, SizeLadderGrowsGeometrically) {
+    const auto sizes = experiments::size_ladder(10, 2.0, 100);
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{10, 20, 40, 80}));
+    const auto capped = experiments::size_ladder(10, 2.0, 1000000, 3);
+    EXPECT_EQ(capped.size(), 3u);
+    EXPECT_THROW(experiments::size_ladder(0, 2.0, 10), ContractViolation);
+    EXPECT_THROW(experiments::size_ladder(1, 1.0, 10), ContractViolation);
+}
+
+TEST(Harness, SizeLadderDeduplicatesSlowGrowth) {
+    const auto sizes = experiments::size_ladder(2, 1.2, 5);
+    for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Harness, ExperimentPrintsTableAndNotes) {
+    ::testing::internal::CaptureStdout();
+    experiments::Experiment exp("TEST-ID", "a test experiment", {"n", "value"});
+    exp.add_row({static_cast<long long>(10), 0.5});
+    exp.add_note("paper says 0.5");
+    exp.finish();
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("[TEST-ID] a test experiment"), std::string::npos);
+    EXPECT_NE(out.find("paper says 0.5"), std::string::npos);
+    EXPECT_NE(out.find("| 10 |"), std::string::npos);
+}
+
+TEST(Harness, RngIsSeededFromId) {
+    experiments::Experiment a("SAME", "t", {"x"});
+    experiments::Experiment b("SAME", "t", {"x"});
+    auto ra = a.make_rng();
+    auto rb = b.make_rng();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(ra.next(), rb.next());
+}
+
+TEST(Workloads, CompletePcInstance) {
+    Rng rng(1);
+    const auto inst = experiments::complete_pc_instance(rng, 50, 0.05, 0.1, 0.2);
+    EXPECT_TRUE(inst.satisfies(g::GraphRestriction::complete()));
+    EXPECT_NEAR(inst.competencies().mean(), 0.4, 1e-6);
+}
+
+TEST(Workloads, StarAndFigure2) {
+    const auto star = experiments::star_instance(17, 0.75, 0.52, 0.05);
+    EXPECT_EQ(star.graph().degree(0), 16u);
+    EXPECT_DOUBLE_EQ(star.competency(0), 0.75);
+
+    const auto fig2 = experiments::figure2_instance();
+    EXPECT_EQ(fig2.voter_count(), 9u);
+    EXPECT_DOUBLE_EQ(fig2.alpha(), 0.01);
+    EXPECT_DOUBLE_EQ(fig2.competency(0), 0.8);
+}
+
+TEST(Workloads, DRegularInstance) {
+    Rng rng(2);
+    const auto inst = experiments::d_regular_instance(rng, 60, 6, 0.05, 0.1, 0.2);
+    EXPECT_TRUE(inst.satisfies(g::GraphRestriction::regular(6)));
+}
+
+TEST(Workloads, BoundedAndMinDegreeInstances) {
+    Rng rng(3);
+    const auto capped = experiments::bounded_degree_instance(rng, 100, 5, 0.05, 0.2, 0.8);
+    EXPECT_TRUE(capped.satisfies(g::GraphRestriction::max_degree(5)));
+    const auto floored = experiments::min_degree_instance(rng, 100, 4, 0.05, 0.2, 0.8);
+    EXPECT_TRUE(floored.satisfies(g::GraphRestriction::min_degree(4)));
+}
+
+TEST(Workloads, BarabasiAndTwoTier) {
+    Rng rng(4);
+    const auto ba = experiments::barabasi_instance(rng, 200, 2, 0.05, 0.2, 0.8);
+    EXPECT_EQ(ba.voter_count(), 200u);
+    EXPECT_GT(g::degree_stats(ba.graph()).asymmetry, 2.0);
+
+    const auto tt = experiments::two_tier_instance(rng, 100, 4, 0.8, 0.55, 0.05);
+    EXPECT_DOUBLE_EQ(tt.competency(0), 0.8);
+    EXPECT_DOUBLE_EQ(tt.competency(50), 0.55);
+}
+
+TEST(Workloads, FamiliesRespectTheirRestrictions) {
+    Rng rng(5);
+    const auto fam = experiments::d_regular_family(4, 0.05, 0.1, 0.2);
+    // Odd n·d gets rounded up to keep the configuration model feasible.
+    const auto inst = fam(15, rng);
+    EXPECT_TRUE(inst.satisfies(g::GraphRestriction::regular(4)));
+
+    const auto bounded = experiments::bounded_degree_family(0.4, 0.05, 0.2, 0.8)(64, rng);
+    EXPECT_TRUE(bounded.satisfies(
+        g::GraphRestriction::max_degree(5)));  // floor(64^0.4) = 5
+
+    const auto floored = experiments::min_degree_family(0.5, 0.05, 0.2, 0.8)(64, rng);
+    EXPECT_TRUE(floored.satisfies(g::GraphRestriction::min_degree(8)));
+
+    const auto ba = experiments::barabasi_family(2, 0.05, 0.2, 0.8)(50, rng);
+    EXPECT_EQ(ba.voter_count(), 50u);
+}
+
+}  // namespace

@@ -1,0 +1,331 @@
+// Tests for every delegation mechanism: threshold logic, approval
+// discipline (never delegate to a non-approved voter), closed-form direct-
+// voting probabilities vs empirical frequencies, and the §6 extensions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "ld/mech/abstaining.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/best_neighbour.hpp"
+#include "ld/mech/complete_graph_threshold.hpp"
+#include "ld/mech/d_out_sampling.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/mech/fraction_approved.hpp"
+#include "ld/mech/multi_delegate.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "ld/model/instance.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::mech::Action;
+using ld::mech::ActionKind;
+using ld::model::Instance;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+Instance complete_instance(std::size_t n, double alpha = 0.05) {
+    Rng rng(n * 31 + 7);
+    return Instance(g::make_complete(n),
+                    model::uniform_competencies(rng, n, 0.2, 0.8), alpha);
+}
+
+/// Check an action's target(s) against the approval rule.
+void expect_targets_approved(const Instance& inst, g::Vertex v, const Action& a) {
+    for (g::Vertex t : a.targets) {
+        EXPECT_TRUE(inst.competency(v) + inst.alpha() <= inst.competency(t))
+            << "voter " << v << " delegated to non-approved " << t;
+        EXPECT_TRUE(inst.graph().has_edge(v, t) || t == v)
+            << "voter " << v << " delegated outside its neighbourhood";
+    }
+}
+
+TEST(DirectVoting, NeverDelegates) {
+    Rng rng(1);
+    const auto inst = complete_instance(20);
+    mech::DirectVoting direct;
+    for (g::Vertex v = 0; v < 20; ++v) {
+        const auto a = direct.act(inst, v, rng);
+        EXPECT_EQ(a.kind, ActionKind::Vote);
+        EXPECT_TRUE(a.targets.empty());
+        EXPECT_EQ(direct.vote_directly_probability(inst, v), 1.0);
+    }
+    EXPECT_EQ(direct.name(), "DirectVoting");
+}
+
+TEST(ApprovalSizeThreshold, DelegatesIffThresholdMet) {
+    Rng rng(2);
+    const auto inst = complete_instance(30);
+    const auto counts = inst.approved_neighbour_counts();
+    for (std::size_t j : {1u, 3u, 10u}) {
+        mech::ApprovalSizeThreshold m(j);
+        for (g::Vertex v = 0; v < 30; ++v) {
+            const auto a = m.act(inst, v, rng);
+            if (counts[v] >= j) {
+                EXPECT_EQ(a.kind, ActionKind::Delegate);
+                expect_targets_approved(inst, v, a);
+                EXPECT_EQ(*m.vote_directly_probability(inst, v), 0.0);
+            } else {
+                EXPECT_EQ(a.kind, ActionKind::Vote);
+                EXPECT_EQ(*m.vote_directly_probability(inst, v), 1.0);
+            }
+        }
+    }
+}
+
+TEST(ApprovalSizeThreshold, ThresholdZeroIsClampedToOne) {
+    mech::ApprovalSizeThreshold m(0);
+    EXPECT_EQ(m.threshold(), 1u);
+}
+
+TEST(ApprovalSizeThreshold, TargetsAreUniformOverApprovalSet) {
+    Rng rng(3);
+    // Voter 0 (p=0.2) approves exactly voters 2, 3, 4.
+    const Instance inst(g::make_complete(5),
+                        model::CompetencyVector({0.2, 0.24, 0.5, 0.6, 0.7}), 0.05);
+    mech::ApprovalSizeThreshold m(1);
+    std::map<g::Vertex, int> counts;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) {
+        const auto a = m.act(inst, 0, rng);
+        ASSERT_EQ(a.kind, ActionKind::Delegate);
+        ++counts[a.targets[0]];
+    }
+    ASSERT_EQ(counts.size(), 3u);
+    for (g::Vertex t : {2u, 3u, 4u}) {
+        EXPECT_NEAR(counts[t], trials / 3, 500) << "target " << t;
+    }
+}
+
+TEST(CompleteGraphThreshold, FactoriesComputeDocumentedThresholds) {
+    const auto log_m = mech::CompleteGraphThreshold::with_log_threshold();
+    EXPECT_EQ(log_m.threshold_for(1023), 10u);
+    const auto sqrt_m = mech::CompleteGraphThreshold::with_sqrt_threshold();
+    EXPECT_EQ(sqrt_m.threshold_for(100), 10u);
+    EXPECT_EQ(sqrt_m.threshold_for(101), 11u);
+    const auto lin = mech::CompleteGraphThreshold::with_linear_threshold(0.25);
+    EXPECT_EQ(lin.threshold_for(100), 25u);
+    EXPECT_THROW(mech::CompleteGraphThreshold::with_linear_threshold(0.0),
+                 ContractViolation);
+}
+
+TEST(CompleteGraphThreshold, Algorithm1Semantics) {
+    Rng rng(4);
+    const auto inst = complete_instance(50);
+    const auto m = mech::CompleteGraphThreshold::with_sqrt_threshold();
+    const auto counts = inst.approved_neighbour_counts();
+    const std::size_t j = m.threshold_for(49);  // degree in K_50
+    for (g::Vertex v = 0; v < 50; ++v) {
+        const auto a = m.act(inst, v, rng);
+        if (counts[v] >= j) {
+            EXPECT_EQ(a.kind, ActionKind::Delegate);
+            expect_targets_approved(inst, v, a);
+        } else {
+            EXPECT_EQ(a.kind, ActionKind::Vote);
+        }
+    }
+    EXPECT_NE(m.name().find("Algorithm1"), std::string::npos);
+}
+
+TEST(DOutSampling, ValidationAndNaming) {
+    EXPECT_THROW(mech::DOutSampling(0, 1, mech::SampleSource::Population),
+                 ContractViolation);
+    EXPECT_THROW(mech::DOutSampling(3, 5, mech::SampleSource::Population),
+                 ContractViolation);
+    const auto m = mech::DOutSampling::with_fraction(10, 0.3, mech::SampleSource::Population);
+    EXPECT_EQ(m.d(), 10u);
+    EXPECT_EQ(m.threshold(), 3u);
+    EXPECT_NE(m.name().find("Algorithm2"), std::string::npos);
+}
+
+TEST(DOutSampling, PopulationModeDelegatesOnlyUpward) {
+    Rng rng(5);
+    const auto inst = complete_instance(60);
+    const mech::DOutSampling m(8, 2, mech::SampleSource::Population);
+    int delegations = 0;
+    for (int rep = 0; rep < 20; ++rep) {
+        for (g::Vertex v = 0; v < 60; ++v) {
+            const auto a = m.act(inst, v, rng);
+            if (a.kind == ActionKind::Delegate) {
+                ++delegations;
+                // Population mode can target any voter, but must be approved.
+                EXPECT_TRUE(inst.competency(v) + inst.alpha() <=
+                            inst.competency(a.targets[0]));
+            }
+        }
+    }
+    EXPECT_GT(delegations, 0);
+}
+
+TEST(DOutSampling, NeighbourhoodModeStaysLocal) {
+    Rng rng(6);
+    const auto graph = g::make_random_d_regular(rng, 40, 6);
+    const Instance inst(graph, model::uniform_competencies(rng, 40, 0.2, 0.8), 0.05);
+    const mech::DOutSampling m(6, 1, mech::SampleSource::Neighbourhood);
+    for (int rep = 0; rep < 20; ++rep) {
+        for (g::Vertex v = 0; v < 40; ++v) {
+            const auto a = m.act(inst, v, rng);
+            if (a.kind == ActionKind::Delegate) {
+                EXPECT_TRUE(graph.has_edge(v, a.targets[0]));
+                EXPECT_TRUE(inst.competency(v) + inst.alpha() <=
+                            inst.competency(a.targets[0]));
+            }
+        }
+    }
+}
+
+TEST(DOutSampling, SingletonPopulationVotes) {
+    Rng rng(7);
+    const Instance inst(g::make_complete(1), model::CompetencyVector({0.5}), 0.1);
+    const mech::DOutSampling m(3, 1, mech::SampleSource::Population);
+    EXPECT_EQ(m.act(inst, 0, rng).kind, ActionKind::Vote);
+}
+
+TEST(FractionApproved, Theorem5Rule) {
+    Rng rng(8);
+    const auto inst = complete_instance(30);
+    const mech::FractionApproved m(1.0 / 3.0);
+    const auto counts = inst.approved_neighbour_counts();
+    for (g::Vertex v = 0; v < 30; ++v) {
+        const auto a = m.act(inst, v, rng);
+        const bool should =
+            3 * counts[v] >= inst.graph().degree(v) && counts[v] > 0;
+        EXPECT_EQ(a.kind == ActionKind::Delegate, should) << "voter " << v;
+        if (should) expect_targets_approved(inst, v, a);
+        EXPECT_EQ(*m.vote_directly_probability(inst, v), should ? 0.0 : 1.0);
+    }
+    EXPECT_THROW(mech::FractionApproved(0.0), ContractViolation);
+    EXPECT_THROW(mech::FractionApproved(1.5), ContractViolation);
+}
+
+TEST(FractionApproved, IsolatedVoterVotes) {
+    Rng rng(9);
+    const Instance inst(ld::graph::Graph::empty(3),
+                        model::CompetencyVector({0.2, 0.5, 0.8}), 0.05);
+    const mech::FractionApproved m;
+    for (g::Vertex v = 0; v < 3; ++v) {
+        EXPECT_EQ(m.act(inst, v, rng).kind, ActionKind::Vote);
+    }
+}
+
+TEST(BestNeighbour, PicksTheMaximum) {
+    Rng rng(10);
+    const Instance inst(g::make_complete(5),
+                        model::CompetencyVector({0.2, 0.5, 0.9, 0.7, 0.3}), 0.05);
+    const mech::BestNeighbour m;
+    const auto a = m.act(inst, 0, rng);
+    ASSERT_EQ(a.kind, ActionKind::Delegate);
+    EXPECT_EQ(a.targets[0], 2u);
+    // The top voter votes directly.
+    EXPECT_EQ(m.act(inst, 2, rng).kind, ActionKind::Vote);
+    EXPECT_EQ(*m.vote_directly_probability(inst, 2), 1.0);
+    EXPECT_EQ(*m.vote_directly_probability(inst, 0), 0.0);
+}
+
+TEST(BestNeighbour, StarConcentratesOnCentre) {
+    Rng rng(11);
+    const Instance inst(g::make_star(10), model::star_competencies(10), 0.05);
+    const mech::BestNeighbour m;
+    for (g::Vertex leaf = 1; leaf < 10; ++leaf) {
+        const auto a = m.act(inst, leaf, rng);
+        ASSERT_EQ(a.kind, ActionKind::Delegate);
+        EXPECT_EQ(a.targets[0], 0u);
+    }
+    EXPECT_EQ(m.act(inst, 0, rng).kind, ActionKind::Vote);
+}
+
+TEST(Abstaining, OnlyWouldBeDelegatorsAbstain) {
+    Rng rng(12);
+    const auto inst = complete_instance(40);
+    const mech::ApprovalSizeThreshold inner(1);
+    const mech::Abstaining m(inner, 1.0);  // always abstain instead of delegating
+    const auto counts = inst.approved_neighbour_counts();
+    for (g::Vertex v = 0; v < 40; ++v) {
+        const auto a = m.act(inst, v, rng);
+        if (counts[v] >= 1) {
+            EXPECT_EQ(a.kind, ActionKind::Abstain);
+        } else {
+            EXPECT_EQ(a.kind, ActionKind::Vote);  // direct voters never abstain
+        }
+    }
+    EXPECT_TRUE(m.may_abstain());
+    EXPECT_THROW(mech::Abstaining(inner, 1.0001), ContractViolation);
+}
+
+TEST(Abstaining, ZeroProbabilityIsTransparent) {
+    Rng rng(13);
+    const auto inst = complete_instance(40);
+    const mech::ApprovalSizeThreshold inner(1);
+    const mech::Abstaining m(inner, 0.0);
+    for (g::Vertex v = 0; v < 40; ++v) {
+        EXPECT_NE(m.act(inst, v, rng).kind, ActionKind::Abstain);
+    }
+}
+
+TEST(Abstaining, FrequencyMatchesProbability) {
+    Rng rng(14);
+    const auto inst = complete_instance(30);
+    const mech::ApprovalSizeThreshold inner(1);
+    const mech::Abstaining m(inner, 0.4);
+    // Pick a voter guaranteed to delegate under the inner mechanism.
+    g::Vertex delegator = 0;
+    const auto counts = inst.approved_neighbour_counts();
+    for (g::Vertex v = 0; v < 30; ++v) {
+        if (counts[v] >= 1) {
+            delegator = v;
+            break;
+        }
+    }
+    int abstained = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (m.act(inst, delegator, rng).kind == ActionKind::Abstain) ++abstained;
+    }
+    EXPECT_NEAR(static_cast<double>(abstained) / trials, 0.4, 0.02);
+}
+
+TEST(MultiDelegate, RequiresOddM) {
+    EXPECT_THROW(mech::MultiDelegate(2, 1), ContractViolation);
+    EXPECT_THROW(mech::MultiDelegate(0, 1), ContractViolation);
+}
+
+TEST(MultiDelegate, TargetsAreDistinctApprovedAndOddCount) {
+    Rng rng(15);
+    const auto inst = complete_instance(50);
+    const mech::MultiDelegate m(5, 1);
+    EXPECT_TRUE(m.multi_delegation());
+    for (int rep = 0; rep < 10; ++rep) {
+        for (g::Vertex v = 0; v < 50; ++v) {
+            const auto a = m.act(inst, v, rng);
+            if (a.kind != ActionKind::Delegate) continue;
+            EXPECT_EQ(a.targets.size() % 2, 1u);
+            EXPECT_LE(a.targets.size(), 5u);
+            std::set<g::Vertex> distinct(a.targets.begin(), a.targets.end());
+            EXPECT_EQ(distinct.size(), a.targets.size());
+            expect_targets_approved(inst, v, a);
+        }
+    }
+}
+
+TEST(MultiDelegate, TwoApprovedNeighboursGiveOneTarget) {
+    Rng rng(16);
+    // Voter 0 approves exactly {2, 3}: take = min(3, 2) → 2 → forced odd → 1.
+    const Instance inst(g::make_complete(4),
+                        model::CompetencyVector({0.2, 0.22, 0.5, 0.6}), 0.05);
+    const mech::MultiDelegate m(3, 1);
+    for (int i = 0; i < 100; ++i) {
+        const auto a = m.act(inst, 0, rng);
+        ASSERT_EQ(a.kind, ActionKind::Delegate);
+        EXPECT_EQ(a.targets.size(), 1u);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for normal-distribution utilities (Lemma 3/4 machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/normal.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace prob = ld::prob;
+using ld::support::ContractViolation;
+
+TEST(NormalPdf, KnownValues) {
+    EXPECT_NEAR(prob::normal_pdf(0.0), 0.3989422804014327, 1e-15);
+    EXPECT_NEAR(prob::normal_pdf(1.0), 0.24197072451914337, 1e-15);
+    EXPECT_NEAR(prob::normal_pdf(-1.0), prob::normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(prob::normal_cdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(prob::normal_cdf(1.0), 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(prob::normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+    EXPECT_NEAR(prob::normal_cdf(1.0) + prob::normal_cdf(-1.0), 1.0, 1e-14);
+}
+
+TEST(NormalCdf, GeneralParameters) {
+    EXPECT_NEAR(prob::normal_cdf(10.0, 10.0, 2.0), 0.5, 1e-15);
+    EXPECT_NEAR(prob::normal_cdf(12.0, 10.0, 2.0), prob::normal_cdf(1.0), 1e-15);
+    EXPECT_THROW(prob::normal_cdf(0.0, 0.0, 0.0), ContractViolation);
+}
+
+TEST(NormalQuantile, RoundTripsWithCdf) {
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999}) {
+        const double x = prob::normal_quantile(p);
+        EXPECT_NEAR(prob::normal_cdf(x), p, 1e-10) << "p=" << p;
+    }
+}
+
+TEST(NormalQuantile, KnownCriticalValues) {
+    EXPECT_NEAR(prob::normal_quantile(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(prob::normal_quantile(0.995), 2.5758293035489004, 1e-9);
+    EXPECT_NEAR(prob::normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_THROW(prob::normal_quantile(0.0), ContractViolation);
+    EXPECT_THROW(prob::normal_quantile(1.0), ContractViolation);
+}
+
+TEST(CentralWindow, MatchesErfIdentity) {
+    // P[|Z| <= r] = erf(r/√2).
+    for (double r : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+        const double expected = prob::normal_cdf(r) - prob::normal_cdf(-r);
+        EXPECT_NEAR(prob::central_window_mass(r), expected, 1e-12) << "r=" << r;
+    }
+    EXPECT_THROW(prob::central_window_mass(-1.0), ContractViolation);
+}
+
+TEST(CentralWindow, VanishesAndSaturates) {
+    EXPECT_NEAR(prob::central_window_mass(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(prob::central_window_mass(10.0), 1.0, 1e-15);
+}
+
+TEST(IntervalMass, BasicProperties) {
+    EXPECT_NEAR(prob::interval_mass(-1.0, 1.0, 0.0, 1.0),
+                prob::central_window_mass(1.0), 1e-12);
+    EXPECT_NEAR(prob::interval_mass(5.0, 5.0, 0.0, 1.0), 0.0, 1e-15);
+    EXPECT_THROW(prob::interval_mass(2.0, 1.0, 0.0, 1.0), ContractViolation);
+}
+
+TEST(Lemma3Shape, WindowMassVanishesAtSqrtNScale) {
+    // The Lemma 3 argument: flipped mass ~ n^{1/2−ε}, σ ~ √n, so the
+    // window radius in σ units is n^{−ε} → 0, and the flip probability
+    // erf(r/√2) → 0.  Check the monotone decay numerically.
+    double prev = 1.0;
+    for (double n : {1e2, 1e4, 1e6, 1e8}) {
+        const double radius = std::pow(n, 0.4) / std::sqrt(n);  // n^{-0.1}
+        const double mass = prob::central_window_mass(radius);
+        EXPECT_LT(mass, prev);
+        prev = mass;
+    }
+    EXPECT_LT(prev, 0.15);
+}
+
+}  // namespace

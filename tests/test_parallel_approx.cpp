@@ -1,0 +1,153 @@
+// Tests for the parallel replication runner and the Lemma-4 approximate
+// tally path.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/election/tally.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/direct.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace election = ld::election;
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+model::Instance pc_instance(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    return model::Instance(g::make_complete(n),
+                           model::pc_competencies(rng, n, 0.02, 0.25), 0.05);
+}
+
+TEST(ParallelEval, MatchesSequentialWithinError) {
+    const auto inst = pc_instance(150, 1);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions seq;
+    seq.replications = 400;
+    election::EvalOptions par = seq;
+    par.threads = 4;
+
+    Rng rng_a(7), rng_b(7);
+    const auto est_seq = election::estimate_correct_probability(m, inst, rng_a, seq);
+    const auto est_par = election::estimate_correct_probability(m, inst, rng_b, par);
+    EXPECT_EQ(est_par.replications, 400u);
+    EXPECT_NEAR(est_par.value, est_seq.value,
+                4.0 * (est_seq.std_error + est_par.std_error) + 1e-6);
+}
+
+TEST(ParallelEval, DeterministicForFixedSeedAndThreads) {
+    const auto inst = pc_instance(100, 2);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 120;
+    opts.threads = 3;
+    Rng rng_a(11), rng_b(11);
+    const auto r1 = election::estimate_correct_probability(m, inst, rng_a, opts);
+    const auto r2 = election::estimate_correct_probability(m, inst, rng_b, opts);
+    EXPECT_DOUBLE_EQ(r1.value, r2.value);
+    EXPECT_DOUBLE_EQ(r1.std_error, r2.std_error);
+}
+
+TEST(ParallelEval, MoreThreadsThanReplicationsIsFine) {
+    const auto inst = pc_instance(40, 3);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 3;
+    opts.threads = 16;
+    Rng rng(1);
+    const auto est = election::estimate_correct_probability(m, inst, rng, opts);
+    EXPECT_EQ(est.replications, 3u);
+}
+
+TEST(ParallelEval, ZeroThreadsRejected) {
+    const auto inst = pc_instance(20, 4);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.threads = 0;
+    Rng rng(1);
+    EXPECT_THROW(election::estimate_correct_probability(m, inst, rng, opts),
+                 ContractViolation);
+}
+
+TEST(ParallelEval, GainReportViaThreads) {
+    const auto inst = pc_instance(200, 5);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 200;
+    opts.threads = 4;
+    Rng rng(2);
+    const auto report = election::estimate_gain(m, inst, rng, opts);
+    EXPECT_GT(report.gain, 0.2);  // PC regime: delegation rescues the vote
+    EXPECT_GT(report.mean_delegators, 100.0);
+    EXPECT_GE(report.mean_max_weight, 1.0);
+}
+
+TEST(ApproxTally, CloseToExactOnModerateInstances) {
+    Rng rng(6);
+    const auto inst = pc_instance(300, 7);
+    const mech::ApprovalSizeThreshold m(1);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto out = ld::delegation::realize(m, inst, rng);
+        const double exact =
+            election::exact_correct_probability(out, inst.competencies());
+        const double approx =
+            election::approx_correct_probability(out, inst.competencies());
+        EXPECT_NEAR(approx, exact, 0.05);
+    }
+}
+
+TEST(ApproxTally, HandlesDegenerateCases) {
+    // All abstain → 0.
+    {
+        std::vector<ld::mech::Action> actions{ld::mech::Action::delegate_to(1),
+                                              ld::mech::Action::abstain()};
+        const ld::delegation::DelegationOutcome out(std::move(actions));
+        EXPECT_EQ(election::approx_correct_probability(
+                      out, model::CompetencyVector({0.5, 0.5})),
+                  0.0);
+    }
+    // Deterministic dictator (p = 1) → 1; (p = 0) → 0.
+    for (double p : {0.0, 1.0}) {
+        std::vector<ld::mech::Action> actions{ld::mech::Action::vote(),
+                                              ld::mech::Action::delegate_to(0)};
+        const ld::delegation::DelegationOutcome out(std::move(actions));
+        EXPECT_EQ(election::approx_correct_probability(
+                      out, model::CompetencyVector({p, 0.5})),
+                  p);
+    }
+}
+
+TEST(ApproxTally, EvaluatorFlagProducesSimilarGain) {
+    const auto inst = pc_instance(250, 8);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions exact_opts;
+    exact_opts.replications = 150;
+    auto approx_opts = exact_opts;
+    approx_opts.approximate_tally = true;
+    Rng rng_a(3), rng_b(3);
+    const auto exact = election::estimate_gain(m, inst, rng_a, exact_opts);
+    const auto approx = election::estimate_gain(m, inst, rng_b, approx_opts);
+    EXPECT_NEAR(approx.gain, exact.gain, 0.05);
+}
+
+TEST(ApproxTally, ScalesToHugeInstances) {
+    // n = 50k would be prohibitive for the exact DP; the approximation
+    // finishes quickly and agrees with the Condorcet limit.
+    Rng rng(9);
+    const std::size_t n = 50000;
+    std::vector<ld::mech::Action> actions(n, ld::mech::Action::vote());
+    const ld::delegation::DelegationOutcome out(std::move(actions));
+    const auto p = model::uniform_competencies(rng, n, 0.51, 0.55);
+    const double approx = election::approx_correct_probability(out, p);
+    EXPECT_GT(approx, 0.999);  // mean 0.53, margin ~ 30 sigma
+}
+
+}  // namespace

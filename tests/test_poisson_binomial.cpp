@@ -1,0 +1,140 @@
+// Tests for the exact Poisson-binomial distribution — the law of the
+// direct-voting outcome.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/poisson_binomial.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::prob::PoissonBinomial;
+using ld::support::ContractViolation;
+
+double binomial_pmf(int n, int k, double p) {
+    double log_choose = std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+    return std::exp(log_choose + k * std::log(p) + (n - k) * std::log1p(-p));
+}
+
+TEST(PoissonBinomial, EmptySumIsZero) {
+    const PoissonBinomial pb(std::vector<double>{});
+    EXPECT_EQ(pb.trial_count(), 0u);
+    EXPECT_DOUBLE_EQ(pb.pmf(0), 1.0);
+    EXPECT_DOUBLE_EQ(pb.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(pb.majority_probability(), 0.0);  // 0 > 0 is false
+}
+
+TEST(PoissonBinomial, SingleTrial) {
+    const PoissonBinomial pb(std::vector<double>{0.3});
+    EXPECT_NEAR(pb.pmf(0), 0.7, 1e-15);
+    EXPECT_NEAR(pb.pmf(1), 0.3, 1e-15);
+    EXPECT_NEAR(pb.majority_probability(), 0.3, 1e-15);  // X > 1/2 ⇔ X = 1
+}
+
+TEST(PoissonBinomial, MatchesBinomialWhenHomogeneous) {
+    const int n = 20;
+    const double p = 0.35;
+    const PoissonBinomial pb(std::vector<double>(n, p));
+    for (int k = 0; k <= n; ++k) {
+        EXPECT_NEAR(pb.pmf(k), binomial_pmf(n, k, p), 1e-12) << "k=" << k;
+    }
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+    const std::vector<double> probs{0.1, 0.9, 0.5, 0.3, 0.7, 0.25, 0.99, 0.01};
+    const PoissonBinomial pb(probs);
+    double total = 0.0;
+    for (std::size_t k = 0; k <= probs.size(); ++k) total += pb.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PoissonBinomial, MeanAndVarianceFormulas) {
+    const std::vector<double> probs{0.2, 0.4, 0.6, 0.8};
+    const PoissonBinomial pb(probs);
+    EXPECT_NEAR(pb.mean(), 2.0, 1e-15);
+    double var = 0.0;
+    for (double p : probs) var += p * (1 - p);
+    EXPECT_NEAR(pb.variance(), var, 1e-15);
+
+    // Cross-check against the pmf moments.
+    double m1 = 0.0, m2 = 0.0;
+    for (std::size_t k = 0; k <= probs.size(); ++k) {
+        m1 += static_cast<double>(k) * pb.pmf(k);
+        m2 += static_cast<double>(k * k) * pb.pmf(k);
+    }
+    EXPECT_NEAR(m1, pb.mean(), 1e-12);
+    EXPECT_NEAR(m2 - m1 * m1, pb.variance(), 1e-12);
+}
+
+TEST(PoissonBinomial, CdfIsMonotone) {
+    const std::vector<double> probs{0.3, 0.5, 0.7, 0.2, 0.9};
+    const PoissonBinomial pb(probs);
+    double prev = 0.0;
+    for (std::size_t k = 0; k <= probs.size(); ++k) {
+        EXPECT_GE(pb.cdf(k), prev - 1e-15);
+        prev = pb.cdf(k);
+    }
+    EXPECT_NEAR(pb.cdf(probs.size()), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomial, TailComplementsCdf) {
+    const std::vector<double> probs{0.4, 0.6, 0.1};
+    const PoissonBinomial pb(probs);
+    for (std::size_t k = 0; k <= probs.size(); ++k) {
+        EXPECT_NEAR(pb.tail_above(static_cast<double>(k)) + pb.cdf(k), 1.0, 1e-12);
+    }
+}
+
+TEST(PoissonBinomial, MajorityOfFairCoinsIsSymmetric) {
+    // Odd n of fair coins: strict majority happens with probability 1/2.
+    const PoissonBinomial pb(std::vector<double>(9, 0.5));
+    EXPECT_NEAR(pb.majority_probability(), 0.5, 1e-12);
+}
+
+TEST(PoissonBinomial, EvenTiesCountAsFailure) {
+    // Two fair coins: P[X > 1] = P[X = 2] = 1/4 (the tie X = 1 loses).
+    const PoissonBinomial pb(std::vector<double>(2, 0.5));
+    EXPECT_NEAR(pb.majority_probability(), 0.25, 1e-12);
+}
+
+TEST(PoissonBinomial, DegenerateProbabilities) {
+    const PoissonBinomial pb(std::vector<double>{1.0, 1.0, 0.0});
+    EXPECT_NEAR(pb.pmf(2), 1.0, 1e-15);
+    EXPECT_NEAR(pb.majority_probability(), 1.0, 1e-15);  // 2 > 1.5
+}
+
+TEST(PoissonBinomial, MajorityProbabilityGrowsWithCompetence) {
+    // Condorcet jury: for p > 1/2, majority probability grows with n.
+    double prev = 0.0;
+    for (int n : {11, 31, 101, 301}) {
+        const PoissonBinomial pb(std::vector<double>(n, 0.6));
+        EXPECT_GT(pb.majority_probability(), prev);
+        prev = pb.majority_probability();
+    }
+    EXPECT_GT(prev, 0.97);
+}
+
+TEST(PoissonBinomial, RejectsBadProbability) {
+    EXPECT_THROW(PoissonBinomial(std::vector<double>{0.5, 1.2}), ContractViolation);
+    EXPECT_THROW(PoissonBinomial(std::vector<double>{-0.1}), ContractViolation);
+}
+
+TEST(PoissonBinomial, ConvenienceWrapperAgrees) {
+    const std::vector<double> probs{0.55, 0.65, 0.45, 0.7, 0.5};
+    EXPECT_NEAR(ld::prob::direct_majority_probability(probs),
+                PoissonBinomial(probs).majority_probability(), 1e-15);
+}
+
+TEST(PoissonBinomial, LargeInstanceIsStable) {
+    const PoissonBinomial pb(std::vector<double>(2000, 0.52));
+    EXPECT_NEAR(pb.mean(), 1040.0, 1e-9);
+    double total = 0.0;
+    for (std::size_t k = 0; k <= 2000; ++k) total += pb.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(pb.majority_probability(), 0.9);  // 2σ ≈ 45 above the line
+}
+
+}  // namespace

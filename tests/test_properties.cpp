@@ -1,0 +1,111 @@
+// Tests for graph property computations on graphs with known answers.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+using ld::graph::Graph;
+using ld::graph::GraphBuilder;
+
+TEST(DegreeStats, StarIsMaximallyAsymmetric) {
+    const auto stats = g::degree_stats(g::make_star(11));
+    EXPECT_EQ(stats.min, 1u);
+    EXPECT_EQ(stats.max, 10u);
+    EXPECT_NEAR(stats.mean, 20.0 / 11.0, 1e-12);
+    EXPECT_GT(stats.asymmetry, 5.0);
+}
+
+TEST(DegreeStats, RegularGraphHasZeroVariance) {
+    const auto stats = g::degree_stats(g::make_cycle(10));
+    EXPECT_EQ(stats.min, 2u);
+    EXPECT_EQ(stats.max, 2u);
+    EXPECT_NEAR(stats.variance, 0.0, 1e-12);
+    EXPECT_NEAR(stats.asymmetry, 1.0, 1e-12);
+}
+
+TEST(DegreeStats, EmptyGraphIsSafe) {
+    const auto stats = g::degree_stats(Graph::empty(0));
+    EXPECT_EQ(stats.max, 0u);
+    EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(Bfs, DistancesOnPath) {
+    const auto dist = g::bfs_distances(g::make_path(5), 0);
+    for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableVerticesAreMarked) {
+    GraphBuilder b(4);
+    b.add_edge(0, 1);
+    const auto dist = g::bfs_distances(b.build(), 0);
+    EXPECT_EQ(dist[1], 1u);
+    EXPECT_EQ(dist[2], std::numeric_limits<std::size_t>::max());
+    EXPECT_EQ(dist[3], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Components, CountsAndLabels) {
+    GraphBuilder b(6);
+    b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+    const Graph graph = b.build();
+    EXPECT_EQ(g::component_count(graph), 3u);
+    const auto comp = g::connected_components(graph);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[2], comp[3]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[2]);
+    EXPECT_NE(comp[2], comp[5]);
+    EXPECT_FALSE(g::is_connected(graph));
+}
+
+TEST(Components, CompleteGraphIsConnected) {
+    EXPECT_TRUE(g::is_connected(g::make_complete(10)));
+    EXPECT_TRUE(g::is_connected(Graph::empty(1)));
+    EXPECT_TRUE(g::is_connected(Graph::empty(0)));
+}
+
+TEST(Diameter, KnownValues) {
+    EXPECT_EQ(g::diameter(g::make_path(7)), 6u);
+    EXPECT_EQ(g::diameter(g::make_cycle(8)), 4u);
+    EXPECT_EQ(g::diameter(g::make_complete(9)), 1u);
+    EXPECT_EQ(g::diameter(g::make_star(20)), 2u);
+    EXPECT_EQ(g::diameter(Graph::empty(1)), 0u);
+}
+
+TEST(Diameter, ThrowsOnDisconnected) {
+    GraphBuilder b(3);
+    b.add_edge(0, 1);
+    EXPECT_THROW(g::diameter(b.build()), std::invalid_argument);
+}
+
+TEST(Triangles, KnownCounts) {
+    EXPECT_EQ(g::triangle_count(g::make_complete(4)), 4u);
+    EXPECT_EQ(g::triangle_count(g::make_complete(5)), 10u);
+    EXPECT_EQ(g::triangle_count(g::make_cycle(5)), 0u);
+    EXPECT_EQ(g::triangle_count(g::make_star(10)), 0u);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+    EXPECT_NEAR(g::global_clustering_coefficient(g::make_complete(6)), 1.0, 1e-12);
+}
+
+TEST(Clustering, TriangleFreeGraphIsZero) {
+    EXPECT_NEAR(g::global_clustering_coefficient(g::make_cycle(6)), 0.0, 1e-12);
+    EXPECT_NEAR(g::global_clustering_coefficient(g::make_star(6)), 0.0, 1e-12);
+}
+
+TEST(Clustering, PaperExampleValue) {
+    // Triangle with a pendant vertex: 1 triangle, open triads:
+    // degrees 2,2,3,1 → 1 + 1 + 3 + 0 = 5 triads; coefficient 3/5.
+    GraphBuilder b(4);
+    b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).add_edge(2, 3);
+    EXPECT_NEAR(g::global_clustering_coefficient(b.build()), 0.6, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the rank-proportional mechanism — the uniform↔argmax
+// interpolation knob.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/realize.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/mech/rank_proportional.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::rng::Rng;
+
+model::Instance five_voter_chain() {
+    // Voter 0 (p = 0.2) approves exactly {1, 2, 3} with p = 0.4/0.6/0.8.
+    return model::Instance(g::make_complete(5),
+                           model::CompetencyVector({0.2, 0.4, 0.6, 0.8, 0.1}), 0.05);
+}
+
+TEST(RankProportional, ValidationAndNaming) {
+    EXPECT_THROW(mech::RankProportional(1, -0.5), ld::support::ContractViolation);
+    const mech::RankProportional m(2, 1.5);
+    EXPECT_NE(m.name().find("RankProportional"), std::string::npos);
+    EXPECT_DOUBLE_EQ(m.sharpness(), 1.5);
+}
+
+TEST(RankProportional, SharpnessZeroIsUniform) {
+    Rng rng(1);
+    const auto inst = five_voter_chain();
+    const mech::RankProportional m(1, 0.0);
+    std::map<g::Vertex, int> counts;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) {
+        const auto a = m.act(inst, 0, rng);
+        ASSERT_EQ(a.kind, mech::ActionKind::Delegate);
+        ++counts[a.targets[0]];
+    }
+    ASSERT_EQ(counts.size(), 3u);
+    for (g::Vertex t : {1u, 2u, 3u}) EXPECT_NEAR(counts[t], trials / 3, 500);
+}
+
+TEST(RankProportional, SharpnessTiltsTowardsTheBest) {
+    Rng rng(2);
+    const auto inst = five_voter_chain();
+    const mech::RankProportional m(1, 2.0);
+    // ranks 1,2,3 → weights 1,4,9 → best (voter 3) gets 9/14.
+    std::map<g::Vertex, int> counts;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) {
+        ++counts[m.act(inst, 0, rng).targets[0]];
+    }
+    EXPECT_NEAR(static_cast<double>(counts[3]) / trials, 9.0 / 14.0, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / trials, 1.0 / 14.0, 0.01);
+}
+
+TEST(RankProportional, HighSharpnessApproachesBestNeighbour) {
+    Rng rng(3);
+    const auto inst = five_voter_chain();
+    const mech::RankProportional m(1, 12.0);
+    int best_picks = 0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i) {
+        if (m.act(inst, 0, rng).targets[0] == 3u) ++best_picks;
+    }
+    EXPECT_GT(static_cast<double>(best_picks) / trials, 0.97);
+}
+
+TEST(RankProportional, RespectsApprovalAndThreshold) {
+    Rng rng(4);
+    const model::Instance inst(g::make_complete(30),
+                               model::uniform_competencies(rng, 30, 0.2, 0.8), 0.05);
+    const mech::RankProportional m(3, 1.0);
+    const auto counts = inst.approved_neighbour_counts();
+    for (g::Vertex v = 0; v < 30; ++v) {
+        const auto a = m.act(inst, v, rng);
+        if (counts[v] >= 3) {
+            ASSERT_EQ(a.kind, mech::ActionKind::Delegate);
+            EXPECT_GE(inst.competency(a.targets[0]), inst.competency(v) + 0.05);
+            EXPECT_EQ(*m.vote_directly_probability(inst, v), 0.0);
+        } else {
+            EXPECT_EQ(a.kind, mech::ActionKind::Vote);
+            EXPECT_EQ(*m.vote_directly_probability(inst, v), 1.0);
+        }
+    }
+}
+
+TEST(RankProportional, SharperTiltConcentratesMoreWeight) {
+    Rng rng(5);
+    const model::Instance inst(g::make_complete(200),
+                               model::pc_competencies(rng, 200, 0.02, 0.25), 0.05);
+    ld::stats::RunningStats flat_max, sharp_max;
+    const mech::RankProportional flat(1, 0.0);
+    const mech::RankProportional sharp(1, 8.0);
+    for (int rep = 0; rep < 30; ++rep) {
+        flat_max.add(static_cast<double>(
+            ld::delegation::realize(flat, inst, rng).stats().max_weight));
+        sharp_max.add(static_cast<double>(
+            ld::delegation::realize(sharp, inst, rng).stats().max_weight));
+    }
+    EXPECT_GT(sharp_max.mean(), flat_max.mean());
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Tests for recycle sampling (Definition 6): structure validation,
+// partition complexity, exact expectations vs Monte-Carlo, the Lemma 1/2
+// bound calculators, and the construction from Algorithm 1 instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "ld/mech/complete_graph_threshold.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "ld/recycle/bounds.hpp"
+#include "ld/recycle/recycle_graph.hpp"
+#include "ld/recycle/sampler.hpp"
+#include "stats/running_stats.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace recycle = ld::recycle;
+using ld::recycle::RecycleGraph;
+using ld::recycle::RecycleNode;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(RecycleGraph, ValidatesNodes) {
+    EXPECT_THROW(RecycleGraph({RecycleNode{1.5, 0.5, 0}}), ContractViolation);
+    EXPECT_THROW(RecycleGraph({RecycleNode{1.0, -0.1, 0}}), ContractViolation);
+    // Window beyond own index.
+    EXPECT_THROW(RecycleGraph({RecycleNode{1.0, 0.5, 1}}), ContractViolation);
+    // Recycling with empty window.
+    EXPECT_THROW(RecycleGraph({RecycleNode{0.5, 0.5, 0}}), ContractViolation);
+}
+
+TEST(RecycleGraph, AllFreshNodesHaveComplexityOne) {
+    std::vector<RecycleNode> nodes(10, RecycleNode{1.0, 0.6, 0});
+    const RecycleGraph g(std::move(nodes));
+    EXPECT_EQ(g.j(), 10u);
+    EXPECT_EQ(g.partition_complexity(), 1u);
+    EXPECT_NEAR(g.total_expectation(), 6.0, 1e-12);
+    for (double mu : g.expectations()) EXPECT_NEAR(mu, 0.6, 1e-15);
+}
+
+TEST(RecycleGraph, ChainHasLinearComplexity) {
+    // Node i recycles from exactly [0, i): longest chain grows each step.
+    std::vector<RecycleNode> nodes;
+    nodes.push_back(RecycleNode{1.0, 0.5, 0});
+    for (std::size_t i = 1; i < 6; ++i) nodes.push_back(RecycleNode{0.0, 0.5, i});
+    const RecycleGraph g(std::move(nodes));
+    EXPECT_EQ(g.j(), 1u);
+    EXPECT_EQ(g.partition_complexity(), 6u);
+}
+
+TEST(RecycleGraph, PureRecyclingPreservesExpectation) {
+    // One fresh Bernoulli(0.7) and 5 pure copies of it.
+    std::vector<RecycleNode> nodes;
+    nodes.push_back(RecycleNode{1.0, 0.7, 0});
+    for (std::size_t i = 1; i < 6; ++i) nodes.push_back(RecycleNode{0.0, 0.1, 1});
+    const RecycleGraph g(std::move(nodes));
+    for (double mu : g.expectations()) EXPECT_NEAR(mu, 0.7, 1e-12);
+    EXPECT_NEAR(g.total_expectation(), 4.2, 1e-12);
+}
+
+TEST(RecycleGraph, MixedExpectationsFollowTheRecurrence) {
+    // Node 2 recycles from {0, 1} with z = 0.5:
+    // μ_2 = 0.5·0.9 + 0.5·(μ_0 + μ_1)/2.
+    std::vector<RecycleNode> nodes{RecycleNode{1.0, 0.2, 0}, RecycleNode{1.0, 0.6, 0},
+                                   RecycleNode{0.5, 0.9, 2}};
+    const RecycleGraph g(std::move(nodes));
+    EXPECT_NEAR(g.expectations()[2], 0.5 * 0.9 + 0.5 * 0.4, 1e-12);
+}
+
+TEST(RecycleSampler, EmpiricalMeanMatchesExactExpectation) {
+    Rng rng(1);
+    const auto g = RecycleGraph::synthetic(200, 20, 0.3, 0.6, 4);
+    ld::stats::RunningStats acc;
+    for (int rep = 0; rep < 3000; ++rep) {
+        acc.add(static_cast<double>(recycle::sample(g, rng).total));
+    }
+    EXPECT_NEAR(acc.mean(), g.total_expectation(), 4.0 * acc.standard_error() + 0.5);
+}
+
+TEST(RecycleSampler, RealizationInternalsAreConsistent) {
+    Rng rng(2);
+    const auto g = RecycleGraph::synthetic(100, 10, 0.5, 0.5, 3);
+    const auto r = recycle::sample(g, rng);
+    ASSERT_EQ(r.values.size(), 100u);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_LE(r.values[i], 1u);
+        running += r.values[i];
+        EXPECT_EQ(r.prefix[i], running);
+    }
+    EXPECT_EQ(r.total, running);
+}
+
+TEST(RecycleSampler, MinPrefixRatioIsAtMostOneOnAverage) {
+    Rng rng(3);
+    const auto g = RecycleGraph::synthetic(300, 30, 0.4, 0.55, 3);
+    const auto r = recycle::sample(g, rng);
+    const double ratio = r.min_prefix_ratio(g, g.j());
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(RecycleSynthetic, StructureMatchesParameters) {
+    const auto g = RecycleGraph::synthetic(120, 12, 0.25, 0.6, 5);
+    EXPECT_EQ(g.size(), 120u);
+    EXPECT_EQ(g.j(), 12u);
+    // Partition complexity is at most bands + 1 (fresh block + bands).
+    EXPECT_LE(g.partition_complexity(), 6u);
+    EXPECT_GE(g.partition_complexity(), 2u);
+    EXPECT_THROW(RecycleGraph::synthetic(10, 0, 0.5, 0.5, 2), ContractViolation);
+    EXPECT_THROW(RecycleGraph::synthetic(10, 2, 0.5, 0.5, 0), ContractViolation);
+}
+
+TEST(RecycleFromInstance, Algorithm1OnCompleteGraph) {
+    Rng rng(4);
+    const ld::model::Instance inst(ld::graph::make_complete(60),
+                                   ld::model::uniform_competencies(rng, 60, 0.2, 0.8),
+                                   0.1);
+    const auto m = ld::mech::CompleteGraphThreshold::with_sqrt_threshold();
+    const auto g = RecycleGraph::from_instance(inst, m);
+    EXPECT_EQ(g.size(), 60u);
+    // Partition complexity is bounded by ceil(1/alpha) + 1 fresh level.
+    EXPECT_LE(g.partition_complexity(), inst.partition_complexity_bound() + 1);
+    // The most competent voter never recycles.
+    EXPECT_DOUBLE_EQ(g.node(0).z, 1.0);
+    // Windows grow with the index (sorted descending by competency).
+    for (std::size_t i = 1; i < g.size(); ++i) {
+        EXPECT_LE(g.node(i).successor_prefix, i);
+    }
+    // Expected total under delegation >= expected total under direct
+    // voting (delegation recycles from *better* voters only).
+    const double direct_mean = inst.competencies().mean() * 60.0;
+    EXPECT_GE(g.total_expectation(), direct_mean - 1e-9);
+}
+
+TEST(RecycleBounds, Lemma1BoundDecaysInJ) {
+    // The union bound Σ_{i>=j} exp(−δ²·rate·i/2) with δ = ε/j^{1/3} decays
+    // like e^{−Ω(j^{1/3})} once ε²·j^{1/3} beats the log(1/a) prefactor —
+    // so it is vacuous (capped at 1) for small j and then drops fast.
+    double prev = 1.0;
+    for (std::size_t j : {512u, 4096u, 32768u}) {
+        const double b = recycle::lemma1_failure_bound(j, 1000000, 1.5, 0.5);
+        EXPECT_LE(b, prev);
+        prev = b;
+    }
+    EXPECT_LT(prev, 0.05);
+}
+
+TEST(RecycleBounds, Lemma2DeviationFormula) {
+    EXPECT_NEAR(recycle::lemma2_deviation(1000, 8, 0.1, 3), 3 * 0.1 * 1000 / 2.0, 1e-9);
+    EXPECT_GT(recycle::lemma2_deviation(1000, 8, 0.1, 3),
+              recycle::lemma2_deviation(1000, 64, 0.1, 3));
+}
+
+TEST(RecycleBounds, Lemma2FailureBoundIsCappedAndScalesWithC) {
+    const double b1 = recycle::lemma2_failure_bound(64, 10000, 0.5, 0.5, 1);
+    const double b3 = recycle::lemma2_failure_bound(64, 10000, 0.5, 0.5, 3);
+    EXPECT_LE(b1, 1.0);
+    EXPECT_LE(b3, 1.0);
+    EXPECT_GE(b3, b1);
+}
+
+TEST(RecycleBounds, Lemma7LowerBound) {
+    // direct_mean + (n−k)·α − εn/(α·j^{1/3}).
+    const double bound = recycle::lemma7_lower_bound(60.0, 100, 40, 0.1, 0.01, 8);
+    EXPECT_NEAR(bound, 60.0 + 60 * 0.1 - 0.01 * 100 / (0.1 * 2.0), 1e-9);
+    EXPECT_THROW(recycle::lemma7_lower_bound(1.0, 10, 11, 0.1, 0.1, 8),
+                 ContractViolation);
+}
+
+TEST(RecycleLemma2, EmpiricalTailIsBelowTheBound) {
+    // The headline check: tail frequency below μ − c·εn/j^{1/3} must not
+    // exceed the (loose) Lemma 2 bound.
+    Rng rng(5);
+    const std::size_t n = 400, j = 60;
+    const auto g = RecycleGraph::synthetic(n, j, 0.5, 0.55, 3);
+    const double eps = 0.4;
+    const std::size_t c = g.partition_complexity();
+    const double deviation = recycle::lemma2_deviation(n, j, eps, c);
+    const double freq = recycle::tail_frequency_below(g, rng, deviation, 2000);
+    const double bound = recycle::lemma2_failure_bound(j, n, eps, 0.55, c);
+    EXPECT_LE(freq, bound + 0.01);
+}
+
+}  // namespace

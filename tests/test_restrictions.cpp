@@ -1,0 +1,62 @@
+// Tests for Definition 1's graph restrictions.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/restrictions.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+using ld::graph::GraphRestriction;
+
+TEST(Restrictions, CompletePredicate) {
+    EXPECT_TRUE(g::is_complete(g::make_complete(7)));
+    EXPECT_FALSE(g::is_complete(g::make_star(7)));
+    EXPECT_TRUE(g::is_complete(g::make_complete(1)));
+    EXPECT_TRUE(g::is_complete(g::make_complete(0)));
+}
+
+TEST(Restrictions, RegularPredicate) {
+    EXPECT_TRUE(g::is_d_regular(g::make_cycle(6), 2));
+    EXPECT_FALSE(g::is_d_regular(g::make_cycle(6), 3));
+    EXPECT_TRUE(g::is_d_regular(g::make_complete(5), 4));
+    EXPECT_FALSE(g::is_d_regular(g::make_star(5), 1));
+}
+
+TEST(Restrictions, DegreeBoundPredicates) {
+    const auto star = g::make_star(10);
+    EXPECT_TRUE(g::max_degree_at_most(star, 9));
+    EXPECT_FALSE(g::max_degree_at_most(star, 8));
+    EXPECT_TRUE(g::min_degree_at_least(star, 1));
+    EXPECT_FALSE(g::min_degree_at_least(star, 2));
+}
+
+TEST(Restrictions, ValueTypeDispatch) {
+    const auto k6 = g::make_complete(6);
+    EXPECT_TRUE(GraphRestriction::complete().satisfied_by(k6));
+    EXPECT_TRUE(GraphRestriction::regular(5).satisfied_by(k6));
+    EXPECT_TRUE(GraphRestriction::max_degree(5).satisfied_by(k6));
+    EXPECT_TRUE(GraphRestriction::min_degree(5).satisfied_by(k6));
+    EXPECT_FALSE(GraphRestriction::min_degree(6).satisfied_by(k6));
+
+    const auto star = g::make_star(6);
+    EXPECT_FALSE(GraphRestriction::complete().satisfied_by(star));
+    EXPECT_FALSE(GraphRestriction::regular(1).satisfied_by(star));
+}
+
+TEST(Restrictions, ToStringIsInformative) {
+    EXPECT_EQ(GraphRestriction::complete().to_string(), "K_n");
+    EXPECT_EQ(GraphRestriction::regular(4).to_string(), "Rand(n,4)");
+    EXPECT_EQ(GraphRestriction::max_degree(8).to_string(), "maxdeg<=8");
+    EXPECT_EQ(GraphRestriction::min_degree(3).to_string(), "mindeg>=3");
+}
+
+TEST(Restrictions, ParametersAreStored) {
+    const auto r = GraphRestriction::max_degree(17);
+    EXPECT_EQ(r.kind(), GraphRestriction::Kind::MaxDegree);
+    EXPECT_EQ(r.parameter(), 17u);
+}
+
+}  // namespace

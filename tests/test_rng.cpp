@@ -1,0 +1,136 @@
+// Unit tests for the xoshiro256++ / SplitMix64 generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace {
+
+using ld::rng::Rng;
+using ld::rng::SplitMix64;
+
+TEST(SplitMix64, IsDeterministic) {
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, MatchesReferenceVector) {
+    // Reference values for seed 1234567 from the public-domain reference
+    // implementation by Sebastiano Vigna.
+    SplitMix64 sm(1234567);
+    EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+    EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+}
+
+TEST(Rng, IsDeterministicPerSeed) {
+    Rng a(99), b(99);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsAboutHalf) {
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+    Rng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+        for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsApproximatelyUniform) {
+    Rng rng(11);
+    constexpr std::uint64_t kBound = 10;
+    constexpr int kDraws = 100000;
+    std::vector<int> counts(kBound, 0);
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+    for (std::uint64_t v = 0; v < kBound; ++v) {
+        EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "value " << v;
+    }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+    Rng rng(12);
+    const double p = 0.3;
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.next_bernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, BernoulliExtremesAreDeterministic) {
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.next_bernoulli(0.0));
+        EXPECT_TRUE(rng.next_bernoulli(1.0));
+    }
+}
+
+TEST(Rng, JumpChangesTheStream) {
+    Rng a(5), b(5);
+    b.jump();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitGivesIndependentLookingChildren) {
+    Rng parent(6);
+    Rng c1 = parent.split();
+    Rng c2 = parent.split();
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 64; ++i) {
+        seen.insert(c1.next());
+        seen.insert(c2.next());
+    }
+    EXPECT_EQ(seen.size(), 128u);  // no collisions across child streams
+}
+
+TEST(Rng, ZeroSeedStillProducesOutput) {
+    Rng rng(0);
+    std::uint64_t x = rng.next();
+    std::uint64_t y = rng.next();
+    EXPECT_TRUE(x != 0 || y != 0);
+}
+
+}  // namespace

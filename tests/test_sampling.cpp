@@ -1,0 +1,185 @@
+// Unit tests for rng/sampling.hpp — choice, shuffles, subsets, alias
+// tables, reservoir sampling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "rng/sampling.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::rng::AliasTable;
+using ld::rng::ReservoirSampler;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(UniformIndex, RejectsEmptyRange) {
+    Rng rng(1);
+    EXPECT_THROW(ld::rng::uniform_index(rng, 0), ContractViolation);
+}
+
+TEST(UniformIndex, CoversTheRange) {
+    Rng rng(2);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(ld::rng::uniform_index(rng, 5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(UniformChoice, PicksFromSpan) {
+    Rng rng(3);
+    const std::vector<int> items{10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        const int v = ld::rng::uniform_choice<int>(rng, items);
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+}
+
+TEST(UniformReal, StaysInRange) {
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = ld::rng::uniform_real(rng, -2.0, 3.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Shuffle, ProducesAPermutation) {
+    Rng rng(5);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    ld::rng::shuffle(rng, v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, AllPermutationsOfThreeAppear) {
+    Rng rng(6);
+    std::map<std::array<int, 3>, int> counts;
+    for (int trial = 0; trial < 6000; ++trial) {
+        std::vector<int> v{0, 1, 2};
+        ld::rng::shuffle(rng, v);
+        ++counts[{v[0], v[1], v[2]}];
+    }
+    EXPECT_EQ(counts.size(), 6u);
+    for (const auto& [perm, count] : counts) {
+        EXPECT_NEAR(count, 1000, 150);  // ~5 sigma
+    }
+}
+
+TEST(SampleWithoutReplacement, BasicProperties) {
+    Rng rng(7);
+    for (std::size_t n : {1u, 5u, 50u, 1000u}) {
+        for (std::size_t k : {std::size_t{0}, std::size_t{1}, n / 2, n}) {
+            const auto s = ld::rng::sample_without_replacement(rng, n, k);
+            EXPECT_EQ(s.size(), k);
+            EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+            EXPECT_EQ(std::set<std::size_t>(s.begin(), s.end()).size(), k);
+            for (std::size_t v : s) EXPECT_LT(v, n);
+        }
+    }
+}
+
+TEST(SampleWithoutReplacement, KEqualsNIsFullSet) {
+    Rng rng(8);
+    const auto s = ld::rng::sample_without_replacement(rng, 10, 10);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedK) {
+    Rng rng(9);
+    EXPECT_THROW(ld::rng::sample_without_replacement(rng, 3, 4), ContractViolation);
+}
+
+TEST(SampleWithoutReplacement, IsApproximatelyUniformOverElements) {
+    Rng rng(10);
+    constexpr std::size_t kN = 20, kK = 5;
+    constexpr int kTrials = 20000;
+    std::vector<int> counts(kN, 0);
+    for (int t = 0; t < kTrials; ++t) {
+        for (std::size_t v : ld::rng::sample_without_replacement(rng, kN, kK)) {
+            ++counts[v];
+        }
+    }
+    const double expected = static_cast<double>(kTrials) * kK / kN;  // 5000
+    for (std::size_t v = 0; v < kN; ++v) {
+        EXPECT_NEAR(counts[v], expected, 0.07 * expected) << "element " << v;
+    }
+}
+
+TEST(SampleWithReplacement, SizeAndRange) {
+    Rng rng(11);
+    const auto s = ld::rng::sample_with_replacement(rng, 4, 100);
+    EXPECT_EQ(s.size(), 100u);
+    for (std::size_t v : s) EXPECT_LT(v, 4u);
+}
+
+TEST(AliasTable, RejectsDegenerateWeights) {
+    Rng rng(12);
+    EXPECT_THROW(AliasTable(std::vector<double>{}), ContractViolation);
+    EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), ContractViolation);
+    EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), ContractViolation);
+}
+
+TEST(AliasTable, NormalisesWeights) {
+    AliasTable t(std::vector<double>{1.0, 3.0});
+    EXPECT_NEAR(t.probability(0), 0.25, 1e-12);
+    EXPECT_NEAR(t.probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTable, SamplesMatchWeights) {
+    Rng rng(13);
+    AliasTable t(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    std::vector<int> counts(4, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+    for (std::size_t v = 0; v < 4; ++v) {
+        EXPECT_NEAR(static_cast<double>(counts[v]) / kDraws, (v + 1) / 10.0, 0.01);
+    }
+}
+
+TEST(AliasTable, HandlesZeroWeightEntries) {
+    Rng rng(14);
+    AliasTable t(std::vector<double>{0.0, 1.0, 0.0});
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(t.sample(rng), 1u);
+}
+
+TEST(Reservoir, KeepsEverythingWhenStreamIsShort) {
+    Rng rng(15);
+    ReservoirSampler rs(10);
+    for (std::size_t i = 0; i < 5; ++i) rs.offer(rng, i);
+    EXPECT_EQ(rs.sample().size(), 5u);
+    EXPECT_EQ(rs.stream_size(), 5u);
+}
+
+TEST(Reservoir, HoldsExactlyKFromLongStream) {
+    Rng rng(16);
+    ReservoirSampler rs(3);
+    for (std::size_t i = 0; i < 1000; ++i) rs.offer(rng, i);
+    EXPECT_EQ(rs.sample().size(), 3u);
+    for (std::size_t v : rs.sample()) EXPECT_LT(v, 1000u);
+}
+
+TEST(Reservoir, IsApproximatelyUniform) {
+    Rng rng(17);
+    constexpr std::size_t kStream = 10;
+    std::vector<int> counts(kStream, 0);
+    constexpr int kTrials = 30000;
+    for (int t = 0; t < kTrials; ++t) {
+        ReservoirSampler rs(1);
+        for (std::size_t i = 0; i < kStream; ++i) rs.offer(rng, i);
+        ++counts[rs.sample().front()];
+    }
+    for (std::size_t v = 0; v < kStream; ++v) {
+        EXPECT_NEAR(counts[v], kTrials / kStream, 300) << "element " << v;
+    }
+}
+
+}  // namespace

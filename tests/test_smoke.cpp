@@ -1,0 +1,36 @@
+// End-to-end smoke test: build an instance, run a mechanism, estimate gain.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/experiments/workloads.hpp"
+#include "ld/mech/approval_size_threshold.hpp"
+#include "ld/mech/direct.hpp"
+
+namespace {
+
+TEST(Smoke, DirectVotingGainIsZero) {
+    ld::rng::Rng rng(1);
+    const auto instance = ld::experiments::complete_pc_instance(rng, 25, 0.05, 0.1, 0.2);
+    ld::mech::DirectVoting direct;
+    ld::election::EvalOptions opts;
+    opts.replications = 16;
+    const auto report = ld::election::estimate_gain(direct, instance, rng, opts);
+    EXPECT_NEAR(report.gain, 0.0, 1e-12);
+    EXPECT_GT(report.pd, 0.0);
+}
+
+TEST(Smoke, DelegationRunsOnCompleteGraph) {
+    ld::rng::Rng rng(2);
+    const auto instance = ld::experiments::complete_pc_instance(rng, 40, 0.05, 0.1, 0.2);
+    ld::mech::ApprovalSizeThreshold mech(1);
+    ld::election::EvalOptions opts;
+    opts.replications = 32;
+    const auto report = ld::election::estimate_gain(mech, instance, rng, opts);
+    EXPECT_GE(report.pm.value, 0.0);
+    EXPECT_LE(report.pm.value, 1.0);
+    EXPECT_GT(report.mean_delegators, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for stats: Welford accumulators, histogram, confidence intervals,
+// empirical CDF.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/confidence.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::rng::Rng;
+using ld::stats::Ecdf;
+using ld::stats::Histogram;
+using ld::stats::PairedStats;
+using ld::stats::RunningStats;
+using ld::support::ContractViolation;
+
+TEST(RunningStats, MatchesDirectComputation) {
+    const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
+    RunningStats rs;
+    for (double x : data) rs.add(x);
+    EXPECT_EQ(rs.count(), 5u);
+    EXPECT_NEAR(rs.mean(), 6.2, 1e-12);
+    // Sample variance: Σ(x−m)²/(n−1) = 148.8/4 = 37.2
+    EXPECT_NEAR(rs.variance(), 37.2, 1e-12);
+    EXPECT_NEAR(rs.stddev(), std::sqrt(37.2), 1e-12);
+    EXPECT_NEAR(rs.standard_error(), std::sqrt(37.2 / 5.0), 1e-12);
+    EXPECT_EQ(rs.min(), 1.0);
+    EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, EmptyAndSingleton) {
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.variance(), 0.0);
+    EXPECT_EQ(rs.standard_error(), 0.0);
+    rs.add(3.0);
+    EXPECT_EQ(rs.mean(), 3.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+    Rng rng(1);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.next_double() * 10.0 - 5.0;
+        all.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats a_copy = a;
+    a.merge(b);  // empty rhs: no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), a_copy.mean());
+    b.merge(a);  // empty lhs: adopt
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(PairedStats, TracksDifference) {
+    PairedStats ps;
+    ps.add(1.0, 0.5);
+    ps.add(0.8, 0.9);
+    ps.add(0.6, 0.2);
+    EXPECT_EQ(ps.count(), 3u);
+    EXPECT_NEAR(ps.first().mean(), 0.8, 1e-12);
+    EXPECT_NEAR(ps.second().mean(), 1.6 / 3.0, 1e-12);
+    EXPECT_NEAR(ps.difference().mean(), 0.8 - 1.6 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);   // underflow
+    h.add(0.0);    // bin 0
+    h.add(1.9);    // bin 0
+    h.add(5.0);    // bin 2
+    h.add(9.99);   // bin 4
+    h.add(10.0);   // overflow
+    h.add(42.0);   // overflow
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_NEAR(h.fraction(0), 2.0 / 7.0, 1e-12);
+    const auto [lo, hi] = h.bin_edges(2);
+    EXPECT_NEAR(lo, 4.0, 1e-12);
+    EXPECT_NEAR(hi, 6.0, 1e-12);
+}
+
+TEST(Histogram, ValidationAndRender) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    const std::string art = h.render(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Confidence, WaldIntervalShape) {
+    const auto ci = ld::stats::mean_interval(0.5, 0.1, 0.95);
+    EXPECT_NEAR(ci.lo, 0.5 - 1.959963984540054 * 0.1, 1e-9);
+    EXPECT_NEAR(ci.hi, 0.5 + 1.959963984540054 * 0.1, 1e-9);
+    EXPECT_TRUE(ci.contains(0.5));
+    EXPECT_NEAR(ci.width(), 2 * 1.959963984540054 * 0.1, 1e-9);
+}
+
+TEST(Confidence, WilsonIntervalProperties) {
+    const auto ci = ld::stats::wilson_interval(50, 100, 0.95);
+    EXPECT_TRUE(ci.contains(0.5));
+    EXPECT_GT(ci.lo, 0.39);
+    EXPECT_LT(ci.hi, 0.61);
+
+    // Extremes stay inside [0, 1] (where Wald would leak).
+    const auto zero = ld::stats::wilson_interval(0, 20, 0.95);
+    EXPECT_GE(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+    const auto all = ld::stats::wilson_interval(20, 20, 0.95);
+    EXPECT_LT(all.lo, 1.0);
+    EXPECT_LE(all.hi, 1.0);
+
+    const auto empty = ld::stats::wilson_interval(0, 0, 0.95);
+    EXPECT_EQ(empty.lo, 0.0);
+    EXPECT_EQ(empty.hi, 1.0);
+    EXPECT_THROW(ld::stats::wilson_interval(5, 4, 0.95), ContractViolation);
+}
+
+TEST(Confidence, WilsonCoverageIsApproximatelyNominal) {
+    Rng rng(2);
+    const double p = 0.3;
+    int covered = 0;
+    const int trials = 2000, n = 50;
+    for (int t = 0; t < trials; ++t) {
+        std::size_t hits = 0;
+        for (int i = 0; i < n; ++i) {
+            if (rng.next_bernoulli(p)) ++hits;
+        }
+        if (ld::stats::wilson_interval(hits, n, 0.95).contains(p)) ++covered;
+    }
+    EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.03);
+}
+
+TEST(Confidence, BootstrapContainsTheSampleMean) {
+    Rng rng(3);
+    std::vector<double> sample;
+    for (int i = 0; i < 200; ++i) sample.push_back(rng.next_double());
+    double mean = 0.0;
+    for (double x : sample) mean += x;
+    mean /= static_cast<double>(sample.size());
+    const auto ci = ld::stats::bootstrap_mean_interval(rng, sample, 500, 0.95);
+    EXPECT_TRUE(ci.contains(mean));
+    EXPECT_LT(ci.width(), 0.2);
+    EXPECT_THROW(ld::stats::bootstrap_mean_interval(rng, std::vector<double>{}, 10, 0.9),
+                 ContractViolation);
+}
+
+TEST(Ecdf, QuantilesAndTails) {
+    const std::vector<double> sample{1.0, 2.0, 3.0, 4.0, 5.0};
+    const Ecdf e(sample);
+    EXPECT_EQ(e.size(), 5u);
+    EXPECT_NEAR(e.cdf(3.0), 0.6, 1e-12);
+    EXPECT_NEAR(e.cdf(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(e.cdf(10.0), 1.0, 1e-12);
+    EXPECT_NEAR(e.fraction_below(3.0), 0.4, 1e-12);
+    EXPECT_NEAR(e.fraction_above(3.0), 0.4, 1e-12);
+    EXPECT_EQ(e.min(), 1.0);
+    EXPECT_EQ(e.max(), 5.0);
+    EXPECT_EQ(e.quantile(0.0), 1.0);
+    EXPECT_EQ(e.quantile(1.0), 5.0);
+    EXPECT_EQ(e.quantile(0.5), 3.0);
+    EXPECT_THROW(Ecdf(std::vector<double>{}), ContractViolation);
+}
+
+}  // namespace

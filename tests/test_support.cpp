@@ -1,0 +1,120 @@
+// Unit tests for ld::support — contracts, table printing, CSV, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv_writer.hpp"
+#include "support/expect.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table_printer.hpp"
+
+namespace {
+
+using ld::support::Cell;
+using ld::support::ContractViolation;
+using ld::support::CsvWriter;
+using ld::support::ensures;
+using ld::support::expects;
+using ld::support::invariant;
+using ld::support::Stopwatch;
+using ld::support::TablePrinter;
+
+TEST(Expect, PassingChecksAreSilent) {
+    EXPECT_NO_THROW(expects(true));
+    EXPECT_NO_THROW(ensures(true));
+    EXPECT_NO_THROW(invariant(true));
+}
+
+TEST(Expect, FailingPreconditionThrowsWithLocation) {
+    try {
+        expects(false, "the answer must be 42");
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Precondition"), std::string::npos);
+        EXPECT_NE(what.find("the answer must be 42"), std::string::npos);
+        EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+    }
+}
+
+TEST(Expect, EnsuresAndInvariantReportTheirKind) {
+    EXPECT_THROW(ensures(false), ContractViolation);
+    EXPECT_THROW(invariant(false), ContractViolation);
+    try {
+        ensures(false, "x");
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("Postcondition"), std::string::npos);
+    }
+}
+
+TEST(TablePrinter, RejectsEmptyHeaderAndBadRowWidth) {
+    EXPECT_THROW(TablePrinter({}), ContractViolation);
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.add_row({Cell{1LL}}), ContractViolation);
+}
+
+TEST(TablePrinter, RendersAlignedTable) {
+    TablePrinter t({"n", "gain"}, 2);
+    t.add_row({Cell{static_cast<long long>(100)}, Cell{0.125}});
+    t.add_row({Cell{static_cast<long long>(100000)}, Cell{-0.5}});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| 100000 |"), std::string::npos);
+    EXPECT_NE(out.find("0.12"), std::string::npos);
+    EXPECT_NE(out.find("-0.50"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, FormatsEachCellKind) {
+    TablePrinter t({"x"}, 3);
+    EXPECT_EQ(t.format_cell(Cell{std::string("hi")}), "hi");
+    EXPECT_EQ(t.format_cell(Cell{static_cast<long long>(-7)}), "-7");
+    EXPECT_EQ(t.format_cell(Cell{0.5}), "0.500");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+    const std::string path = ::testing::TempDir() + "/liquidd_csv_test.csv";
+    {
+        CsvWriter w(path, {"n", "value"});
+        w.add_row({Cell{static_cast<long long>(3)}, Cell{0.25}});
+        w.close();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "n,value");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.substr(0, 2), "3,");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RowWidthIsChecked) {
+    const std::string path = ::testing::TempDir() + "/liquidd_csv_test2.csv";
+    CsvWriter w(path, {"a", "b"});
+    EXPECT_THROW(w.add_row({Cell{1LL}}), ContractViolation);
+    w.close();
+    std::remove(path.c_str());
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
+    Stopwatch sw;
+    const double t1 = sw.elapsed_seconds();
+    const double t2 = sw.elapsed_seconds();
+    EXPECT_GE(t1, 0.0);
+    EXPECT_GE(t2, t1);
+    sw.restart();
+    EXPECT_GE(sw.elapsed_ms(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the weighted Bernoulli-sum DP — the law of the delegated-
+// voting tally.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prob/poisson_binomial.hpp"
+#include "prob/weighted_bernoulli_sum.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+using ld::prob::PoissonBinomial;
+using ld::prob::WeightedBernoulliSum;
+using ld::support::ContractViolation;
+
+TEST(WeightedSum, UnitWeightsMatchPoissonBinomial) {
+    const std::vector<double> probs{0.2, 0.5, 0.8, 0.35, 0.6};
+    const std::vector<std::uint64_t> weights(probs.size(), 1);
+    const WeightedBernoulliSum ws(weights, probs);
+    const PoissonBinomial pb(probs);
+    EXPECT_EQ(ws.total_weight(), probs.size());
+    for (std::size_t s = 0; s <= probs.size(); ++s) {
+        EXPECT_NEAR(ws.pmf(s), pb.pmf(s), 1e-12) << "s=" << s;
+    }
+    EXPECT_NEAR(ws.majority_probability(), pb.majority_probability(), 1e-12);
+}
+
+TEST(WeightedSum, SingleHeavyVoterIsBernoulli) {
+    // One sink holding all 9 votes: the "dictator" of Figure 1.
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{9},
+                                  std::vector<double>{0.75});
+    EXPECT_NEAR(ws.pmf(0), 0.25, 1e-15);
+    EXPECT_NEAR(ws.pmf(9), 0.75, 1e-15);
+    EXPECT_NEAR(ws.majority_probability(), 0.75, 1e-15);
+}
+
+TEST(WeightedSum, TwoSinksHandWorkedCase) {
+    // Weights 3 (p=0.9) and 2 (p=0.2); W = 5, majority needs > 2.5.
+    // Correct iff the weight-3 sink votes correctly: 0.9.
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{3, 2},
+                                  std::vector<double>{0.9, 0.2});
+    EXPECT_NEAR(ws.pmf(0), 0.1 * 0.8, 1e-15);
+    EXPECT_NEAR(ws.pmf(2), 0.1 * 0.2, 1e-15);
+    EXPECT_NEAR(ws.pmf(3), 0.9 * 0.8, 1e-15);
+    EXPECT_NEAR(ws.pmf(5), 0.9 * 0.2, 1e-15);
+    EXPECT_NEAR(ws.majority_probability(), 0.9, 1e-15);
+}
+
+TEST(WeightedSum, ZeroWeightEntriesAreIgnored) {
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{0, 2, 0},
+                                  std::vector<double>{0.99, 0.5, 0.01});
+    EXPECT_EQ(ws.total_weight(), 2u);
+    EXPECT_NEAR(ws.pmf(0), 0.5, 1e-15);
+    EXPECT_NEAR(ws.pmf(2), 0.5, 1e-15);
+    EXPECT_NEAR(ws.pmf(1), 0.0, 1e-15);
+}
+
+TEST(WeightedSum, MeanAndVariance) {
+    const std::vector<std::uint64_t> weights{1, 3, 5};
+    const std::vector<double> probs{0.5, 0.4, 0.9};
+    const WeightedBernoulliSum ws(weights, probs);
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        mean += static_cast<double>(weights[i]) * probs[i];
+        var += static_cast<double>(weights[i] * weights[i]) * probs[i] * (1 - probs[i]);
+    }
+    EXPECT_NEAR(ws.mean(), mean, 1e-12);
+    EXPECT_NEAR(ws.variance(), var, 1e-12);
+
+    // Moments from the pmf agree.
+    double m1 = 0.0, m2 = 0.0;
+    for (std::uint64_t s = 0; s <= ws.total_weight(); ++s) {
+        m1 += static_cast<double>(s) * ws.pmf(s);
+        m2 += static_cast<double>(s) * static_cast<double>(s) * ws.pmf(s);
+    }
+    EXPECT_NEAR(m1, mean, 1e-12);
+    EXPECT_NEAR(m2 - m1 * m1, var, 1e-12);
+}
+
+TEST(WeightedSum, PmfSumsToOne) {
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{2, 3, 4, 1},
+                                  std::vector<double>{0.3, 0.6, 0.2, 0.95});
+    double total = 0.0;
+    for (std::uint64_t s = 0; s <= ws.total_weight(); ++s) total += ws.pmf(s);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WeightedSum, TiesLose) {
+    // Two sinks of equal weight 2, both fair: majority needs > 2 of 4.
+    // P[S = 4] = 1/4 is the only winning outcome.
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{2, 2},
+                                  std::vector<double>{0.5, 0.5});
+    EXPECT_NEAR(ws.majority_probability(), 0.25, 1e-15);
+}
+
+TEST(WeightedSum, InputValidation) {
+    EXPECT_THROW(WeightedBernoulliSum(std::vector<std::uint64_t>{1},
+                                      std::vector<double>{0.5, 0.5}),
+                 ContractViolation);
+    EXPECT_THROW(WeightedBernoulliSum(std::vector<std::uint64_t>{1},
+                                      std::vector<double>{1.5}),
+                 ContractViolation);
+}
+
+TEST(WeightedSum, EmptyProfile) {
+    const WeightedBernoulliSum ws(std::vector<std::uint64_t>{}, std::vector<double>{});
+    EXPECT_EQ(ws.total_weight(), 0u);
+    EXPECT_NEAR(ws.majority_probability(), 0.0, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the §6 weighted-majority-with-weight-function extension.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/election/tally.hpp"
+#include "ld/mech/weighted_delegates.hpp"
+#include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
+
+namespace {
+
+namespace g = ld::graph;
+namespace mech = ld::mech;
+namespace model = ld::model;
+using ld::delegation::DelegationOutcome;
+using ld::mech::Action;
+using ld::rng::Rng;
+using ld::support::ContractViolation;
+
+TEST(WeightedAction, ValidationOfWeights) {
+    // Mismatched weight count.
+    {
+        std::vector<Action> actions{
+            Action::delegate_weighted({1, 2}, {1.0}), Action::vote(), Action::vote()};
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+    // Non-positive weight.
+    {
+        std::vector<Action> actions{
+            Action::delegate_weighted({1, 2}, {1.0, 0.0}), Action::vote(),
+            Action::vote()};
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+    // Weights on a non-delegation.
+    {
+        Action bad = Action::vote();
+        bad.target_weights.push_back(1.0);
+        std::vector<Action> actions{bad};
+        EXPECT_THROW(DelegationOutcome(std::move(actions)), ContractViolation);
+    }
+}
+
+TEST(WeightedAction, DominantDelegateDecides) {
+    // Voter 3 delegates to {0, 1, 2} with weights {10, 1, 1}; voter 0 is
+    // always correct, 1 and 2 always wrong: weighted majority follows 0.
+    const model::CompetencyVector p({1.0, 0.0, 0.0, 0.5});
+    std::vector<Action> actions{Action::vote(), Action::vote(), Action::vote(),
+                                Action::delegate_weighted({0, 1, 2}, {10.0, 1.0, 1.0})};
+    const DelegationOutcome out(std::move(actions));
+    Rng rng(1);
+    for (int t = 0; t < 500; ++t) {
+        // Votes: 1 (w10), 0, 0, and voter 3 follows the weighted majority
+        // (correct): 2 correct of 4 unit votes... voter 3 votes correct,
+        // voter 0 correct, 1/2 wrong → 2 vs 2 tie → overall incorrect.
+        // So check the propagated vote via the count instead.
+        const auto correct =
+            ld::election::sample_correct_vote_count(out, p, rng);
+        EXPECT_EQ(correct, 2u);  // voters 0 and 3
+    }
+}
+
+TEST(WeightedAction, UniformWeightsMatchUnweightedMajority) {
+    // 5 delegates at p=1,1,1,0,0: majority correct either way.
+    const model::CompetencyVector p({1.0, 1.0, 1.0, 0.0, 0.0, 0.3});
+    std::vector<Action> plain{Action::vote(), Action::vote(), Action::vote(),
+                              Action::vote(), Action::vote(),
+                              Action::delegate_to_many({0, 1, 2, 3, 4})};
+    std::vector<Action> weighted{
+        Action::vote(), Action::vote(), Action::vote(), Action::vote(), Action::vote(),
+        Action::delegate_weighted({0, 1, 2, 3, 4}, {1, 1, 1, 1, 1})};
+    Rng rng_a(2), rng_b(2);
+    const DelegationOutcome out_plain(std::move(plain));
+    const DelegationOutcome out_weighted(std::move(weighted));
+    for (int t = 0; t < 200; ++t) {
+        EXPECT_EQ(ld::election::sample_correct_vote_count(out_plain, p, rng_a),
+                  ld::election::sample_correct_vote_count(out_weighted, p, rng_b));
+    }
+}
+
+TEST(WeightedDelegatesMechanism, Validation) {
+    EXPECT_THROW(mech::WeightedDelegates(0, 1, 0.5), ContractViolation);
+    EXPECT_THROW(mech::WeightedDelegates(3, 1, 0.0), ContractViolation);
+    EXPECT_THROW(mech::WeightedDelegates(3, 1, 1.5), ContractViolation);
+}
+
+TEST(WeightedDelegatesMechanism, PicksTopMWithGeometricWeights) {
+    Rng rng(3);
+    const model::Instance inst(g::make_complete(6),
+                               model::CompetencyVector({0.2, 0.5, 0.6, 0.7, 0.8, 0.1}),
+                               0.05);
+    const mech::WeightedDelegates m(3, 1, 0.5);
+    const auto a = m.act(inst, 0, rng);
+    ASSERT_EQ(a.kind, mech::ActionKind::Delegate);
+    // Top 3 approved for voter 0: vertices 4 (0.8), 3 (0.7), 2 (0.6).
+    ASSERT_EQ(a.targets.size(), 3u);
+    EXPECT_EQ(a.targets[0], 4u);
+    EXPECT_EQ(a.targets[1], 3u);
+    EXPECT_EQ(a.targets[2], 2u);
+    ASSERT_EQ(a.target_weights.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.target_weights[0], 1.0);
+    EXPECT_DOUBLE_EQ(a.target_weights[1], 0.5);
+    EXPECT_DOUBLE_EQ(a.target_weights[2], 0.25);
+}
+
+TEST(WeightedDelegatesMechanism, VotesWhenBelowThreshold) {
+    Rng rng(4);
+    const model::Instance inst(g::make_complete(3),
+                               model::CompetencyVector({0.5, 0.5, 0.5}), 0.05);
+    const mech::WeightedDelegates m(3, 1, 0.5);
+    for (g::Vertex v = 0; v < 3; ++v) {
+        EXPECT_EQ(m.act(inst, v, rng).kind, mech::ActionKind::Vote);
+    }
+}
+
+TEST(WeightedDelegatesMechanism, GainComparableToSingleDelegation) {
+    Rng rng(5);
+    const model::Instance inst(g::make_complete(151),
+                               model::pc_competencies(rng, 151, 0.02, 0.25), 0.05);
+    const mech::WeightedDelegates m(3, 1, 0.6);
+    ld::election::EvalOptions opts;
+    opts.replications = 60;
+    opts.inner_samples = 16;
+    const auto report = ld::election::estimate_gain(m, inst, rng, opts);
+    EXPECT_GT(report.gain, 0.3);  // SPG transfers, as §6 conjectures
+}
+
+}  // namespace

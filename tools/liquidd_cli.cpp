@@ -1,0 +1,22 @@
+// `liquidd` — the command-line experiment runner.  All logic lives in
+// ld::cli (src/ld/cli/) so it is unit-tested; this file only adapts argv
+// and reports errors.
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ld/cli/runner.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const auto options = ld::cli::parse_options(args);
+        return ld::cli::run(options, std::cout);
+    } catch (const std::exception& e) {
+        std::cerr << "liquidd: " << e.what() << '\n'
+                  << "run 'liquidd --help' for usage\n";
+        return 2;
+    }
+}
