@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstention.dir/bench_abstention.cpp.o"
+  "CMakeFiles/bench_abstention.dir/bench_abstention.cpp.o.d"
+  "bench_abstention"
+  "bench_abstention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complete_spg.dir/bench_complete_spg.cpp.o"
+  "CMakeFiles/bench_complete_spg.dir/bench_complete_spg.cpp.o.d"
+  "bench_complete_spg"
+  "bench_complete_spg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complete_spg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributional.dir/bench_distributional.cpp.o"
+  "CMakeFiles/bench_distributional.dir/bench_distributional.cpp.o.d"
+  "bench_distributional"
+  "bench_distributional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dregular_spg.dir/bench_dregular_spg.cpp.o"
+  "CMakeFiles/bench_dregular_spg.dir/bench_dregular_spg.cpp.o.d"
+  "bench_dregular_spg"
+  "bench_dregular_spg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dregular_spg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

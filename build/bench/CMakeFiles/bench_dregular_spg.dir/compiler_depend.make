@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dregular_spg.
+# This may be replaced when dependencies are built.

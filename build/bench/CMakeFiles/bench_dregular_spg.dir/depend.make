@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dregular_spg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_star.dir/bench_fig1_star.cpp.o"
+  "CMakeFiles/bench_fig1_star.dir/bench_fig1_star.cpp.o.d"
+  "bench_fig1_star"
+  "bench_fig1_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma3_anticoncentration.dir/bench_lemma3_anticoncentration.cpp.o"
+  "CMakeFiles/bench_lemma3_anticoncentration.dir/bench_lemma3_anticoncentration.cpp.o.d"
+  "bench_lemma3_anticoncentration"
+  "bench_lemma3_anticoncentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma3_anticoncentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

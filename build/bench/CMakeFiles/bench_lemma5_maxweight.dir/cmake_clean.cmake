@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma5_maxweight.dir/bench_lemma5_maxweight.cpp.o"
+  "CMakeFiles/bench_lemma5_maxweight.dir/bench_lemma5_maxweight.cpp.o.d"
+  "bench_lemma5_maxweight"
+  "bench_lemma5_maxweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma5_maxweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

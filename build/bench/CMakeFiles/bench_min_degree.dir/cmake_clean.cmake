@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_degree.dir/bench_min_degree.cpp.o"
+  "CMakeFiles/bench_min_degree.dir/bench_min_degree.cpp.o.d"
+  "bench_min_degree"
+  "bench_min_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

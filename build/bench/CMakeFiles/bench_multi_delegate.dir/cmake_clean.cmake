@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_delegate.dir/bench_multi_delegate.cpp.o"
+  "CMakeFiles/bench_multi_delegate.dir/bench_multi_delegate.cpp.o.d"
+  "bench_multi_delegate"
+  "bench_multi_delegate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_delegate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noisy_approval.dir/bench_noisy_approval.cpp.o"
+  "CMakeFiles/bench_noisy_approval.dir/bench_noisy_approval.cpp.o.d"
+  "bench_noisy_approval"
+  "bench_noisy_approval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noisy_approval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realworld_topology.dir/bench_realworld_topology.cpp.o"
+  "CMakeFiles/bench_realworld_topology.dir/bench_realworld_topology.cpp.o.d"
+  "bench_realworld_topology"
+  "bench_realworld_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realworld_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recycle_concentration.dir/bench_recycle_concentration.cpp.o"
+  "CMakeFiles/bench_recycle_concentration.dir/bench_recycle_concentration.cpp.o.d"
+  "bench_recycle_concentration"
+  "bench_recycle_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recycle_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

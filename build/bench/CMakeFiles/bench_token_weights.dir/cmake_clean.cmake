@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_token_weights.dir/bench_token_weights.cpp.o"
+  "CMakeFiles/bench_token_weights.dir/bench_token_weights.cpp.o.d"
+  "bench_token_weights"
+  "bench_token_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_token_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variance_manipulation.dir/bench_variance_manipulation.cpp.o"
+  "CMakeFiles/bench_variance_manipulation.dir/bench_variance_manipulation.cpp.o.d"
+  "bench_variance_manipulation"
+  "bench_variance_manipulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variance_manipulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

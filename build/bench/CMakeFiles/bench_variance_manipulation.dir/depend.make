@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_variance_manipulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committee_abstention.dir/committee_abstention.cpp.o"
+  "CMakeFiles/committee_abstention.dir/committee_abstention.cpp.o.d"
+  "committee_abstention"
+  "committee_abstention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_abstention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

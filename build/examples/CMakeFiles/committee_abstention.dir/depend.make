@@ -1,0 +1,2 @@
+# Empty dependencies file for committee_abstention.
+# This may be replaced when dependencies are built.

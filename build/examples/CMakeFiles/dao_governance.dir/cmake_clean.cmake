@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dao_governance.dir/dao_governance.cpp.o"
+  "CMakeFiles/dao_governance.dir/dao_governance.cpp.o.d"
+  "dao_governance"
+  "dao_governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dao_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/liquidd.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/liquidd.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/liquidd.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/liquidd.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/liquidd.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/graph/restrictions.cpp" "src/CMakeFiles/liquidd.dir/graph/restrictions.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/graph/restrictions.cpp.o.d"
+  "/root/repo/src/ld/cli/runner.cpp" "src/CMakeFiles/liquidd.dir/ld/cli/runner.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/cli/runner.cpp.o.d"
+  "/root/repo/src/ld/cli/specs.cpp" "src/CMakeFiles/liquidd.dir/ld/cli/specs.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/cli/specs.cpp.o.d"
+  "/root/repo/src/ld/delegation/concentration.cpp" "src/CMakeFiles/liquidd.dir/ld/delegation/concentration.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/delegation/concentration.cpp.o.d"
+  "/root/repo/src/ld/delegation/delegation_graph.cpp" "src/CMakeFiles/liquidd.dir/ld/delegation/delegation_graph.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/delegation/delegation_graph.cpp.o.d"
+  "/root/repo/src/ld/delegation/realize.cpp" "src/CMakeFiles/liquidd.dir/ld/delegation/realize.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/delegation/realize.cpp.o.d"
+  "/root/repo/src/ld/dnh/conditions.cpp" "src/CMakeFiles/liquidd.dir/ld/dnh/conditions.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/dnh/conditions.cpp.o.d"
+  "/root/repo/src/ld/dnh/verdicts.cpp" "src/CMakeFiles/liquidd.dir/ld/dnh/verdicts.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/dnh/verdicts.cpp.o.d"
+  "/root/repo/src/ld/election/brute_force.cpp" "src/CMakeFiles/liquidd.dir/ld/election/brute_force.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/brute_force.cpp.o.d"
+  "/root/repo/src/ld/election/distributional.cpp" "src/CMakeFiles/liquidd.dir/ld/election/distributional.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/distributional.cpp.o.d"
+  "/root/repo/src/ld/election/evaluator.cpp" "src/CMakeFiles/liquidd.dir/ld/election/evaluator.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/evaluator.cpp.o.d"
+  "/root/repo/src/ld/election/tally.cpp" "src/CMakeFiles/liquidd.dir/ld/election/tally.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/tally.cpp.o.d"
+  "/root/repo/src/ld/experiments/adversarial.cpp" "src/CMakeFiles/liquidd.dir/ld/experiments/adversarial.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/experiments/adversarial.cpp.o.d"
+  "/root/repo/src/ld/experiments/harness.cpp" "src/CMakeFiles/liquidd.dir/ld/experiments/harness.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/experiments/harness.cpp.o.d"
+  "/root/repo/src/ld/experiments/workloads.cpp" "src/CMakeFiles/liquidd.dir/ld/experiments/workloads.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/experiments/workloads.cpp.o.d"
+  "/root/repo/src/ld/game/delegation_game.cpp" "src/CMakeFiles/liquidd.dir/ld/game/delegation_game.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/game/delegation_game.cpp.o.d"
+  "/root/repo/src/ld/mech/abstaining.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/abstaining.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/abstaining.cpp.o.d"
+  "/root/repo/src/ld/mech/approval_size_threshold.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/approval_size_threshold.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/approval_size_threshold.cpp.o.d"
+  "/root/repo/src/ld/mech/best_neighbour.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/best_neighbour.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/best_neighbour.cpp.o.d"
+  "/root/repo/src/ld/mech/capped_target.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/capped_target.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/capped_target.cpp.o.d"
+  "/root/repo/src/ld/mech/complete_graph_threshold.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/complete_graph_threshold.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/complete_graph_threshold.cpp.o.d"
+  "/root/repo/src/ld/mech/d_out_sampling.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/d_out_sampling.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/d_out_sampling.cpp.o.d"
+  "/root/repo/src/ld/mech/direct.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/direct.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/direct.cpp.o.d"
+  "/root/repo/src/ld/mech/fraction_approved.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/fraction_approved.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/fraction_approved.cpp.o.d"
+  "/root/repo/src/ld/mech/mechanism.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/mechanism.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/mechanism.cpp.o.d"
+  "/root/repo/src/ld/mech/multi_delegate.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/multi_delegate.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/multi_delegate.cpp.o.d"
+  "/root/repo/src/ld/mech/noisy_threshold.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/noisy_threshold.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/noisy_threshold.cpp.o.d"
+  "/root/repo/src/ld/mech/rank_proportional.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/rank_proportional.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/rank_proportional.cpp.o.d"
+  "/root/repo/src/ld/mech/unrestricted_abstaining.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/unrestricted_abstaining.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/unrestricted_abstaining.cpp.o.d"
+  "/root/repo/src/ld/mech/weighted_delegates.cpp" "src/CMakeFiles/liquidd.dir/ld/mech/weighted_delegates.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/mech/weighted_delegates.cpp.o.d"
+  "/root/repo/src/ld/model/approval.cpp" "src/CMakeFiles/liquidd.dir/ld/model/approval.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/model/approval.cpp.o.d"
+  "/root/repo/src/ld/model/competency.cpp" "src/CMakeFiles/liquidd.dir/ld/model/competency.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/model/competency.cpp.o.d"
+  "/root/repo/src/ld/model/competency_gen.cpp" "src/CMakeFiles/liquidd.dir/ld/model/competency_gen.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/model/competency_gen.cpp.o.d"
+  "/root/repo/src/ld/model/instance.cpp" "src/CMakeFiles/liquidd.dir/ld/model/instance.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/model/instance.cpp.o.d"
+  "/root/repo/src/ld/model/instance_io.cpp" "src/CMakeFiles/liquidd.dir/ld/model/instance_io.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/model/instance_io.cpp.o.d"
+  "/root/repo/src/ld/recycle/bounds.cpp" "src/CMakeFiles/liquidd.dir/ld/recycle/bounds.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/recycle/bounds.cpp.o.d"
+  "/root/repo/src/ld/recycle/recycle_graph.cpp" "src/CMakeFiles/liquidd.dir/ld/recycle/recycle_graph.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/recycle/recycle_graph.cpp.o.d"
+  "/root/repo/src/ld/recycle/sampler.cpp" "src/CMakeFiles/liquidd.dir/ld/recycle/sampler.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/recycle/sampler.cpp.o.d"
+  "/root/repo/src/ld/theory/theorems.cpp" "src/CMakeFiles/liquidd.dir/ld/theory/theorems.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/theory/theorems.cpp.o.d"
+  "/root/repo/src/prob/bounds.cpp" "src/CMakeFiles/liquidd.dir/prob/bounds.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/prob/bounds.cpp.o.d"
+  "/root/repo/src/prob/normal.cpp" "src/CMakeFiles/liquidd.dir/prob/normal.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/prob/normal.cpp.o.d"
+  "/root/repo/src/prob/poisson_binomial.cpp" "src/CMakeFiles/liquidd.dir/prob/poisson_binomial.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/prob/poisson_binomial.cpp.o.d"
+  "/root/repo/src/prob/weighted_bernoulli_sum.cpp" "src/CMakeFiles/liquidd.dir/prob/weighted_bernoulli_sum.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/prob/weighted_bernoulli_sum.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/liquidd.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/rng/sampling.cpp" "src/CMakeFiles/liquidd.dir/rng/sampling.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/rng/sampling.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/CMakeFiles/liquidd.dir/stats/confidence.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/stats/confidence.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/liquidd.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/liquidd.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/running_stats.cpp" "src/CMakeFiles/liquidd.dir/stats/running_stats.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/stats/running_stats.cpp.o.d"
+  "/root/repo/src/support/csv_writer.cpp" "src/CMakeFiles/liquidd.dir/support/csv_writer.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/csv_writer.cpp.o.d"
+  "/root/repo/src/support/expect.cpp" "src/CMakeFiles/liquidd.dir/support/expect.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/expect.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/liquidd.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/support/table_printer.cpp" "src/CMakeFiles/liquidd.dir/support/table_printer.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

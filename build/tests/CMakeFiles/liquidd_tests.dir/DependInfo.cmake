@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_approval_instance.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_approval_instance.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_approval_instance.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_brute_force.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_brute_force.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_brute_force.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_competency.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_competency.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_competency.cpp.o.d"
+  "/root/repo/tests/test_competency_gen.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_competency_gen.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_competency_gen.cpp.o.d"
+  "/root/repo/tests/test_concentration_io.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_concentration_io.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_concentration_io.cpp.o.d"
+  "/root/repo/tests/test_decorrelation.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_decorrelation.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_decorrelation.cpp.o.d"
+  "/root/repo/tests/test_delegation.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_delegation.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_delegation.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_digraph.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_digraph.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_digraph.cpp.o.d"
+  "/root/repo/tests/test_dnh_theory.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_dnh_theory.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_dnh_theory.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_game.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_game.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_game.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_harness_workloads.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_harness_workloads.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_harness_workloads.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mechanisms.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_mechanisms.cpp.o.d"
+  "/root/repo/tests/test_more_properties.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_more_properties.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_more_properties.cpp.o.d"
+  "/root/repo/tests/test_normal.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_normal.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_normal.cpp.o.d"
+  "/root/repo/tests/test_parallel_approx.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_parallel_approx.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_parallel_approx.cpp.o.d"
+  "/root/repo/tests/test_poisson_binomial.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_poisson_binomial.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_poisson_binomial.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_rank_proportional.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_rank_proportional.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_rank_proportional.cpp.o.d"
+  "/root/repo/tests/test_recycle.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_recycle.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_recycle.cpp.o.d"
+  "/root/repo/tests/test_restrictions.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_restrictions.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_restrictions.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_tally_evaluator.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_tally_evaluator.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_tally_evaluator.cpp.o.d"
+  "/root/repo/tests/test_weighted_bernoulli.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_bernoulli.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_bernoulli.cpp.o.d"
+  "/root/repo/tests/test_weighted_delegates.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_delegates.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_delegates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/liquidd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquidd_cli.dir/liquidd_cli.cpp.o"
+  "CMakeFiles/liquidd_cli.dir/liquidd_cli.cpp.o.d"
+  "liquidd"
+  "liquidd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquidd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for liquidd_cli.
+# This may be replaced when dependencies are built.
