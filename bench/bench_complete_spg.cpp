@@ -6,9 +6,9 @@
 // α per delegation (Lemma 7), pushing the outcome across the majority line
 // while direct voting stays below it.  DNH holds on K_n regardless.
 //
-// Sweep: n × threshold function j(n) ∈ {log, sqrt, n/4}.  The shape: gain
-// → 1 (P^M → 1, P^D → 0) wherever the delegate restriction holds; the
-// measured E[correct votes] clears the Lemma 7 lower bound.
+// Sweep: n × threshold function j(n) ∈ {log, sqrt, n/4}.  Cells are
+// independent (one seed per row via make_row_rng), so the sweep fans out
+// on the shared thread pool and fills the table in row order afterwards.
 
 #include <sstream>
 
@@ -22,13 +22,27 @@
 #include "ld/theory/theorems.hpp"
 #include "stats/running_stats.hpp"
 
+namespace {
+
+struct RowResult {
+    std::size_t n = 0;
+    std::string label;
+    double delegators = 0.0;
+    double pd = 0.0;
+    double pm = 0.0;
+    double gain = 0.0;
+    double votes_measured = 0.0;
+    double lemma7 = 0.0;
+};
+
+}  // namespace
+
 int main() {
     using namespace ld;
     experiments::Experiment exp(
         "E-T2", "Theorem 2: Algorithm 1 on K_n (PC = alpha/k), gain vs n and j(n)",
         {"n", "j(n)", "delegators", "P^D", "P^M", "gain", "E[votes]_measured",
          "lemma7_lower_bound"});
-    auto rng = exp.make_rng();
 
     constexpr double kAlpha = 0.05;
     constexpr double kK = 5.0;  // PC = alpha/k = 0.01
@@ -43,27 +57,37 @@ int main() {
     mechanisms.emplace_back("n/4",
                             mech::CompleteGraphThreshold::with_linear_threshold(0.25));
 
-    for (std::size_t n : {101u, 301u, 1001u, 3001u}) {
-        for (const auto& [label, mechanism] : mechanisms) {
-            const auto inst = experiments::complete_pc_instance(rng, n, kAlpha, a, 0.3);
-            const auto report = election::estimate_gain(mechanism, inst, rng, opts);
+    const std::vector<std::size_t> sizes = {101, 301, 1001, 3001};
+    std::vector<RowResult> rows(sizes.size() * mechanisms.size());
 
-            // Measured expected correct votes under the mechanism vs the
-            // Lemma 7 lower bound with the measured k (non-delegators).
-            stats::RunningStats votes;
-            for (int rep = 0; rep < 20; ++rep) {
-                const auto out = delegation::realize(mechanism, inst, rng);
-                votes.add(election::conditional_vote_mean(out, inst.competencies()));
-            }
-            const auto k_measured =
-                static_cast<std::size_t>(static_cast<double>(n) - report.mean_delegators);
-            const std::size_t j = std::max<std::size_t>(1, mechanism.threshold_for(n - 1));
-            const double lemma7 = recycle::lemma7_lower_bound(
-                election::exact_direct_mean_votes(inst), n, k_measured, kAlpha, 0.01, j);
+    experiments::parallel_rows(rows.size(), [&](std::size_t row) {
+        const std::size_t n = sizes[row / mechanisms.size()];
+        const auto& [label, mechanism] = mechanisms[row % mechanisms.size()];
+        auto rng = exp.make_row_rng(row);
 
-            exp.add_row({static_cast<long long>(n), label, report.mean_delegators,
-                         report.pd, report.pm.value, report.gain, votes.mean(), lemma7});
+        const auto inst = experiments::complete_pc_instance(rng, n, kAlpha, a, 0.3);
+        const auto report = election::estimate_gain(mechanism, inst, rng, opts);
+
+        // Measured expected correct votes under the mechanism vs the
+        // Lemma 7 lower bound with the measured k (non-delegators).
+        stats::RunningStats votes;
+        for (int rep = 0; rep < 20; ++rep) {
+            const auto out = delegation::realize(mechanism, inst, rng);
+            votes.add(election::conditional_vote_mean(out, inst.competencies()));
         }
+        const auto k_measured =
+            static_cast<std::size_t>(static_cast<double>(n) - report.mean_delegators);
+        const std::size_t j = std::max<std::size_t>(1, mechanism.threshold_for(n - 1));
+        const double lemma7 = recycle::lemma7_lower_bound(
+            election::exact_direct_mean_votes(inst), n, k_measured, kAlpha, 0.01, j);
+
+        rows[row] = {n,           label,       report.mean_delegators, report.pd,
+                     report.pm.value, report.gain, votes.mean(),       lemma7};
+    });
+
+    for (const auto& r : rows) {
+        exp.add_row({static_cast<long long>(r.n), r.label, r.delegators, r.pd, r.pm,
+                     r.gain, r.votes_measured, r.lemma7});
     }
     std::ostringstream note;
     note << "PC regime: mean competency = 1/2 - " << a

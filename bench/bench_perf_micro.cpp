@@ -12,6 +12,7 @@
 #include "ld/delegation/realize.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/election/tally.hpp"
+#include "ld/election/workspace.hpp"
 #include "ld/experiments/workloads.hpp"
 #include "ld/mech/approval_size_threshold.hpp"
 #include "prob/poisson_binomial.hpp"
@@ -150,6 +151,38 @@ void BM_EstimatorRaoBlackwell(benchmark::State& state) {
     state.counters["std_error"] = last_se;
 }
 BENCHMARK(BM_EstimatorRaoBlackwell);
+
+// Full estimate_gain through the replication engine at 1/2/4 worker
+// threads (pool path).  UseRealTime so fan-out shows up as wall-clock, not
+// summed CPU time.  On a single-core host the thread counts record but the
+// curve is flat — interpret scaling numbers on multi-core machines only.
+void BM_EstimateGain(benchmark::State& state) {
+    rng::Rng rng(8);
+    const auto inst = experiments::complete_pc_instance(rng, 201, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.replications = 200;
+    opts.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(election::estimate_gain(m, inst, rng, opts));
+    }
+}
+BENCHMARK(BM_EstimateGain)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Workspace reuse: realize_into through one ReplicationWorkspace (the
+// steady-state inner loop) vs the allocating realize() above.
+void BM_RealizeDelegationWorkspace(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(4);
+    const auto inst = experiments::d_regular_instance(rng, n, 16, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    election::ReplicationWorkspace ws;
+    for (auto _ : state) {
+        delegation::realize_into(ws.outcome, ws.resolve, m, inst, rng);
+        benchmark::DoNotOptimize(ws.outcome);
+    }
+}
+BENCHMARK(BM_RealizeDelegationWorkspace)->Arg(1000)->Arg(10000);
 
 void BM_EstimatorNaive(benchmark::State& state) {
     rng::Rng rng(7);

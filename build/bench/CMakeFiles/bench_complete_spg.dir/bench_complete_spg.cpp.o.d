@@ -155,16 +155,16 @@ bench/CMakeFiles/bench_complete_spg.dir/bench_complete_spg.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/ld/delegation/realize.hpp \
+ /root/repo/src/ld/delegation/realize.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/ld/delegation/delegation_graph.hpp \
  /usr/include/c++/12/limits /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/digraph.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/graph/graph.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/graph/graph.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/ld/mech/mechanism.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/ld/model/instance.hpp /usr/include/c++/12/memory \
@@ -214,7 +214,16 @@ bench/CMakeFiles/bench_complete_spg.dir/bench_complete_spg.cpp.o: \
  /root/repo/src/stats/confidence.hpp \
  /root/repo/src/stats/running_stats.hpp \
  /root/repo/src/ld/election/tally.hpp \
- /root/repo/src/ld/experiments/harness.hpp \
+ /root/repo/src/ld/experiments/harness.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/csv_writer.hpp /usr/include/c++/12/fstream \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
@@ -225,16 +234,7 @@ bench/CMakeFiles/bench_complete_spg.dir/bench_complete_spg.cpp.o: \
  /root/repo/src/support/stopwatch.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /root/repo/src/ld/experiments/workloads.hpp \
- /root/repo/src/ld/dnh/verdicts.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/ld/dnh/verdicts.hpp \
  /root/repo/src/ld/mech/complete_graph_threshold.hpp \
  /root/repo/src/ld/recycle/bounds.hpp \
  /root/repo/src/ld/theory/theorems.hpp

@@ -210,7 +210,16 @@ bench/CMakeFiles/bench_dregular_spg.dir/bench_dregular_spg.cpp.o: \
  /root/repo/src/ld/model/competency.hpp /root/repo/src/rng/rng.hpp \
  /root/repo/src/stats/confidence.hpp \
  /root/repo/src/stats/running_stats.hpp \
- /root/repo/src/ld/experiments/harness.hpp \
+ /root/repo/src/ld/experiments/harness.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/csv_writer.hpp /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/codecvt.h \
@@ -224,15 +233,6 @@ bench/CMakeFiles/bench_dregular_spg.dir/bench_dregular_spg.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/ld/experiments/workloads.hpp \
- /root/repo/src/ld/dnh/verdicts.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/ld/dnh/verdicts.hpp \
  /root/repo/src/ld/mech/d_out_sampling.hpp \
  /root/repo/src/ld/theory/theorems.hpp

@@ -211,7 +211,16 @@ bench/CMakeFiles/bench_noisy_approval.dir/bench_noisy_approval.cpp.o: \
  /root/repo/src/ld/election/evaluator.hpp \
  /root/repo/src/stats/confidence.hpp \
  /root/repo/src/stats/running_stats.hpp \
- /root/repo/src/ld/experiments/harness.hpp \
+ /root/repo/src/ld/experiments/harness.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/csv_writer.hpp /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/codecvt.h \

@@ -225,6 +225,7 @@ bench/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cpp.o: \
  /root/repo/src/stats/confidence.hpp \
  /root/repo/src/stats/running_stats.hpp \
  /root/repo/src/ld/election/tally.hpp \
+ /root/repo/src/ld/election/workspace.hpp \
  /root/repo/src/ld/experiments/workloads.hpp \
  /root/repo/src/ld/dnh/verdicts.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ld/dnh/verdicts.cpp" "src/CMakeFiles/liquidd.dir/ld/dnh/verdicts.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/dnh/verdicts.cpp.o.d"
   "/root/repo/src/ld/election/brute_force.cpp" "src/CMakeFiles/liquidd.dir/ld/election/brute_force.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/brute_force.cpp.o.d"
   "/root/repo/src/ld/election/distributional.cpp" "src/CMakeFiles/liquidd.dir/ld/election/distributional.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/distributional.cpp.o.d"
+  "/root/repo/src/ld/election/engine.cpp" "src/CMakeFiles/liquidd.dir/ld/election/engine.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/engine.cpp.o.d"
   "/root/repo/src/ld/election/evaluator.cpp" "src/CMakeFiles/liquidd.dir/ld/election/evaluator.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/evaluator.cpp.o.d"
   "/root/repo/src/ld/election/tally.cpp" "src/CMakeFiles/liquidd.dir/ld/election/tally.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/election/tally.cpp.o.d"
   "/root/repo/src/ld/experiments/adversarial.cpp" "src/CMakeFiles/liquidd.dir/ld/experiments/adversarial.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/ld/experiments/adversarial.cpp.o.d"
@@ -66,6 +67,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/expect.cpp" "src/CMakeFiles/liquidd.dir/support/expect.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/expect.cpp.o.d"
   "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/liquidd.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/stopwatch.cpp.o.d"
   "/root/repo/src/support/table_printer.cpp" "src/CMakeFiles/liquidd.dir/support/table_printer.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/table_printer.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/liquidd.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/liquidd.dir/support/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -241,7 +241,23 @@ src/CMakeFiles/liquidd.dir/ld/election/evaluator.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/ld/delegation/realize.hpp \
- /root/repo/src/ld/election/tally.hpp /root/repo/src/prob/normal.hpp \
- /root/repo/src/prob/poisson_binomial.hpp \
+ /root/repo/src/ld/election/engine.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/ld/election/workspace.hpp \
+ /root/repo/src/ld/election/tally.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/prob/normal.hpp /root/repo/src/prob/poisson_binomial.hpp \
  /root/repo/src/prob/weighted_bernoulli_sum.hpp \
  /root/repo/src/support/expect.hpp /usr/include/c++/12/source_location

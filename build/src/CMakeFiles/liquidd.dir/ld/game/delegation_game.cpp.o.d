@@ -61,12 +61,11 @@ src/CMakeFiles/liquidd.dir/ld/game/delegation_game.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/limits /root/repo/src/graph/digraph.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /root/repo/src/graph/graph.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/graph/digraph.hpp /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/ld/mech/mechanism.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \

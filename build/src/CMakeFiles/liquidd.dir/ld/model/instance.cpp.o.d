@@ -225,6 +225,5 @@ src/CMakeFiles/liquidd.dir/ld/model/instance.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/ld/model/approval.hpp /root/repo/src/support/expect.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/expect.hpp \
  /usr/include/c++/12/source_location

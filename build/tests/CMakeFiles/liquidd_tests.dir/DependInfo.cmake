@@ -43,6 +43,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_stats.cpp.o.d"
   "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_support.cpp.o.d"
   "/root/repo/tests/test_tally_evaluator.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_tally_evaluator.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_tally_evaluator.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_thread_pool.cpp.o.d"
   "/root/repo/tests/test_weighted_bernoulli.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_bernoulli.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_bernoulli.cpp.o.d"
   "/root/repo/tests/test_weighted_delegates.cpp" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_delegates.cpp.o" "gcc" "tests/CMakeFiles/liquidd_tests.dir/test_weighted_delegates.cpp.o.d"
   )

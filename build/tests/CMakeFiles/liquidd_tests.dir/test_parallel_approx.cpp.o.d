@@ -301,11 +301,25 @@ tests/CMakeFiles/liquidd_tests.dir/test_parallel_approx.cpp.o: \
  /root/repo/src/ld/model/instance.hpp \
  /root/repo/src/graph/restrictions.hpp \
  /root/repo/src/ld/model/competency.hpp \
+ /root/repo/src/ld/election/engine.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/ld/election/workspace.hpp \
+ /root/repo/src/ld/election/tally.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/ld/election/evaluator.hpp \
  /root/repo/src/stats/confidence.hpp \
  /root/repo/src/stats/running_stats.hpp \
- /root/repo/src/ld/election/tally.hpp \
  /root/repo/src/ld/mech/approval_size_threshold.hpp \
  /root/repo/src/ld/mech/direct.hpp \
+ /root/repo/src/ld/mech/multi_delegate.hpp \
  /root/repo/src/ld/model/competency_gen.hpp \
  /root/repo/src/support/expect.hpp /usr/include/c++/12/source_location

@@ -12,6 +12,7 @@
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
 #include "support/table_printer.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ld::cli {
 
@@ -51,7 +52,8 @@ usage: liquidd [flags]
   --reps <count>         Monte-Carlo replications (default 200)
   --seed <value>         RNG seed (default 1)
   --audit                also run the Lemma 3 / Lemma 5 DNH audits
-  --threads <count>      replication worker threads (default 1)
+  --threads <count>      replication worker threads (default 1;
+                         0 = auto, one per hardware thread)
   --approx               use the Lemma-4 normal-approximation tally (big n)
   --load-instance <path> load a saved instance (overrides --graph/--competencies)
   --save-instance <path> save the built instance for replay
@@ -135,7 +137,8 @@ int run(const Options& options, std::ostream& out) {
 
     election::EvalOptions eval;
     eval.replications = options.replications;
-    eval.threads = options.threads;
+    eval.threads = options.threads == 0 ? support::ThreadPool::global().worker_count()
+                                        : options.threads;
     eval.approximate_tally = options.approximate;
     if (options.discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
     const auto report = election::estimate_gain(*mechanism, instance, rng, eval);

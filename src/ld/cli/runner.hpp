@@ -23,7 +23,7 @@ struct Options {
     std::uint64_t seed = 1;
     bool audit = false;            ///< run the Lemma 3 / Lemma 5 audits
     bool discard_cycles = false;   ///< CyclePolicy::Discard (noisy mechanisms)
-    std::size_t threads = 1;       ///< replication workers
+    std::size_t threads = 1;       ///< replication workers (0 = auto: pool size)
     bool approximate = false;      ///< Lemma-4 normal-approximation tallies
     std::optional<std::string> dot_path;  ///< write one realization as DOT
     std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)

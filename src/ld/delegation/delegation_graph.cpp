@@ -12,15 +12,37 @@ using support::expects;
 using support::invariant;
 
 DelegationOutcome::DelegationOutcome(std::vector<Action> actions,
-                                     std::vector<std::uint64_t> initial_weights,
+                                     std::span<const std::uint64_t> initial_weights,
                                      CyclePolicy cycle_policy)
-    : actions_(std::move(actions)), initial_weights_(std::move(initial_weights)) {
-    expects(initial_weights_.empty() || initial_weights_.size() == actions_.size(),
+    : actions_(std::move(actions)) {
+    ResolveScratch scratch;
+    validate(initial_weights);
+    resolve(initial_weights, cycle_policy, scratch);
+}
+
+std::vector<Action>& DelegationOutcome::begin_rebuild() {
+    cycle_losses_ = 0;
+    functional_ = true;
+    sink_.clear();
+    weights_.clear();
+    voting_sinks_.clear();
+    stats_ = DelegationStats{};
+    return actions_;
+}
+
+void DelegationOutcome::finish_rebuild(std::span<const std::uint64_t> initial_weights,
+                                       CyclePolicy cycle_policy,
+                                       ResolveScratch& scratch) {
+    validate(initial_weights);
+    resolve(initial_weights, cycle_policy, scratch);
+}
+
+void DelegationOutcome::validate(std::span<const std::uint64_t> initial_weights) const {
+    expects(initial_weights.empty() || initial_weights.size() == actions_.size(),
             "DelegationOutcome: initial weights must be empty or one per voter");
     for (const Action& a : actions_) {
         if (a.kind == ActionKind::Delegate) {
             expects(!a.targets.empty(), "DelegationOutcome: delegation without target");
-            if (a.targets.size() > 1) functional_ = false;
             for (graph::Vertex t : a.targets) {
                 expects(t < actions_.size(), "DelegationOutcome: target out of range");
             }
@@ -36,13 +58,16 @@ DelegationOutcome::DelegationOutcome(std::vector<Action> actions,
                     "DelegationOutcome: non-delegation with target weights");
         }
     }
-    resolve(cycle_policy);
 }
 
-void DelegationOutcome::resolve(CyclePolicy cycle_policy) {
+void DelegationOutcome::resolve(std::span<const std::uint64_t> initial_weights,
+                                CyclePolicy cycle_policy, ResolveScratch& scratch) {
     const std::size_t n = actions_.size();
     for (const Action& a : actions_) {
-        if (a.kind == ActionKind::Delegate) ++stats_.delegator_count;
+        if (a.kind == ActionKind::Delegate) {
+            ++stats_.delegator_count;
+            if (a.targets.size() > 1) functional_ = false;
+        }
         if (a.kind == ActionKind::Abstain) ++stats_.abstainer_count;
     }
     if (!functional_) return;  // multi-target: evaluator resolves by simulation
@@ -50,9 +75,12 @@ void DelegationOutcome::resolve(CyclePolicy cycle_policy) {
     constexpr graph::Vertex kUnresolved = kNoSink - 1;
     constexpr graph::Vertex kOnChain = kNoSink - 2;
     sink_.assign(n, kUnresolved);
-    std::vector<std::size_t> depth(n, 0);  // delegation-path length to sink
-    std::vector<std::uint8_t> lost_to_cycle(n, 0);
-    std::vector<graph::Vertex> chain;
+    auto& depth = scratch.depth;
+    auto& lost_to_cycle = scratch.lost_to_cycle;
+    auto& chain = scratch.chain;
+    depth.assign(n, 0);
+    lost_to_cycle.assign(n, 0);
+    chain.clear();
     for (graph::Vertex start = 0; start < n; ++start) {
         if (sink_[start] != kUnresolved) continue;
         chain.clear();
@@ -105,7 +133,7 @@ void DelegationOutcome::resolve(CyclePolicy cycle_policy) {
     for (graph::Vertex v = 0; v < n; ++v) {
         stats_.longest_path = std::max(stats_.longest_path, depth[v]);
         if (sink_[v] != kNoSink) {
-            weights_[sink_[v]] += initial_weights_.empty() ? 1 : initial_weights_[v];
+            weights_[sink_[v]] += initial_weights.empty() ? 1 : initial_weights[v];
         }
     }
     for (graph::Vertex v = 0; v < n; ++v) {

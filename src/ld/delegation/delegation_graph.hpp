@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -54,6 +55,20 @@ public:
     /// or — under CyclePolicy::Discard — trapped in a cycle).
     static constexpr graph::Vertex kNoSink = std::numeric_limits<graph::Vertex>::max();
 
+    /// Reusable scratch for `resolve`: chain-walk and per-voter depth
+    /// buffers that would otherwise be reallocated every realization.
+    /// Owned by the caller (typically a ReplicationWorkspace) so repeated
+    /// rebuilds are allocation-free.
+    struct ResolveScratch {
+        std::vector<std::size_t> depth;          // delegation-path length to sink
+        std::vector<std::uint8_t> lost_to_cycle; // votes draining into a cycle
+        std::vector<graph::Vertex> chain;        // current walk, for compression
+    };
+
+    /// An empty outcome (0 voters); fill it via begin_rebuild/finish_rebuild
+    /// (the workspace path) or assign over it.
+    DelegationOutcome() = default;
+
     /// Build from per-voter actions.  Under CyclePolicy::Throw (default),
     /// throws `ContractViolation` if a single-target delegation cycle
     /// exists (approval-respecting mechanisms cannot produce one because
@@ -61,10 +76,24 @@ public:
     ///
     /// `initial_weights` (optional) assigns each voter a starting vote
     /// weight — e.g. DAO token balances — instead of the model's one vote
-    /// per voter; it must be empty or have one entry per voter.
+    /// per voter; it must be empty or have one entry per voter.  The span
+    /// is only read during construction, never stored.
     explicit DelegationOutcome(std::vector<mech::Action> actions,
-                               std::vector<std::uint64_t> initial_weights = {},
+                               std::span<const std::uint64_t> initial_weights = {},
                                CyclePolicy cycle_policy = CyclePolicy::Throw);
+
+    /// Zero-allocation rebuild, step 1: clear derived state and expose the
+    /// actions buffer for refilling (capacity is retained, including each
+    /// action's `targets` vector — pair with Mechanism::act_into).  The
+    /// outcome is in an unusable intermediate state until finish_rebuild.
+    std::vector<mech::Action>& begin_rebuild();
+
+    /// Zero-allocation rebuild, step 2: validate the refilled actions and
+    /// resolve sinks/weights/stats, reusing this outcome's buffers and the
+    /// caller's scratch.  Semantically identical to constructing a fresh
+    /// outcome from the same actions.
+    void finish_rebuild(std::span<const std::uint64_t> initial_weights,
+                        CyclePolicy cycle_policy, ResolveScratch& scratch);
 
     std::size_t voter_count() const noexcept { return actions_.size(); }
 
@@ -96,10 +125,11 @@ public:
     std::size_t cycle_losses() const noexcept { return cycle_losses_; }
 
 private:
-    void resolve(CyclePolicy cycle_policy);
+    void validate(std::span<const std::uint64_t> initial_weights) const;
+    void resolve(std::span<const std::uint64_t> initial_weights,
+                 CyclePolicy cycle_policy, ResolveScratch& scratch);
 
     std::vector<mech::Action> actions_;
-    std::vector<std::uint64_t> initial_weights_;
     std::size_t cycle_losses_ = 0;
     bool functional_ = true;
     std::vector<graph::Vertex> sink_;          // resolved terminal per voter

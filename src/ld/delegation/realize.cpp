@@ -24,10 +24,23 @@ DelegationOutcome realize(const mech::Mechanism& mechanism,
 
 DelegationOutcome realize_weighted(const mech::Mechanism& mechanism,
                                    const model::Instance& instance, rng::Rng& rng,
-                                   std::vector<std::uint64_t> initial_weights,
+                                   std::span<const std::uint64_t> initial_weights,
                                    CyclePolicy cycle_policy) {
     return DelegationOutcome(sample_actions(mechanism, instance, rng),
-                             std::move(initial_weights), cycle_policy);
+                             initial_weights, cycle_policy);
+}
+
+void realize_into(DelegationOutcome& outcome,
+                  DelegationOutcome::ResolveScratch& scratch,
+                  const mech::Mechanism& mechanism, const model::Instance& instance,
+                  rng::Rng& rng, std::span<const std::uint64_t> initial_weights,
+                  CyclePolicy cycle_policy) {
+    auto& actions = outcome.begin_rebuild();
+    actions.resize(instance.voter_count());
+    for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
+        mechanism.act_into(instance, v, rng, actions[v]);
+    }
+    outcome.finish_rebuild(initial_weights, cycle_policy, scratch);
 }
 
 double expected_direct_voter_count(const mech::Mechanism& mechanism,

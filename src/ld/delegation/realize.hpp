@@ -4,6 +4,8 @@
 
 #pragma once
 
+#include <span>
+
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/mech/mechanism.hpp"
 #include "ld/model/instance.hpp"
@@ -18,11 +20,23 @@ DelegationOutcome realize(const mech::Mechanism& mechanism,
 /// As `realize`, but with per-voter initial vote weights (e.g. DAO token
 /// balances) and an explicit cycle policy — pass CyclePolicy::Discard for
 /// non-approval-respecting mechanisms (e.g. noisy-approval mechanisms)
-/// whose realized graphs may contain cycles.
+/// whose realized graphs may contain cycles.  The weights are only read
+/// during construction (no copy is taken).
 DelegationOutcome realize_weighted(const mech::Mechanism& mechanism,
                                    const model::Instance& instance, rng::Rng& rng,
-                                   std::vector<std::uint64_t> initial_weights,
+                                   std::span<const std::uint64_t> initial_weights,
                                    CyclePolicy cycle_policy = CyclePolicy::Throw);
+
+/// Zero-allocation realization into a reused outcome: refills
+/// `outcome`'s action buffers via Mechanism::act_into and re-resolves in
+/// place using `scratch`.  Draws the same RNG stream and produces the same
+/// outcome as `realize_weighted`; after the first few calls on a workspace
+/// the steady state performs no heap allocation at all.
+void realize_into(DelegationOutcome& outcome,
+                  DelegationOutcome::ResolveScratch& scratch,
+                  const mech::Mechanism& mechanism, const model::Instance& instance,
+                  rng::Rng& rng, std::span<const std::uint64_t> initial_weights = {},
+                  CyclePolicy cycle_policy = CyclePolicy::Throw);
 
 /// Expected number of direct voters Σ_v P[v votes directly], when the
 /// mechanism exposes exact per-voter probabilities; used to verify the

@@ -1,0 +1,18 @@
+#include "ld/election/engine.hpp"
+
+namespace ld::election {
+
+ReplicationWorkspace& ReplicationEngine::local_workspace() {
+    const auto id = std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = workspaces_[id];
+    if (!slot) slot = std::make_unique<ReplicationWorkspace>();
+    return *slot;
+}
+
+ReplicationEngine& ReplicationEngine::shared() {
+    static ReplicationEngine engine;
+    return engine;
+}
+
+}  // namespace ld::election

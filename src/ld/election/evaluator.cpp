@@ -4,11 +4,14 @@
 #include <thread>
 
 #include "ld/delegation/realize.hpp"
+#include "ld/election/engine.hpp"
 #include "ld/election/tally.hpp"
+#include "ld/election/workspace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson_binomial.hpp"
 #include "prob/weighted_bernoulli_sum.hpp"
 #include "support/expect.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ld::election {
 
@@ -55,11 +58,33 @@ double exact_direct_mean_votes(const model::Instance& instance) {
 
 namespace {
 
-delegation::DelegationOutcome realize_with(const mech::Mechanism& mechanism,
-                                           const model::Instance& instance,
-                                           rng::Rng& rng, const EvalOptions& options) {
-    return delegation::realize_weighted(mechanism, instance, rng,
-                                        options.initial_weights, options.cycle_policy);
+/// Validate eval options against the mechanism/instance up front, so a
+/// misconfiguration fails before any replication runs instead of
+/// mid-estimate (e.g. inner_samples == 0 used to surface only when the
+/// first non-functional outcome appeared).
+void validate_options(const mech::Mechanism& mechanism, const model::Instance& instance,
+                      const EvalOptions& options) {
+    expects(options.replications > 0, "estimate: need at least one replication");
+    expects(options.threads >= 1, "estimate: need at least one thread");
+    expects(options.initial_weights.empty() ||
+                options.initial_weights.size() == instance.voter_count(),
+            "estimate: initial_weights must be empty or one per voter");
+    expects(!mechanism.multi_delegation() || options.inner_samples > 0,
+            "estimate: inner_samples must be positive for multi-delegation "
+            "mechanisms (their P^M has no exact inner step)");
+}
+
+ReplicationEngine& engine_for(const EvalOptions& options) {
+    return options.engine ? *options.engine : ReplicationEngine::shared();
+}
+
+/// Rebuild `ws.outcome` from one sampled delegation realization, reusing
+/// the workspace's buffers (no copy of the initial weights is taken).
+void realize_with(const mech::Mechanism& mechanism, const model::Instance& instance,
+                  rng::Rng& rng, const EvalOptions& options,
+                  ReplicationWorkspace& ws) {
+    delegation::realize_into(ws.outcome, ws.resolve, mechanism, instance, rng,
+                             options.initial_weights, options.cycle_policy);
 }
 
 Estimate finish(const stats::RunningStats& acc, double confidence) {
@@ -88,27 +113,36 @@ struct ReplicationStats {
     }
 };
 
-/// Run `count` replications sequentially with the given generator.
+/// Run `count` replications sequentially with the given generator,
+/// recycling the worker's workspace between replications.
 ReplicationStats run_replications(const mech::Mechanism& mechanism,
                                   const model::Instance& instance, rng::Rng& rng,
-                                  const EvalOptions& options, std::size_t count) {
+                                  const EvalOptions& options, std::size_t count,
+                                  ReplicationWorkspace& ws) {
     ReplicationStats acc;
     const auto& p = instance.competencies();
     for (std::size_t r = 0; r < count; ++r) {
-        const auto outcome = realize_with(mechanism, instance, rng, options);
+        realize_with(mechanism, instance, rng, options, ws);
+        const auto& outcome = ws.outcome;
         double pm_r;
         if (outcome.functional()) {
-            pm_r = options.approximate_tally ? approx_correct_probability(outcome, p)
-                                             : exact_correct_probability(outcome, p);
+            pm_r = options.approximate_tally
+                       ? approx_correct_probability(outcome, p, ws.tally)
+                       : exact_correct_probability(outcome, p, ws.tally);
             const auto& st = outcome.stats();
             acc.max_weight.add(static_cast<double>(st.max_weight));
             acc.sinks.add(static_cast<double>(st.voting_sink_count));
             acc.longest.add(static_cast<double>(st.longest_path));
         } else {
             expects(options.inner_samples > 0, "estimate: need inner samples");
+            // One topological order per realization, shared by all inner
+            // samples (the digraph is fixed within a replication).
+            ws.topo_order = outcome.as_digraph().topological_order();
             std::size_t correct = 0;
             for (std::size_t s = 0; s < options.inner_samples; ++s) {
-                if (sample_outcome_correct(outcome, p, rng)) ++correct;
+                if (sample_outcome_correct(outcome, p, rng, ws.topo_order, ws.tally)) {
+                    ++correct;
+                }
             }
             pm_r = static_cast<double>(correct) /
                    static_cast<double>(options.inner_samples);
@@ -120,17 +154,18 @@ ReplicationStats run_replications(const mech::Mechanism& mechanism,
 }
 
 /// Run `options.replications` replications, fanning out to
-/// `options.threads` workers with independent jumped RNG streams.
+/// `options.threads` workers with independent jumped RNG streams on the
+/// engine's persistent pool (or, legacy path, on freshly spawned threads).
 ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
                                       const model::Instance& instance, rng::Rng& rng,
                                       const EvalOptions& options) {
-    expects(options.replications > 0, "estimate: need at least one replication");
-    expects(options.threads >= 1, "estimate: need at least one thread");
+    validate_options(mechanism, instance, options);
+    ReplicationEngine& engine = engine_for(options);
     const std::size_t threads =
         std::min(options.threads, options.replications);
     if (threads == 1) {
         return run_replications(mechanism, instance, rng, options,
-                                options.replications);
+                                options.replications, engine.local_workspace());
     }
     // Derive one independent stream per worker up front (split mutates the
     // parent, keeping the whole run deterministic for fixed seed+threads).
@@ -139,18 +174,28 @@ ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
     for (std::size_t t = 0; t < threads; ++t) streams.push_back(rng.split());
 
     std::vector<ReplicationStats> partials(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
     const std::size_t base = options.replications / threads;
     const std::size_t extra = options.replications % threads;
-    for (std::size_t t = 0; t < threads; ++t) {
-        const std::size_t count = base + (t < extra ? 1 : 0);
-        workers.emplace_back([&, t, count] {
-            partials[t] =
-                run_replications(mechanism, instance, streams[t], options, count);
-        });
+    const auto chunk = [&](std::size_t t, std::size_t count) {
+        partials[t] = run_replications(mechanism, instance, streams[t], options,
+                                       count, engine.local_workspace());
+    };
+    if (options.use_thread_pool) {
+        support::TaskGroup group(engine.pool());
+        for (std::size_t t = 0; t < threads; ++t) {
+            const std::size_t count = base + (t < extra ? 1 : 0);
+            group.submit([&chunk, t, count] { chunk(t, count); });
+        }
+        group.wait();
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+            const std::size_t count = base + (t < extra ? 1 : 0);
+            workers.emplace_back([&chunk, t, count] { chunk(t, count); });
+        }
+        for (auto& w : workers) w.join();
     }
-    for (auto& w : workers) w.join();
     ReplicationStats merged;
     for (const auto& partial : partials) merged.merge(partial);
     return merged;
@@ -168,12 +213,13 @@ Estimate estimate_correct_probability(const mech::Mechanism& mechanism,
 Estimate estimate_correct_probability_naive(const mech::Mechanism& mechanism,
                                             const model::Instance& instance,
                                             rng::Rng& rng, const EvalOptions& options) {
-    expects(options.replications > 0, "estimate: need at least one replication");
+    validate_options(mechanism, instance, options);
     stats::RunningStats acc;
     const auto& p = instance.competencies();
+    ReplicationWorkspace& ws = engine_for(options).local_workspace();
     for (std::size_t r = 0; r < options.replications; ++r) {
-        const auto outcome = realize_with(mechanism, instance, rng, options);
-        acc.add(sample_outcome_correct(outcome, p, rng) ? 1.0 : 0.0);
+        realize_with(mechanism, instance, rng, options, ws);
+        acc.add(sample_outcome_correct(ws.outcome, p, rng) ? 1.0 : 0.0);
     }
     return finish(acc, options.confidence);
 }
@@ -199,18 +245,20 @@ GainReport estimate_gain(const mech::Mechanism& mechanism,
 VarianceReport estimate_variance(const mech::Mechanism& mechanism,
                                  const model::Instance& instance, rng::Rng& rng,
                                  const EvalOptions& options) {
+    validate_options(mechanism, instance, options);
     expects(options.replications > 1, "estimate_variance: need >= 2 replications");
     VarianceReport report;
     report.direct_variance = instance.competencies().outcome_variance();
 
     stats::RunningStats cond_var, cond_mean;
     const auto& p = instance.competencies();
+    ReplicationWorkspace& ws = engine_for(options).local_workspace();
     for (std::size_t r = 0; r < options.replications; ++r) {
-        const auto outcome = realize_with(mechanism, instance, rng, options);
-        expects(outcome.functional(),
+        realize_with(mechanism, instance, rng, options, ws);
+        expects(ws.outcome.functional(),
                 "estimate_variance: multi-delegation outcomes unsupported");
-        cond_var.add(conditional_vote_variance(outcome, p));
-        cond_mean.add(conditional_vote_mean(outcome, p));
+        cond_var.add(conditional_vote_variance(ws.outcome, p));
+        cond_mean.add(conditional_vote_mean(ws.outcome, p));
     }
     report.mean_conditional_variance = cond_var.mean();
     report.variance_of_conditional_mean = cond_mean.variance();

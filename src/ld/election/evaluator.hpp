@@ -31,6 +31,8 @@
 
 namespace ld::election {
 
+class ReplicationEngine;
+
 /// Knobs for Monte-Carlo evaluation.
 struct EvalOptions {
     /// Number of delegation-graph realizations.
@@ -56,6 +58,14 @@ struct EvalOptions {
     /// O(#sinks·n) per realization; Berry–Esseen-size bias.  Intended for
     /// very large instances.
     bool approximate_tally = false;
+    /// Execution engine (persistent thread pool + per-worker replication
+    /// workspaces).  Null means the process-wide shared engine; pass a
+    /// dedicated engine to isolate workspaces (e.g. in tests).
+    ReplicationEngine* engine = nullptr;
+    /// When false, fan out with per-call std::thread spawn/join instead of
+    /// the engine's pool — the legacy execution path, kept as a
+    /// determinism reference (results are bit-identical either way).
+    bool use_thread_pool = true;
 };
 
 /// A Monte-Carlo estimate with its uncertainty.

@@ -16,27 +16,30 @@ using support::expects;
 
 namespace {
 
-/// Collect (weight, competency) pairs of the voting sinks.
-std::pair<std::vector<std::uint64_t>, std::vector<double>> sink_profile(
-    const DelegationOutcome& outcome, const model::CompetencyVector& p) {
-    std::vector<std::uint64_t> weights;
-    std::vector<double> probs;
+/// Collect (weight, competency) pairs of the voting sinks into the given
+/// buffers (cleared first).
+void sink_profile_into(const DelegationOutcome& outcome,
+                       const model::CompetencyVector& p,
+                       std::vector<std::uint64_t>& weights,
+                       std::vector<double>& probs) {
+    weights.clear();
+    probs.clear();
     const auto& w = outcome.weights();
     for (graph::Vertex s : outcome.voting_sinks()) {
         weights.push_back(w[s]);
         probs.push_back(p[s]);
     }
-    return {std::move(weights), std::move(probs)};
 }
 
-/// Realize every voter's effective vote (std::nullopt = abstained).
-/// Votes propagate along delegation arcs in topological order.
-std::vector<std::optional<bool>> realize_votes(const DelegationOutcome& outcome,
-                                               const model::CompetencyVector& p,
-                                               rng::Rng& rng) {
+/// Realize every voter's effective vote (std::nullopt = abstained) into
+/// `vote`.  Votes propagate along delegation arcs in reverse topological
+/// order (`order` as produced by Digraph::topological_order).
+void realize_votes_into(const DelegationOutcome& outcome,
+                        const model::CompetencyVector& p, rng::Rng& rng,
+                        std::span<const graph::Vertex> order,
+                        std::vector<std::optional<bool>>& vote) {
     const std::size_t n = outcome.voter_count();
-    std::vector<std::optional<bool>> vote(n);
-    const auto order = outcome.as_digraph().topological_order();
+    vote.assign(n, std::nullopt);
     // Process targets before sources: reverse topological order.
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const graph::Vertex v = *it;
@@ -76,32 +79,12 @@ std::vector<std::optional<bool>> realize_votes(const DelegationOutcome& outcome,
             }
         }
     }
-    return vote;
 }
 
-}  // namespace
-
-double exact_correct_probability(const DelegationOutcome& outcome,
-                                 const model::CompetencyVector& p) {
-    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
-    auto [weights, probs] = sink_profile(outcome, p);
-    if (weights.empty()) return 0.0;  // nobody voted — cannot decide correctly
-    prob::WeightedBernoulliSum dist(weights, probs);
-    return dist.majority_probability();
-}
-
-double approx_correct_probability(const DelegationOutcome& outcome,
-                                  const model::CompetencyVector& p) {
-    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
-    auto [weights, probs] = sink_profile(outcome, p);
-    if (weights.empty()) return 0.0;
-    // The CLT needs many sinks; with few, the exact DP is cheap anyway
-    // (O(#sinks · W)) and avoids an O(1) bias (e.g. a dictator sink is a
-    // single Bernoulli, not a normal).
-    if (weights.size() <= 64) {
-        prob::WeightedBernoulliSum dist(weights, probs);
-        return dist.majority_probability();
-    }
+/// Normal-approximation tail over a sink profile (shared by both approx
+/// overloads once the profile buffers are filled).
+double approx_majority_from_profile(std::span<const std::uint64_t> weights,
+                                    std::span<const double> probs) {
     double total = 0.0, mean = 0.0, var = 0.0;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         const auto w = static_cast<double>(weights[i]);
@@ -114,6 +97,46 @@ double approx_correct_probability(const DelegationOutcome& outcome,
     // Continuity correction: S is integer-ish on the weight lattice; use
     // half a unit, the standard correction for the unit-weight case.
     return 1.0 - prob::normal_cdf(threshold + 0.5, mean, std::sqrt(var));
+}
+
+}  // namespace
+
+double exact_correct_probability(const DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p) {
+    TallyScratch scratch;
+    return exact_correct_probability(outcome, p, scratch);
+}
+
+double exact_correct_probability(const DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p,
+                                 TallyScratch& scratch) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    sink_profile_into(outcome, p, scratch.sink_weights, scratch.sink_probs);
+    if (scratch.sink_weights.empty()) return 0.0;  // nobody voted
+    return prob::weighted_majority_probability(scratch.sink_weights,
+                                               scratch.sink_probs, scratch.pmf);
+}
+
+double approx_correct_probability(const DelegationOutcome& outcome,
+                                  const model::CompetencyVector& p) {
+    TallyScratch scratch;
+    return approx_correct_probability(outcome, p, scratch);
+}
+
+double approx_correct_probability(const DelegationOutcome& outcome,
+                                  const model::CompetencyVector& p,
+                                  TallyScratch& scratch) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    sink_profile_into(outcome, p, scratch.sink_weights, scratch.sink_probs);
+    if (scratch.sink_weights.empty()) return 0.0;
+    // The CLT needs many sinks; with few, the exact DP is cheap anyway
+    // (O(#sinks · W)) and avoids an O(1) bias (e.g. a dictator sink is a
+    // single Bernoulli, not a normal).
+    if (scratch.sink_weights.size() <= 64) {
+        return prob::weighted_majority_probability(scratch.sink_weights,
+                                                   scratch.sink_probs, scratch.pmf);
+    }
+    return approx_majority_from_profile(scratch.sink_weights, scratch.sink_probs);
 }
 
 double conditional_vote_variance(const DelegationOutcome& outcome,
@@ -139,6 +162,21 @@ double conditional_vote_mean(const DelegationOutcome& outcome,
     return mean;
 }
 
+namespace {
+
+bool majority_of_votes(const std::vector<std::optional<bool>>& vote) {
+    std::uint64_t correct = 0, cast = 0;
+    for (std::size_t v = 0; v < vote.size(); ++v) {
+        if (vote[v].has_value()) {
+            ++cast;
+            if (*vote[v]) ++correct;
+        }
+    }
+    return cast > 0 && correct * 2 > cast;
+}
+
+}  // namespace
+
 bool sample_outcome_correct(const DelegationOutcome& outcome,
                             const model::CompetencyVector& p, rng::Rng& rng) {
     expects(outcome.voter_count() == p.size(), "tally: size mismatch");
@@ -152,15 +190,22 @@ bool sample_outcome_correct(const DelegationOutcome& outcome,
         }
         return cast > 0 && correct * 2 > cast;
     }
-    const auto vote = realize_votes(outcome, p, rng);
-    std::uint64_t correct = 0, cast = 0;
-    for (std::size_t v = 0; v < vote.size(); ++v) {
-        if (vote[v].has_value()) {
-            ++cast;
-            if (*vote[v]) ++correct;
-        }
+    const auto order = outcome.as_digraph().topological_order();
+    std::vector<std::optional<bool>> vote;
+    realize_votes_into(outcome, p, rng, order, vote);
+    return majority_of_votes(vote);
+}
+
+bool sample_outcome_correct(const DelegationOutcome& outcome,
+                            const model::CompetencyVector& p, rng::Rng& rng,
+                            std::span<const graph::Vertex> topo_order,
+                            TallyScratch& scratch) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    if (outcome.functional()) {
+        return sample_outcome_correct(outcome, p, rng);  // sink fast path
     }
-    return cast > 0 && correct * 2 > cast;
+    realize_votes_into(outcome, p, rng, topo_order, scratch.votes);
+    return majority_of_votes(scratch.votes);
 }
 
 std::uint64_t sample_correct_vote_count(const DelegationOutcome& outcome,
@@ -175,7 +220,9 @@ std::uint64_t sample_correct_vote_count(const DelegationOutcome& outcome,
         }
         return correct;
     }
-    const auto vote = realize_votes(outcome, p, rng);
+    const auto order = outcome.as_digraph().topological_order();
+    std::vector<std::optional<bool>> vote;
+    realize_votes_into(outcome, p, rng, order, vote);
     std::uint64_t correct = 0;
     for (const auto& v : vote) {
         if (v.has_value() && *v) ++correct;

@@ -12,17 +12,37 @@
 
 #pragma once
 
+#include <optional>
+#include <span>
+#include <vector>
+
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/model/competency.hpp"
 #include "rng/rng.hpp"
 
 namespace ld::election {
 
+/// Reusable buffers for the inner tally — the sink profile, the
+/// weighted-Bernoulli DP table, and the vote-propagation state of the
+/// multi-delegation sampler.  One per replication worker; reused across
+/// replications (and across cells when owned by a ReplicationWorkspace).
+struct TallyScratch {
+    std::vector<std::uint64_t> sink_weights;
+    std::vector<double> sink_probs;
+    std::vector<double> pmf;
+    std::vector<std::optional<bool>> votes;
+};
+
 /// Exact P[weighted majority correct | realized delegation graph].
 /// Requires a functional outcome.  If no votes are cast at all (everyone
 /// abstained), the decision cannot be correct and the result is 0.
 double exact_correct_probability(const delegation::DelegationOutcome& outcome,
                                  const model::CompetencyVector& p);
+
+/// Zero-allocation variant: same result, buffers drawn from `scratch`.
+double exact_correct_probability(const delegation::DelegationOutcome& outcome,
+                                 const model::CompetencyVector& p,
+                                 TallyScratch& scratch);
 
 /// Normal approximation of `exact_correct_probability`: P[S > W/2] for
 /// S ~ N(Σ w_i p_i, Σ w_i² p_i(1−p_i)) with continuity correction.
@@ -32,6 +52,11 @@ double exact_correct_probability(const delegation::DelegationOutcome& outcome,
 /// variance) are handled exactly.
 double approx_correct_probability(const delegation::DelegationOutcome& outcome,
                                   const model::CompetencyVector& p);
+
+/// Zero-allocation variant of `approx_correct_probability`.
+double approx_correct_probability(const delegation::DelegationOutcome& outcome,
+                                  const model::CompetencyVector& p,
+                                  TallyScratch& scratch);
 
 /// Conditional variance of the correct-vote count S = Σ w_i x_i given the
 /// realized delegation graph: Σ w_i² p_i (1 − p_i).  Requires functional.
@@ -51,6 +76,16 @@ double conditional_vote_mean(const delegation::DelegationOutcome& outcome,
 /// abstained the voter falls back to their own competency draw).
 bool sample_outcome_correct(const delegation::DelegationOutcome& outcome,
                             const model::CompetencyVector& p, rng::Rng& rng);
+
+/// Workspace variant for the multi-delegation inner loop: the caller
+/// precomputes `topo_order = outcome.as_digraph().topological_order()`
+/// *once per realization* and reuses it (plus `scratch.votes`) across the
+/// inner samples, instead of rebuilding the digraph per sample.  Draws the
+/// same RNG stream as the plain overload.
+bool sample_outcome_correct(const delegation::DelegationOutcome& outcome,
+                            const model::CompetencyVector& p, rng::Rng& rng,
+                            std::span<const graph::Vertex> topo_order,
+                            TallyScratch& scratch);
 
 /// Sample one realization and return the number of correct votes cast
 /// (each non-abstaining voter contributes one vote — for functional

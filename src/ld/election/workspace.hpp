@@ -1,0 +1,34 @@
+// Per-worker scratch for the Monte-Carlo replication loop.  One workspace
+// per worker thread; every replication rebuilds the delegation outcome and
+// tallies it *in place*, so the steady state of the loop performs no heap
+// allocation: the actions vector (including each voter's `targets`
+// buffer), the sink-resolution scratch, the sink profile, the
+// weighted-Bernoulli DP table, and the multi-delegation vote buffers are
+// all recycled across replications — and across experiment cells when the
+// workspace is owned by a ReplicationEngine.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/election/tally.hpp"
+
+namespace ld::election {
+
+/// Everything one replication worker reuses between replications.
+struct ReplicationWorkspace {
+    /// The realized delegation graph, rebuilt in place each replication.
+    delegation::DelegationOutcome outcome;
+    /// Sink-resolution scratch (chain walk, depths, cycle marks).
+    delegation::DelegationOutcome::ResolveScratch resolve;
+    /// Inner-tally buffers (sink profile, DP table, sampled votes).
+    TallyScratch tally;
+    /// Reverse-topological order of the current realization — computed
+    /// once per replication for multi-delegation outcomes and shared by
+    /// all inner samples.
+    std::vector<graph::Vertex> topo_order;
+};
+
+}  // namespace ld::election

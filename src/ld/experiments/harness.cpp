@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "support/expect.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ld::experiments {
 
@@ -35,6 +36,10 @@ void Experiment::add_row(std::vector<support::Cell> cells) {
 
 void Experiment::add_note(std::string note) { notes_.push_back(std::move(note)); }
 
+rng::Rng Experiment::make_row_rng(std::size_t row) const {
+    return rng::Rng(stable_seed(id_ + "#" + std::to_string(row)));
+}
+
 void Experiment::finish() {
     std::cout << "\n=== [" << id_ << "] " << title_ << " ===\n";
     table_.print(std::cout);
@@ -44,6 +49,14 @@ void Experiment::finish() {
               << std::dec << ")\n";
     if (csv_) csv_->close();
     std::cout.flush();
+}
+
+void parallel_rows(std::size_t count, const std::function<void(std::size_t)>& body) {
+    support::TaskGroup group(support::ThreadPool::global());
+    for (std::size_t row = 0; row < count; ++row) {
+        group.submit([&body, row] { body(row); });
+    }
+    group.wait();
 }
 
 std::vector<std::size_t> size_ladder(std::size_t start, double factor,

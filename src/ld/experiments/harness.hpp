@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,12 @@ public:
     /// Fresh generator derived from the experiment id (stable across runs).
     rng::Rng make_rng() const { return rng::Rng(seed_); }
 
+    /// Independent generator for sweep row `row`, derived from the
+    /// experiment id and the row index only.  Rows seeded this way can run
+    /// in any order — or concurrently via `parallel_rows` — and still
+    /// reproduce bit-for-bit.
+    rng::Rng make_row_rng(std::size_t row) const;
+
 private:
     std::string id_;
     std::string title_;
@@ -53,6 +60,14 @@ private:
 
 /// FNV-1a hash of a string — the deterministic experiment-id → seed map.
 std::uint64_t stable_seed(const std::string& key);
+
+/// Run `body(row)` for every row index in [0, count) on the shared thread
+/// pool and wait for all of them.  Bodies must not touch shared mutable
+/// state except their own row's result slot; use `Experiment::make_row_rng`
+/// for per-row generators so the sweep stays deterministic regardless of
+/// scheduling.  Add rows to the Experiment *after* this returns, in row
+/// order, so tables and CSV mirrors are stable.
+void parallel_rows(std::size_t count, const std::function<void(std::size_t)>& body);
 
 /// Geometric size ladder: start, start·factor, … capped at `limit`
 /// (inclusive), at most `max_points` entries.

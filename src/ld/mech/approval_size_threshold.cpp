@@ -15,14 +15,24 @@ std::string ApprovalSizeThreshold::name() const {
 
 Action ApprovalSizeThreshold::act(const model::Instance& instance, graph::Vertex v,
                                   rng::Rng& rng) const {
-    const auto approved = instance.approved_neighbours(v);
+    const auto approved = instance.approved_neighbours_view(v);
     if (approved.size() < threshold_) return Action::vote();
     return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
 }
 
+void ApprovalSizeThreshold::act_into(const model::Instance& instance, graph::Vertex v,
+                                     rng::Rng& rng, Action& out) const {
+    const auto approved = instance.approved_neighbours_view(v);
+    if (approved.size() < threshold_) {
+        out.assign_vote();
+    } else {
+        out.assign_delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+    }
+}
+
 std::optional<double> ApprovalSizeThreshold::vote_directly_probability(
     const model::Instance& instance, graph::Vertex v) const {
-    return instance.approved_neighbours(v).size() < threshold_ ? 1.0 : 0.0;
+    return instance.approved_neighbours_view(v).size() < threshold_ ? 1.0 : 0.0;
 }
 
 }  // namespace ld::mech

@@ -22,15 +22,26 @@ std::string CompleteGraphThreshold::name() const {
 
 Action CompleteGraphThreshold::act(const model::Instance& instance, graph::Vertex v,
                                    rng::Rng& rng) const {
-    const auto approved = instance.approved_neighbours(v);
+    const auto approved = instance.approved_neighbours_view(v);
     const std::size_t j = std::max<std::size_t>(1, threshold_(instance.graph().degree(v)));
     if (approved.size() < j) return Action::vote();
     return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
 }
 
+void CompleteGraphThreshold::act_into(const model::Instance& instance, graph::Vertex v,
+                                      rng::Rng& rng, Action& out) const {
+    const auto approved = instance.approved_neighbours_view(v);
+    const std::size_t j = std::max<std::size_t>(1, threshold_(instance.graph().degree(v)));
+    if (approved.size() < j) {
+        out.assign_vote();
+    } else {
+        out.assign_delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+    }
+}
+
 std::optional<double> CompleteGraphThreshold::vote_directly_probability(
     const model::Instance& instance, graph::Vertex v) const {
-    const auto approved = instance.approved_neighbours(v);
+    const auto approved = instance.approved_neighbours_view(v);
     const std::size_t j = std::max<std::size_t>(1, threshold_(instance.graph().degree(v)));
     return approved.size() < j ? 1.0 : 0.0;
 }

@@ -16,6 +16,11 @@ public:
         return Action::vote();
     }
 
+    void act_into(const model::Instance&, graph::Vertex, rng::Rng&,
+                  Action& out) const override {
+        out.assign_vote();
+    }
+
     std::optional<double> vote_directly_probability(const model::Instance&,
                                                     graph::Vertex) const override {
         return 1.0;

@@ -26,14 +26,24 @@ bool FractionApproved::should_delegate(const model::Instance& instance, graph::V
 
 Action FractionApproved::act(const model::Instance& instance, graph::Vertex v,
                              rng::Rng& rng) const {
-    const auto approved = instance.approved_neighbours(v);
+    const auto approved = instance.approved_neighbours_view(v);
     if (!should_delegate(instance, v, approved.size())) return Action::vote();
     return Action::delegate_to(approved[rng::uniform_index(rng, approved.size())]);
 }
 
+void FractionApproved::act_into(const model::Instance& instance, graph::Vertex v,
+                                rng::Rng& rng, Action& out) const {
+    const auto approved = instance.approved_neighbours_view(v);
+    if (!should_delegate(instance, v, approved.size())) {
+        out.assign_vote();
+    } else {
+        out.assign_delegate_to(approved[rng::uniform_index(rng, approved.size())]);
+    }
+}
+
 std::optional<double> FractionApproved::vote_directly_probability(
     const model::Instance& instance, graph::Vertex v) const {
-    const auto approved = instance.approved_neighbours(v);
+    const auto approved = instance.approved_neighbours_view(v);
     return should_delegate(instance, v, approved.size()) ? 0.0 : 1.0;
 }
 

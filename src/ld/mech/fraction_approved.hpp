@@ -20,6 +20,9 @@ public:
     Action act(const model::Instance& instance, graph::Vertex v,
                rng::Rng& rng) const override;
 
+    void act_into(const model::Instance& instance, graph::Vertex v, rng::Rng& rng,
+                  Action& out) const override;
+
     std::optional<double> vote_directly_probability(const model::Instance& instance,
                                                     graph::Vertex v) const override;
 

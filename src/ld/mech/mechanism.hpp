@@ -55,6 +55,25 @@ struct Action {
                                     std::vector<double> ws) {
         return {ActionKind::Delegate, std::move(ts), std::move(ws)};
     }
+
+    /// In-place variants for the act_into path: overwrite this action
+    /// while keeping the heap buffers (`targets` capacity) alive.
+    void assign_vote() {
+        kind = ActionKind::Vote;
+        targets.clear();
+        target_weights.clear();
+    }
+    void assign_abstain() {
+        kind = ActionKind::Abstain;
+        targets.clear();
+        target_weights.clear();
+    }
+    void assign_delegate_to(graph::Vertex t) {
+        kind = ActionKind::Delegate;
+        targets.clear();
+        targets.push_back(t);
+        target_weights.clear();
+    }
 };
 
 /// Abstract delegation mechanism.
@@ -72,6 +91,16 @@ public:
     /// all n decisions yields the paper's product delegation law.
     virtual Action act(const model::Instance& instance, graph::Vertex v,
                        rng::Rng& rng) const = 0;
+
+    /// Sample voter `v`'s decision into `out`, reusing its buffers — the
+    /// zero-allocation path the replication workspace drives.  Must consume
+    /// the same RNG stream and produce the same decision as `act`.  The
+    /// default forwards to `act`; hot mechanisms override it to write into
+    /// `out.targets` in place.
+    virtual void act_into(const model::Instance& instance, graph::Vertex v,
+                          rng::Rng& rng, Action& out) const {
+        out = act(instance, v, rng);
+    }
 
     /// Exact probability that voter `v` votes directly (neither delegates
     /// nor abstains), when available in closed form.  Used for testing and

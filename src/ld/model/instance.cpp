@@ -3,7 +3,6 @@
 #include <cmath>
 #include <sstream>
 
-#include "ld/model/approval.hpp"
 #include "support/expect.hpp"
 
 namespace ld::model {
@@ -15,14 +14,37 @@ Instance::Instance(graph::Graph g, CompetencyVector p, double alpha)
     expects(graph_.vertex_count() == competencies_.size(),
             "Instance: graph/competency size mismatch");
     expects(alpha_ > 0.0, "Instance: alpha must be positive (acyclicity requires it)");
+    // Precompute the approval CSR: one O(n + m) pass at construction buys
+    // allocation-free approved_neighbours_view() in the replication loop.
+    const std::size_t n = graph_.vertex_count();
+    approved_offsets_.assign(n + 1, 0);
+    for (graph::Vertex v = 0; v < n; ++v) {
+        std::size_t count = 0;
+        for (graph::Vertex w : graph_.neighbours(v)) {
+            if (competencies_[v] + alpha_ <= competencies_[w]) ++count;
+        }
+        approved_offsets_[v + 1] = approved_offsets_[v] + count;
+    }
+    approved_flat_.resize(approved_offsets_[n]);
+    for (graph::Vertex v = 0; v < n; ++v) {
+        std::size_t at = approved_offsets_[v];
+        for (graph::Vertex w : graph_.neighbours(v)) {
+            if (competencies_[v] + alpha_ <= competencies_[w]) approved_flat_[at++] = w;
+        }
+    }
 }
 
 std::vector<graph::Vertex> Instance::approved_neighbours(graph::Vertex v) const {
-    return model::approved_neighbours(graph_, competencies_, v, alpha_);
+    const auto view = approved_neighbours_view(v);
+    return {view.begin(), view.end()};
 }
 
 std::vector<std::size_t> Instance::approved_neighbour_counts() const {
-    return model::approved_neighbour_counts(graph_, competencies_, alpha_);
+    std::vector<std::size_t> counts(voter_count());
+    for (graph::Vertex v = 0; v < voter_count(); ++v) {
+        counts[v] = approved_offsets_[v + 1] - approved_offsets_[v];
+    }
+    return counts;
 }
 
 std::size_t Instance::partition_complexity_bound() const {

@@ -32,6 +32,15 @@ public:
     /// Approved neighbours of `v` (the local mechanism's view).
     std::vector<graph::Vertex> approved_neighbours(graph::Vertex v) const;
 
+    /// Approved neighbours of `v` as a view into the per-instance CSR
+    /// cache, ascending.  O(1), no allocation — instances are immutable,
+    /// so the approval structure is computed once at construction.  This
+    /// is the hot-path variant mechanisms use inside the replication loop.
+    std::span<const graph::Vertex> approved_neighbours_view(graph::Vertex v) const {
+        return {approved_flat_.data() + approved_offsets_[v],
+                approved_flat_.data() + approved_offsets_[v + 1]};
+    }
+
     /// |approved neighbours| for all voters in one pass.
     std::vector<std::size_t> approved_neighbour_counts() const;
 
@@ -50,6 +59,8 @@ private:
     graph::Graph graph_;
     CompetencyVector competencies_;
     double alpha_;
+    std::vector<std::size_t> approved_offsets_;  // size n+1 (CSR)
+    std::vector<graph::Vertex> approved_flat_;   // approved neighbours, ascending per voter
 };
 
 }  // namespace ld::model

@@ -8,17 +8,23 @@ namespace ld::prob {
 
 using support::expects;
 
-WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weights,
-                                           std::span<const double> probs) {
+namespace {
+
+/// Shared DP core: fills `pmf` with the law of Σ w_i · Bernoulli(p_i) and
+/// returns the total weight W.  `pmf` is resized to W + 1.
+std::uint64_t convolve_weighted_sum(std::span<const std::uint64_t> weights,
+                                    std::span<const double> probs,
+                                    std::vector<double>& pmf) {
     expects(weights.size() == probs.size(),
             "WeightedBernoulliSum: weights/probs length mismatch");
+    std::uint64_t total = 0;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         expects(probs[i] >= 0.0 && probs[i] <= 1.0,
                 "WeightedBernoulliSum: probability out of [0,1]");
-        total_weight_ += weights[i];
+        total += weights[i];
     }
-    pmf_.assign(static_cast<std::size_t>(total_weight_) + 1, 0.0);
-    pmf_[0] = 1.0;
+    pmf.assign(static_cast<std::size_t>(total) + 1, 0.0);
+    pmf[0] = 1.0;
     std::uint64_t used = 0;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         const std::uint64_t w = weights[i];
@@ -27,15 +33,40 @@ WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weight
         // Convolve with the two-point distribution {0 ↦ 1−p, w ↦ p},
         // iterating downwards to avoid overwriting unread entries.
         for (std::size_t s = static_cast<std::size_t>(used) + 1; s-- > 0;) {
-            const double mass = pmf_[s];
+            const double mass = pmf[s];
             if (mass == 0.0) continue;
-            pmf_[s] = mass * (1.0 - p);
-            pmf_[s + static_cast<std::size_t>(w)] += mass * p;
+            pmf[s] = mass * (1.0 - p);
+            pmf[s + static_cast<std::size_t>(w)] += mass * p;
         }
         used += w;
-        mean_ += static_cast<double>(w) * p;
-        variance_ += static_cast<double>(w) * static_cast<double>(w) * p * (1.0 - p);
     }
+    return total;
+}
+
+}  // namespace
+
+WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weights,
+                                           std::span<const double> probs) {
+    total_weight_ = convolve_weighted_sum(weights, probs, pmf_);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const auto w = static_cast<double>(weights[i]);
+        const double p = probs[i];
+        mean_ += w * p;
+        variance_ += w * w * p * (1.0 - p);
+    }
+}
+
+double weighted_majority_probability(std::span<const std::uint64_t> weights,
+                                     std::span<const double> probs,
+                                     std::vector<double>& pmf_scratch) {
+    const std::uint64_t total = convolve_weighted_sum(weights, probs, pmf_scratch);
+    const double threshold = static_cast<double>(total) / 2.0;
+    double acc = 0.0;
+    for (std::size_t s = pmf_scratch.size(); s-- > 0;) {
+        if (static_cast<double>(s) > threshold) acc += pmf_scratch[s];
+        else break;  // pmf indices below the threshold contribute nothing
+    }
+    return std::min(acc, 1.0);
 }
 
 double WeightedBernoulliSum::pmf(std::uint64_t s) const {

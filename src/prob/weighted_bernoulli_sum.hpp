@@ -51,4 +51,12 @@ private:
     double variance_ = 0.0;
 };
 
+/// P[Σ w_i x_i > W/2] computed with the same DP as WeightedBernoulliSum
+/// but into a caller-owned pmf buffer — the zero-allocation inner step of
+/// the replication loop.  Bit-identical to
+/// `WeightedBernoulliSum(weights, probs).majority_probability()`.
+double weighted_majority_probability(std::span<const std::uint64_t> weights,
+                                     std::span<const double> probs,
+                                     std::vector<double>& pmf_scratch);
+
 }  // namespace ld::prob

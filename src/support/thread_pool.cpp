@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ld::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers == 0) {
+        workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job.group->run(job.fn);
+    }
+}
+
+bool ThreadPool::try_help(TaskGroup& group) {
+    Job job;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                     [&](const Job& j) { return j.group == &group; });
+        if (it == queue_.end()) return false;
+        job = std::move(*it);
+        queue_.erase(it);
+    }
+    job.group->run(job.fn);
+    return true;
+}
+
+void ThreadPool::enqueue(Job job) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+}
+
+TaskGroup::~TaskGroup() {
+    // Absorb any leftover exception: wait() already gave the caller a
+    // chance to observe it; a throwing destructor would terminate.
+    try {
+        wait();
+    } catch (...) {
+    }
+}
+
+void TaskGroup::submit(std::function<void()> job) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_.enqueue(ThreadPool::Job{std::move(job), this});
+}
+
+void TaskGroup::wait() {
+    // Help with this group's still-queued jobs instead of idling — this is
+    // what makes nested waits on a shared pool deadlock-free.
+    while (pool_.try_help(*this)) {
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+        auto error = std::exchange(error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void TaskGroup::run(std::function<void()>& job) {
+    try {
+        job();
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+    }
+    // Notify under the lock: once pending_ hits zero a waiter may destroy
+    // this group, so the condition variable must not be touched after the
+    // lock is released.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    done_.notify_all();
+}
+
+}  // namespace ld::support

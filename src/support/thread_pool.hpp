@@ -1,0 +1,112 @@
+// A persistent worker pool with a submit/wait API — the execution engine
+// under the Monte-Carlo replication loop (and any other embarrassingly
+// parallel sweep).  Motivation: the evaluator previously spawned and joined
+// fresh std::threads on *every* estimate call, so every cell of every
+// experiment paid thread-creation latency and no workers were shared
+// across cells.
+//
+// Design:
+//  * ThreadPool owns long-lived workers (lazily sized to
+//    hardware_concurrency for the shared global() pool).
+//  * Work is submitted in batches through a TaskGroup; wait() blocks until
+//    every task of that group has run.
+//  * wait() *lends the calling thread* to its own group's still-queued
+//    tasks (work-helping).  This keeps nested parallelism deadlock-free:
+//    a pool task may itself submit a group to the same pool and wait on it,
+//    even on a single-worker pool.
+//  * Determinism is the caller's contract: tasks are identified by their
+//    submission index, so pinning one RNG stream per task index yields
+//    bit-identical results regardless of which OS thread runs which task.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ld::support {
+
+class TaskGroup;
+
+/// Persistent pool of worker threads.  Threads are started in the
+/// constructor and joined in the destructor; submission happens through
+/// TaskGroup.
+class ThreadPool {
+public:
+    /// `workers == 0` sizes the pool to std::thread::hardware_concurrency()
+    /// (at least one worker either way).
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t worker_count() const noexcept { return workers_.size(); }
+
+    /// Process-wide shared pool, created on first use and sized to the
+    /// hardware.  All library components default to this pool so workers
+    /// are shared across experiment cells.
+    static ThreadPool& global();
+
+private:
+    friend class TaskGroup;
+
+    struct Job {
+        std::function<void()> fn;
+        TaskGroup* group;
+    };
+
+    void worker_loop();
+
+    /// Pop and run one queued job belonging to `group` (work-helping).
+    /// Returns false if no such job is queued.
+    bool try_help(TaskGroup& group);
+
+    void enqueue(Job job);
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Job> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// One batch of tasks on a pool.  Submit any number of jobs, then wait().
+/// The destructor waits too, so a group can never outlive its jobs.
+/// If a job throws, the first exception is captured and rethrown from
+/// wait() on the submitting thread.
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Queue one job for execution on the pool.
+    void submit(std::function<void()> job);
+
+    /// Block until every submitted job has finished, helping with this
+    /// group's queued jobs on the calling thread.  Rethrows the first
+    /// job exception, if any.
+    void wait();
+
+private:
+    friend class ThreadPool;
+
+    /// Run `job` on the current thread and account for its completion.
+    void run(std::function<void()>& job);
+
+    ThreadPool& pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;
+    std::exception_ptr error_;
+};
+
+}  // namespace ld::support

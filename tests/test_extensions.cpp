@@ -32,7 +32,8 @@ TEST(TokenWeights, InitialWeightsPoolAtSinks) {
     // 0 -> 2, 1 -> 2, 2 votes; tokens {5, 3, 2}.
     std::vector<Action> actions{Action::delegate_to(2), Action::delegate_to(2),
                                 Action::vote()};
-    const DelegationOutcome out(std::move(actions), {5, 3, 2});
+    const std::vector<std::uint64_t> tokens{5, 3, 2};
+    const DelegationOutcome out(std::move(actions), tokens);
     EXPECT_EQ(out.weights()[2], 10u);
     EXPECT_EQ(out.stats().cast_weight, 10u);
     EXPECT_EQ(out.stats().max_weight, 10u);
@@ -40,14 +41,16 @@ TEST(TokenWeights, InitialWeightsPoolAtSinks) {
 
 TEST(TokenWeights, ZeroTokenSinkCastsNothing) {
     std::vector<Action> actions{Action::vote(), Action::vote()};
-    const DelegationOutcome out(std::move(actions), {0, 7});
+    const std::vector<std::uint64_t> tokens{0, 7};
+    const DelegationOutcome out(std::move(actions), tokens);
     EXPECT_EQ(out.voting_sinks(), (std::vector<g::Vertex>{1}));
     EXPECT_EQ(out.stats().voting_sink_count, 1u);
 }
 
 TEST(TokenWeights, WeightVectorSizeIsValidated) {
     std::vector<Action> actions{Action::vote(), Action::vote()};
-    EXPECT_THROW(DelegationOutcome(std::move(actions), {1, 2, 3}), ContractViolation);
+    const std::vector<std::uint64_t> tokens{1, 2, 3};
+    EXPECT_THROW(DelegationOutcome(std::move(actions), tokens), ContractViolation);
 }
 
 TEST(TokenWeights, WeightedDirectProbabilityMatchesWeightedSum) {

@@ -5,10 +5,12 @@
 
 #include "graph/generators.hpp"
 #include "ld/delegation/realize.hpp"
+#include "ld/election/engine.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/election/tally.hpp"
 #include "ld/mech/approval_size_threshold.hpp"
 #include "ld/mech/direct.hpp"
+#include "ld/mech/multi_delegate.hpp"
 #include "ld/model/competency_gen.hpp"
 #include "support/expect.hpp"
 
@@ -72,6 +74,89 @@ TEST(ParallelEval, ZeroThreadsRejected) {
     const mech::ApprovalSizeThreshold m(1);
     election::EvalOptions opts;
     opts.threads = 0;
+    Rng rng(1);
+    EXPECT_THROW(election::estimate_correct_probability(m, inst, rng, opts),
+                 ContractViolation);
+}
+
+TEST(ParallelEval, PoolMatchesLegacySpawnPathBitForBit) {
+    // The pool and the legacy std::thread spawn/join path share the stream
+    // split and merge order, so for a fixed (seed, threads) pair they must
+    // agree to the last bit — not just statistically.
+    const auto inst = pc_instance(120, 12);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions pooled;
+    pooled.replications = 160;
+    pooled.threads = 4;
+    pooled.use_thread_pool = true;
+    election::EvalOptions legacy = pooled;
+    legacy.use_thread_pool = false;
+
+    Rng rng_a(21), rng_b(21);
+    const auto via_pool = election::estimate_correct_probability(m, inst, rng_a, pooled);
+    const auto via_spawn = election::estimate_correct_probability(m, inst, rng_b, legacy);
+    EXPECT_DOUBLE_EQ(via_pool.value, via_spawn.value);
+    EXPECT_DOUBLE_EQ(via_pool.std_error, via_spawn.std_error);
+}
+
+TEST(ParallelEval, PooledThreadCountsAgreeWithinError) {
+    const auto inst = pc_instance(130, 13);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions base;
+    base.replications = 300;
+
+    std::vector<election::Estimate> estimates;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        auto opts = base;
+        opts.threads = threads;
+        Rng rng(31);
+        estimates.push_back(election::estimate_correct_probability(m, inst, rng, opts));
+    }
+    for (std::size_t i = 1; i < estimates.size(); ++i) {
+        EXPECT_NEAR(estimates[i].value, estimates[0].value,
+                    4.0 * (estimates[i].std_error + estimates[0].std_error) + 1e-6);
+        EXPECT_EQ(estimates[i].replications, 300u);
+    }
+}
+
+TEST(ParallelEval, WorkspaceReuseAcrossDifferentInstanceSizes) {
+    // Two consecutive estimates through one engine exercise workspace
+    // buffers sized by the *first* instance on the larger/smaller second
+    // one; results must match fresh-engine evaluations exactly.
+    const auto small = pc_instance(60, 14);
+    const auto large = pc_instance(180, 15);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions reused_opts;
+    reused_opts.replications = 80;
+    reused_opts.threads = 2;
+
+    election::ReplicationEngine reused;
+    reused_opts.engine = &reused;
+    Rng rng_a(41), rng_b(42);
+    const auto large_reused = election::estimate_gain(m, large, rng_a, reused_opts);
+    const auto small_reused = election::estimate_gain(m, small, rng_b, reused_opts);
+
+    auto fresh_opts = reused_opts;
+    election::ReplicationEngine fresh_a, fresh_b;
+    Rng rng_c(41), rng_d(42);
+    fresh_opts.engine = &fresh_a;
+    const auto large_fresh = election::estimate_gain(m, large, rng_c, fresh_opts);
+    fresh_opts.engine = &fresh_b;
+    const auto small_fresh = election::estimate_gain(m, small, rng_d, fresh_opts);
+
+    EXPECT_DOUBLE_EQ(large_reused.pm.value, large_fresh.pm.value);
+    EXPECT_DOUBLE_EQ(large_reused.mean_max_weight, large_fresh.mean_max_weight);
+    EXPECT_DOUBLE_EQ(small_reused.pm.value, small_fresh.pm.value);
+    EXPECT_DOUBLE_EQ(small_reused.mean_max_weight, small_fresh.mean_max_weight);
+}
+
+TEST(ParallelEval, MultiDelegationWithoutInnerSamplesRejectedUpFront) {
+    const auto inst = pc_instance(30, 16);
+    const mech::MultiDelegate m(3, 3);
+    election::EvalOptions opts;
+    opts.replications = 10;
+    opts.inner_samples = 0;  // no exact inner step exists for multi-delegation
+    opts.cycle_policy = ld::delegation::CyclePolicy::Discard;
     Rng rng(1);
     EXPECT_THROW(election::estimate_correct_probability(m, inst, rng, opts),
                  ContractViolation);

@@ -1,0 +1,97 @@
+// Tests for the persistent worker pool under the replication engine:
+// completion, exception propagation, and — critically — deadlock-free
+// nested submit/wait on a single-worker pool (work-helping).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using ld::support::TaskGroup;
+using ld::support::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i) {
+        group.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOneWorker) {
+    ThreadPool pool;  // 0 → hardware_concurrency, clamped to >= 1
+    EXPECT_GE(pool.worker_count(), 1u);
+    EXPECT_GE(ThreadPool::global().worker_count(), 1u);
+}
+
+TEST(ThreadPool, WaitHelpsOnSingleWorkerPool) {
+    // More tasks than workers: wait() must lend the calling thread.
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+        group.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmitWaitDoesNotDeadlock) {
+    // A pool task that itself fans out a group on the same single-worker
+    // pool and waits — the nested-parallelism shape of an experiment cell
+    // running a pooled estimate.  Work-helping makes this finish.
+    ThreadPool pool(1);
+    std::atomic<int> inner_total{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 4; ++i) {
+        outer.submit([&pool, &inner_total] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j) {
+                inner.submit([&inner_total] {
+                    inner_total.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, FirstExceptionRethrownFromWait) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        group.submit([i, &ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 3) throw std::runtime_error("task failed");
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8);  // failure doesn't cancel the rest of the group
+}
+
+TEST(ThreadPool, GroupsShareOnePoolConcurrently) {
+    ThreadPool pool(2);
+    std::atomic<int> a{0}, b{0};
+    TaskGroup ga(pool), gb(pool);
+    for (int i = 0; i < 16; ++i) {
+        ga.submit([&a] { a.fetch_add(1, std::memory_order_relaxed); });
+        gb.submit([&b] { b.fetch_add(1, std::memory_order_relaxed); });
+    }
+    ga.wait();
+    gb.wait();
+    EXPECT_EQ(a.load(), 16);
+    EXPECT_EQ(b.load(), 16);
+}
+
+}  // namespace
