@@ -11,6 +11,7 @@
 #include "ld/election/evaluator.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
+#include "support/metrics.hpp"
 #include "support/table_printer.hpp"
 #include "support/thread_pool.hpp"
 
@@ -60,6 +61,10 @@ usage: liquidd [flags]
   --discard-cycles       discard votes trapped in delegation cycles
                          (required for noisy:* mechanisms)
   --dot <path>           write one delegation realization as GraphViz DOT
+  --metrics-out <path>   write the end-of-run metrics report as JSON
+                         (pool utilisation, replication throughput,
+                         per-estimate latency histograms); set
+                         LIQUIDD_METRICS=1 for a console table instead
   --help                 show this text
 
 specs (see src/ld/cli/specs.hpp for the full grammar):
@@ -99,6 +104,7 @@ Options parse_options(const std::vector<std::string>& args) {
         else if (flag == "--save-instance") options.save_path = next();
         else if (flag == "--discard-cycles") options.discard_cycles = true;
         else if (flag == "--dot") options.dot_path = next();
+        else if (flag == "--metrics-out") options.metrics_out = next();
         else if (flag == "--help" || flag == "-h") options.help = true;
         else throw SpecError("unknown flag '" + flag + "' (try --help)");
     }
@@ -191,6 +197,23 @@ int run(const Options& options, std::ostream& out) {
         }
         graph::write_dot(dot, outcome.as_digraph(), labels, "delegation");
         out << "\nwrote one delegation realization to " << *options.dot_path << "\n";
+    }
+
+    if (options.metrics_out || support::metrics_env_enabled()) {
+        const auto snapshot = support::MetricsRegistry::global().snapshot();
+        if (support::metrics_env_enabled()) {
+            out << "\n-- metrics --\n";
+            support::print_metrics_table(out, snapshot);
+        }
+        if (options.metrics_out) {
+            std::ofstream metrics(*options.metrics_out);
+            if (!metrics) {
+                throw SpecError("--metrics-out: cannot open '" + *options.metrics_out +
+                                "'");
+            }
+            support::write_metrics_json(metrics, snapshot);
+            out << "\nwrote metrics report to " << *options.metrics_out << "\n";
+        }
     }
     return 0;
 }

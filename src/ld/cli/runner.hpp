@@ -28,6 +28,7 @@ struct Options {
     std::optional<std::string> dot_path;  ///< write one realization as DOT
     std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)
     std::optional<std::string> save_path; ///< save the built instance
+    std::optional<std::string> metrics_out; ///< end-of-run metrics report (JSON)
     bool help = false;
 };
 

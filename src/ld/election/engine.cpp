@@ -1,12 +1,26 @@
 #include "ld/election/engine.hpp"
 
+#include "support/metrics.hpp"
+
 namespace ld::election {
 
 ReplicationWorkspace& ReplicationEngine::local_workspace() {
+    // Cold-start vs warm-hit accounting: "created" means this thread had
+    // to build fresh buffers, "reused" means a later chunk found them warm
+    // — the reuse rate is the engine's whole point, so it is reported.
+    static support::Counter& created =
+        support::MetricsRegistry::global().counter("engine.workspace_created");
+    static support::Counter& reused =
+        support::MetricsRegistry::global().counter("engine.workspace_reused");
     const auto id = std::this_thread::get_id();
     const std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = workspaces_[id];
-    if (!slot) slot = std::make_unique<ReplicationWorkspace>();
+    if (!slot) {
+        slot = std::make_unique<ReplicationWorkspace>();
+        created.add(1);
+    } else {
+        reused.add(1);
+    }
     return *slot;
 }
 

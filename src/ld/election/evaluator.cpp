@@ -11,6 +11,8 @@
 #include "prob/poisson_binomial.hpp"
 #include "prob/weighted_bernoulli_sum.hpp"
 #include "support/expect.hpp"
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ld::election {
@@ -77,6 +79,34 @@ void validate_options(const mech::Mechanism& mechanism, const model::Instance& i
 ReplicationEngine& engine_for(const EvalOptions& options) {
     return options.engine ? *options.engine : ReplicationEngine::shared();
 }
+
+/// RAII wall-clock accounting for one estimate_* call: on destruction,
+/// credits the replication count and elapsed time to the engine counters
+/// and records the call's latency in the per-estimate histogram.  The
+/// registry references are resolved once (they stay valid across reset()).
+class EstimateTimer {
+public:
+    explicit EstimateTimer(std::size_t replications) : replications_(replications) {}
+
+    ~EstimateTimer() {
+        static support::Counter& replications =
+            support::MetricsRegistry::global().counter("engine.replications");
+        static support::Counter& replication_ns =
+            support::MetricsRegistry::global().counter("engine.replication_ns");
+        static support::LatencyHistogram& latency =
+            support::MetricsRegistry::global().histogram("estimate.latency");
+        replications.add(replications_);
+        replication_ns.add(clock_.elapsed_ns());
+        latency.record(clock_.elapsed_seconds());
+    }
+
+    EstimateTimer(const EstimateTimer&) = delete;
+    EstimateTimer& operator=(const EstimateTimer&) = delete;
+
+private:
+    std::size_t replications_;
+    support::Stopwatch clock_;
+};
 
 /// Rebuild `ws.outcome` from one sampled delegation realization, reusing
 /// the workspace's buffers (no copy of the initial weights is taken).
@@ -160,6 +190,7 @@ ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
                                       const model::Instance& instance, rng::Rng& rng,
                                       const EvalOptions& options) {
     validate_options(mechanism, instance, options);
+    const EstimateTimer timer(options.replications);
     ReplicationEngine& engine = engine_for(options);
     const std::size_t threads =
         std::min(options.threads, options.replications);
@@ -214,6 +245,7 @@ Estimate estimate_correct_probability_naive(const mech::Mechanism& mechanism,
                                             const model::Instance& instance,
                                             rng::Rng& rng, const EvalOptions& options) {
     validate_options(mechanism, instance, options);
+    const EstimateTimer timer(options.replications);
     stats::RunningStats acc;
     const auto& p = instance.competencies();
     ReplicationWorkspace& ws = engine_for(options).local_workspace();
@@ -247,6 +279,7 @@ VarianceReport estimate_variance(const mech::Mechanism& mechanism,
                                  const EvalOptions& options) {
     validate_options(mechanism, instance, options);
     expects(options.replications > 1, "estimate_variance: need >= 2 replications");
+    const EstimateTimer timer(options.replications);
     VarianceReport report;
     report.direct_variance = instance.competencies().outcome_variance();
 

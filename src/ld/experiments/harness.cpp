@@ -27,6 +27,9 @@ Experiment::Experiment(std::string id, std::string title,
         csv_ = std::make_unique<support::CsvWriter>(std::string(dir) + "/" + id_ + ".csv",
                                                     std::move(headers));
     }
+    if (support::metrics_env_enabled()) {
+        metrics_baseline_ = support::MetricsRegistry::global().snapshot();
+    }
 }
 
 void Experiment::add_row(std::vector<support::Cell> cells) {
@@ -48,13 +51,37 @@ void Experiment::finish() {
               << stopwatch_.elapsed_seconds() << " s, seed 0x" << std::hex << seed_
               << std::dec << ")\n";
     if (csv_) csv_->close();
+    if (metrics_baseline_) {
+        // Engine/pool/harness activity attributable to this experiment:
+        // the registry delta since construction, as a table block and —
+        // when CSV mirroring is on — a <id>.metrics.csv alongside the data.
+        const auto delta =
+            support::MetricsRegistry::global().snapshot().since(*metrics_baseline_);
+        std::cout << "  -- metrics (this experiment) --\n";
+        support::print_metrics_table(std::cout, delta);
+        if (const char* dir = std::getenv("LIQUIDD_CSV_DIR")) {
+            support::CsvWriter metrics_csv(std::string(dir) + "/" + id_ + ".metrics.csv",
+                                           support::metrics_table_headers());
+            for (const auto& row : support::metrics_table_rows(delta)) {
+                metrics_csv.add_row(row);
+            }
+        }
+    }
     std::cout.flush();
 }
 
 void parallel_rows(std::size_t count, const std::function<void(std::size_t)>& body) {
+    support::Counter& rows = support::MetricsRegistry::global().counter("harness.rows");
+    support::LatencyHistogram& row_latency =
+        support::MetricsRegistry::global().histogram("harness.row_latency");
     support::TaskGroup group(support::ThreadPool::global());
     for (std::size_t row = 0; row < count; ++row) {
-        group.submit([&body, row] { body(row); });
+        group.submit([&body, row, &rows, &row_latency] {
+            const support::Stopwatch clock;
+            body(row);
+            row_latency.record(clock.elapsed_seconds());
+            rows.add(1);
+        });
     }
     group.wait();
 }

@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "rng/rng.hpp"
 #include "support/csv_writer.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table_printer.hpp"
 
@@ -56,6 +58,9 @@ private:
     std::vector<std::string> notes_;
     support::Stopwatch stopwatch_;
     std::uint64_t seed_;
+    /// Registry state at construction, captured when LIQUIDD_METRICS is
+    /// set so finish() can print this experiment's metric deltas only.
+    std::optional<support::MetricsSnapshot> metrics_baseline_;
 };
 
 /// FNV-1a hash of a string — the deterministic experiment-id → seed map.

@@ -1,0 +1,249 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ld::support::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+    throw Error(std::string("json: value is not ") + wanted);
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing garbage after document");
+        return v;
+    }
+
+private:
+    Value parse_value() {
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Value(parse_string());
+            case 't': expect_word("true"); return Value(true);
+            case 'f': expect_word("false"); return Value(false);
+            case 'n': expect_word("null"); return Value(nullptr);
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        consume('{');
+        Object object;
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(object));
+        }
+        for (;;) {
+            skip_whitespace();
+            std::string key = parse_string();
+            skip_whitespace();
+            consume(':');
+            object.emplace(std::move(key), parse_value());
+            skip_whitespace();
+            const char ch = peek();
+            if (ch == ',') {
+                ++pos_;
+                continue;
+            }
+            if (ch == '}') {
+                ++pos_;
+                return Value(std::move(object));
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value parse_array() {
+        consume('[');
+        Array array;
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(array));
+        }
+        for (;;) {
+            array.push_back(parse_value());
+            skip_whitespace();
+            const char ch = peek();
+            if (ch == ',') {
+                ++pos_;
+                continue;
+            }
+            if (ch == ']') {
+                ++pos_;
+                return Value(std::move(array));
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        consume('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char ch = text_[pos_++];
+            if (ch == '"') return out;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char hex = text_[pos_++];
+                        code <<= 4;
+                        if (hex >= '0' && hex <= '9') code |= unsigned(hex - '0');
+                        else if (hex >= 'a' && hex <= 'f') code |= unsigned(hex - 'a' + 10);
+                        else if (hex >= 'A' && hex <= 'F') code |= unsigned(hex - 'A' + 10);
+                        else fail("bad hex digit in \\u escape");
+                    }
+                    // Encode as UTF-8 (surrogate pairs are passed through
+                    // as two 3-byte sequences — fine for metric names and
+                    // benchmark ids, which are ASCII in practice).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape character");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("malformed number");
+        return Value(parsed);
+    }
+
+    void expect_word(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) fail("unexpected token");
+        pos_ += word.size();
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() const {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void consume(char expected) {
+        if (pos_ >= text_.size() || text_[pos_] != expected) {
+            fail(std::string("expected '") + expected + "'");
+        }
+        ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw Error("json: " + message + " at byte " + std::to_string(pos_));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+    if (!is_bool()) type_error("a bool");
+    return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+    if (!is_number()) type_error("a number");
+    return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+    if (!is_string()) type_error("a string");
+    return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+    if (!is_array()) type_error("an array");
+    return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+    if (!is_object()) type_error("an object");
+    return std::get<Object>(data_);
+}
+
+bool Value::contains(const std::string& key) const { return find(key) != nullptr; }
+
+const Value& Value::at(const std::string& key) const {
+    const Value* v = find(key);
+    if (!v) throw Error("json: missing key '" + key + "'");
+    return *v;
+}
+
+const Value* Value::find(const std::string& key) const {
+    if (!is_object()) type_error("an object");
+    const auto& object = std::get<Object>(data_);
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("json: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+}  // namespace ld::support::json

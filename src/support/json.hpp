@@ -1,0 +1,71 @@
+// Minimal JSON document model + recursive-descent parser, enough to read
+// google-benchmark snapshots (tools/bench_diff) and the liquidd metrics
+// reports back in tests.  Writer-side escaping lives with the emitters;
+// this header is read-only access: parse, then navigate with at()/find().
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ld::support::json {
+
+/// Thrown on malformed input (with a byte offset) or on type-mismatched
+/// access.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value.  Numbers are doubles (google-benchmark emits times in
+/// scientific notation; 53 bits of mantissa are plenty for ns readings).
+class Value {
+public:
+    Value() : data_(nullptr) {}
+    Value(std::nullptr_t) : data_(nullptr) {}
+    Value(bool b) : data_(b) {}
+    Value(double d) : data_(d) {}
+    Value(std::string s) : data_(std::move(s)) {}
+    Value(Array a) : data_(std::move(a)) {}
+    Value(Object o) : data_(std::move(o)) {}
+
+    bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+    bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+    bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+    bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+    bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+    bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Object member access; at() throws Error when the key is missing,
+    /// find() returns nullptr.
+    bool contains(const std::string& key) const;
+    const Value& at(const std::string& key) const;
+    const Value* find(const std::string& key) const;
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an Error).
+Value parse(std::string_view text);
+
+/// Parse the file at `path`; Error on unreadable file or bad JSON.
+Value parse_file(const std::string& path);
+
+}  // namespace ld::support::json

@@ -1,0 +1,401 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace ld::support {
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return slot;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Counter
+
+std::uint64_t Counter::value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void Counter::reset() noexcept {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    bump_max(v);
+}
+
+void Gauge::add(std::int64_t delta) noexcept {
+    const std::int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    bump_max(v);
+}
+
+void Gauge::bump_max(std::int64_t v) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+}
+
+void Gauge::reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- LatencyHistogram
+
+namespace {
+
+// 1–2–5 ladder, 1 µs .. 10 s.
+constexpr std::array<double, 22> kBucketBounds = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0,
+};
+
+}  // namespace
+
+std::span<const double> LatencyHistogram::bucket_bounds() noexcept {
+    static_assert(kBucketBounds.size() == kBounds);
+    return kBucketBounds;
+}
+
+std::size_t LatencyHistogram::bucket_for(double seconds) noexcept {
+    const auto it =
+        std::lower_bound(kBucketBounds.begin(), kBucketBounds.end(), seconds);
+    return static_cast<std::size_t>(it - kBucketBounds.begin());  // end() == overflow
+}
+
+void LatencyHistogram::record(double seconds) noexcept {
+    Shard& shard = shards_[detail::thread_shard()];
+    shard.buckets[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    const double ns = seconds * 1e9;
+    shard.total_ns.fetch_add(
+        ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double LatencyHistogram::total_seconds() const noexcept {
+    std::uint64_t ns = 0;
+    for (const auto& shard : shards_) ns += shard.total_ns.load(std::memory_order_relaxed);
+    return static_cast<double>(ns) / 1e9;
+}
+
+std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
+    std::vector<std::uint64_t> counts(kBounds + 1, 0);
+    for (const auto& shard : shards_) {
+        for (std::size_t b = 0; b <= kBounds; ++b) {
+            counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    return counts;
+}
+
+void LatencyHistogram::reset() noexcept {
+    for (auto& shard : shards_) {
+        for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.total_ns.store(0, std::memory_order_relaxed);
+    }
+}
+
+// --------------------------------------------------------- MetricsSnapshot
+
+double MetricsSnapshot::HistogramRow::mean_seconds() const noexcept {
+    return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+}
+
+double MetricsSnapshot::HistogramRow::quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    const auto bounds = LatencyHistogram::bucket_bounds();
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            return b < bounds.size() ? bounds[b] : bounds.back();
+        }
+    }
+    return bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const noexcept {
+    for (const auto& row : counters) {
+        if (row.name == name) return row.value;
+    }
+    return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(const std::string& name,
+                                          std::int64_t fallback) const noexcept {
+    for (const auto& row : gauges) {
+        if (row.name == name) return row.value;
+    }
+    return fallback;
+}
+
+const MetricsSnapshot::HistogramRow* MetricsSnapshot::find_histogram(
+    const std::string& name) const noexcept {
+    for (const auto& row : histograms) {
+        if (row.name == name) return &row;
+    }
+    return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
+    MetricsSnapshot delta = *this;
+    delta.uptime_seconds = std::max(0.0, uptime_seconds - earlier.uptime_seconds);
+    for (auto& row : delta.counters) {
+        const std::uint64_t before = earlier.counter_value(row.name);
+        row.value = row.value >= before ? row.value - before : 0;
+    }
+    for (auto& row : delta.histograms) {
+        const HistogramRow* before = earlier.find_histogram(row.name);
+        if (!before) continue;
+        row.count = row.count >= before->count ? row.count - before->count : 0;
+        row.total_seconds = std::max(0.0, row.total_seconds - before->total_seconds);
+        const std::size_t n = std::min(row.buckets.size(), before->buckets.size());
+        for (std::size_t b = 0; b < n; ++b) {
+            row.buckets[b] = row.buckets[b] >= before->buckets[b]
+                                 ? row.buckets[b] - before->buckets[b]
+                                 : 0;
+        }
+    }
+    return delta;
+}
+
+DerivedMetrics derive_metrics(const MetricsSnapshot& snapshot) {
+    DerivedMetrics d;
+    const double busy_s =
+        static_cast<double>(snapshot.counter_value("pool.busy_ns")) / 1e9;
+    const auto workers =
+        static_cast<double>(snapshot.gauge_value("pool.workers", 0));
+    if (workers > 0.0 && snapshot.uptime_seconds > 0.0) {
+        d.pool_utilisation = busy_s / (workers * snapshot.uptime_seconds);
+    }
+    const auto reps = static_cast<double>(snapshot.counter_value("engine.replications"));
+    const double rep_s =
+        static_cast<double>(snapshot.counter_value("engine.replication_ns")) / 1e9;
+    if (rep_s > 0.0) d.replications_per_sec = reps / rep_s;
+    const auto reused =
+        static_cast<double>(snapshot.counter_value("engine.workspace_reused"));
+    const auto created =
+        static_cast<double>(snapshot.counter_value("engine.workspace_created"));
+    if (reused + created > 0.0) d.workspace_reuse_rate = reused / (reused + created);
+    return d;
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.uptime_seconds = uptime_.elapsed_seconds();
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, metric] : counters_) {
+        snap.counters.push_back({name, metric->value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, metric] : gauges_) {
+        snap.gauges.push_back({name, metric->value(), metric->max()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, metric] : histograms_) {
+        snap.histograms.push_back(
+            {name, metric->count(), metric->total_seconds(), metric->bucket_counts()});
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, metric] : counters_) metric->reset();
+    for (auto& [name, metric] : gauges_) metric->reset();
+    for (auto& [name, metric] : histograms_) metric->reset();
+    uptime_.restart();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+// ---------------------------------------------------------------- reports
+
+bool metrics_env_enabled() {
+    const char* value = std::getenv("LIQUIDD_METRICS");
+    return value != nullptr && value[0] != '\0' && std::string_view(value) != "0";
+}
+
+namespace {
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+// Metric names are C-identifier-ish ("pool.busy_ns"); escape defensively
+// anyway so arbitrary registry keys cannot corrupt the document.
+std::string json_string(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+    os << "{\n";
+    os << "  \"schema\": \"liquidd.metrics.v1\",\n";
+    os << "  \"uptime_seconds\": " << json_number(snapshot.uptime_seconds) << ",\n";
+
+    os << "  \"counters\": {";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        const auto& row = snapshot.counters[i];
+        os << (i ? "," : "") << "\n    " << json_string(row.name) << ": " << row.value;
+    }
+    os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        const auto& row = snapshot.gauges[i];
+        os << (i ? "," : "") << "\n    " << json_string(row.name)
+           << ": {\"value\": " << row.value << ", \"max\": " << row.max << "}";
+    }
+    os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+
+    const auto bounds = LatencyHistogram::bucket_bounds();
+    os << "  \"histograms\": {";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const auto& row = snapshot.histograms[i];
+        os << (i ? "," : "") << "\n    " << json_string(row.name) << ": {\n";
+        os << "      \"count\": " << row.count << ",\n";
+        os << "      \"total_seconds\": " << json_number(row.total_seconds) << ",\n";
+        os << "      \"mean_seconds\": " << json_number(row.mean_seconds()) << ",\n";
+        os << "      \"p50_seconds\": " << json_number(row.quantile(0.50)) << ",\n";
+        os << "      \"p90_seconds\": " << json_number(row.quantile(0.90)) << ",\n";
+        os << "      \"p99_seconds\": " << json_number(row.quantile(0.99)) << ",\n";
+        os << "      \"buckets\": [";
+        for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+            const std::string le =
+                b < bounds.size() ? json_number(bounds[b]) : std::string("null");
+            os << (b ? ", " : "") << "{\"le_seconds\": " << le
+               << ", \"count\": " << row.buckets[b] << "}";
+        }
+        os << "]\n    }";
+    }
+    os << (snapshot.histograms.empty() ? "" : "\n  ") << "},\n";
+
+    const DerivedMetrics derived = derive_metrics(snapshot);
+    os << "  \"derived\": {\n";
+    os << "    \"pool_utilisation\": " << json_number(derived.pool_utilisation) << ",\n";
+    os << "    \"replications_per_sec\": " << json_number(derived.replications_per_sec)
+       << ",\n";
+    os << "    \"workspace_reuse_rate\": " << json_number(derived.workspace_reuse_rate)
+       << "\n  }\n";
+    os << "}\n";
+}
+
+std::vector<std::string> metrics_table_headers() {
+    return {"metric", "value", "detail"};
+}
+
+std::vector<std::vector<Cell>> metrics_table_rows(const MetricsSnapshot& snapshot) {
+    std::vector<std::vector<Cell>> rows;
+    rows.reserve(snapshot.counters.size() + snapshot.gauges.size() +
+                 snapshot.histograms.size() + 3);
+    for (const auto& row : snapshot.counters) {
+        rows.push_back({row.name, static_cast<long long>(row.value), std::string{}});
+    }
+    for (const auto& row : snapshot.gauges) {
+        rows.push_back({row.name, static_cast<long long>(row.value),
+                        "max " + std::to_string(row.max)});
+    }
+    for (const auto& row : snapshot.histograms) {
+        std::ostringstream detail;
+        detail.precision(3);
+        detail << "mean " << row.mean_seconds() * 1e3 << " ms, p50 "
+               << row.quantile(0.50) * 1e3 << " ms, p99 " << row.quantile(0.99) * 1e3
+               << " ms, total " << row.total_seconds << " s";
+        rows.push_back(
+            {row.name, static_cast<long long>(row.count), detail.str()});
+    }
+    const DerivedMetrics derived = derive_metrics(snapshot);
+    rows.push_back({std::string("derived.pool_utilisation"), derived.pool_utilisation,
+                    std::string("busy / (workers x uptime)")});
+    rows.push_back({std::string("derived.replications_per_sec"),
+                    derived.replications_per_sec, std::string{}});
+    rows.push_back({std::string("derived.workspace_reuse_rate"),
+                    derived.workspace_reuse_rate, std::string{}});
+    return rows;
+}
+
+void print_metrics_table(std::ostream& os, const MetricsSnapshot& snapshot) {
+    TablePrinter table(metrics_table_headers(), 3);
+    for (auto& row : metrics_table_rows(snapshot)) table.add_row(std::move(row));
+    table.print(os);
+}
+
+}  // namespace ld::support

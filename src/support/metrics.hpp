@@ -1,0 +1,230 @@
+// Run-time observability for the replication engine: a process-wide
+// registry of named counters, gauges, and fixed-bucket latency histograms,
+// instrumented throughout the hot path (thread pool, replication engine,
+// evaluator, experiment harness) and rendered as an end-of-run report —
+// `liquidd --metrics-out <file>.json` for machines, the LIQUIDD_METRICS=1
+// table block for humans.
+//
+// Concurrency model: every metric is *sharded per worker*.  Writers touch
+// only their own thread's cache-line-padded shard with relaxed atomics, so
+// instrumentation costs a handful of nanoseconds and never serialises the
+// replication loop; readers aggregate across shards on demand.  Metric
+// objects are created on first lookup and live as long as the registry —
+// hot-path code caches the returned reference once and never pays the
+// name lookup again.  `reset()` zeroes values in place, so cached
+// references stay valid.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/stopwatch.hpp"
+#include "support/table_printer.hpp"  // for Cell
+
+namespace ld::support {
+
+namespace detail {
+
+/// Number of per-worker shards per metric.  Threads are assigned shard
+/// slots round-robin on first use, so up to kShards writers proceed with
+/// zero contention; beyond that, slots are shared (still correct, merely
+/// contended).
+inline constexpr std::size_t kMetricShards = 16;
+
+/// The calling thread's shard slot (stable for the thread's lifetime).
+std::size_t thread_shard() noexcept;
+
+}  // namespace detail
+
+/// Monotonic event counter (tasks executed, replications run, busy
+/// nanoseconds, ...).  Sharded; `value()` sums the shards.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        shards_[detail::thread_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /// Aggregate over all shards.
+    std::uint64_t value() const noexcept;
+
+    /// Zero every shard (concurrent adds may interleave; best-effort).
+    void reset() noexcept;
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Shard, detail::kMetricShards> shards_{};
+};
+
+/// Last-written instantaneous value (queue depth, worker count) with a
+/// high-water mark.  Not sharded: gauges are written rarely compared to
+/// counters and a single atomic keeps "current value" meaningful.
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept;
+    void add(std::int64_t delta) noexcept;
+
+    std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    std::int64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+    void reset() noexcept;
+
+private:
+    void bump_max(std::int64_t v) noexcept;
+
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket latency histogram over a 1–2–5 ladder from 1 µs to 10 s,
+/// plus an overflow bucket.  Sharded like Counter; `record()` is a couple
+/// of relaxed atomic increments.
+class LatencyHistogram {
+public:
+    /// Upper bucket bounds in seconds, strictly increasing.  An
+    /// observation lands in the first bucket whose bound is >= the value;
+    /// values above the last bound land in the overflow bucket.
+    static std::span<const double> bucket_bounds() noexcept;
+
+    /// Bucket index for an observation (== bucket_bounds().size() for
+    /// overflow).  Negative values clamp into bucket 0.
+    static std::size_t bucket_for(double seconds) noexcept;
+
+    void record(double seconds) noexcept;
+
+    std::uint64_t count() const noexcept;
+    double total_seconds() const noexcept;
+
+    /// Aggregated per-bucket counts; size bucket_bounds().size() + 1, the
+    /// last entry being the overflow bucket.
+    std::vector<std::uint64_t> bucket_counts() const;
+
+    void reset() noexcept;
+
+private:
+    static constexpr std::size_t kBounds = 22;
+
+    struct alignas(64) Shard {
+        std::array<std::atomic<std::uint64_t>, kBounds + 1> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> total_ns{0};
+    };
+    std::array<Shard, detail::kMetricShards> shards_{};
+};
+
+/// A point-in-time aggregation of a registry, cheap to copy and diff.
+struct MetricsSnapshot {
+    struct CounterRow {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+    struct GaugeRow {
+        std::string name;
+        std::int64_t value = 0;
+        std::int64_t max = 0;
+    };
+    struct HistogramRow {
+        std::string name;
+        std::uint64_t count = 0;
+        double total_seconds = 0.0;
+        /// Aligned with LatencyHistogram::bucket_bounds(); last = overflow.
+        std::vector<std::uint64_t> buckets;
+
+        double mean_seconds() const noexcept;
+        /// Conservative quantile estimate: the upper bound of the bucket
+        /// containing the q-th observation (0 if empty).
+        double quantile(double q) const noexcept;
+    };
+
+    double uptime_seconds = 0.0;
+    std::vector<CounterRow> counters;      ///< sorted by name
+    std::vector<GaugeRow> gauges;          ///< sorted by name
+    std::vector<HistogramRow> histograms;  ///< sorted by name
+
+    /// Value of a named counter (0 when absent).
+    std::uint64_t counter_value(const std::string& name) const noexcept;
+    /// Value of a named gauge (`fallback` when absent).
+    std::int64_t gauge_value(const std::string& name, std::int64_t fallback = 0) const noexcept;
+    const HistogramRow* find_histogram(const std::string& name) const noexcept;
+
+    /// Counter and histogram deltas relative to `earlier` (gauges keep
+    /// their current value/max).  Metrics absent from `earlier` are kept
+    /// as-is.
+    MetricsSnapshot since(const MetricsSnapshot& earlier) const;
+};
+
+/// Quantities computed *from* a snapshot rather than measured directly.
+struct DerivedMetrics {
+    /// pool.busy_ns / (pool.workers × uptime) — fraction of worker-seconds
+    /// spent running tasks.
+    double pool_utilisation = 0.0;
+    /// engine.replications / engine.replication_ns — Monte-Carlo
+    /// throughput over time spent inside estimate calls.
+    double replications_per_sec = 0.0;
+    /// engine.workspace_reused / (reused + created) — how often a
+    /// replication chunk found a warm per-worker workspace.
+    double workspace_reuse_rate = 0.0;
+};
+
+DerivedMetrics derive_metrics(const MetricsSnapshot& snapshot);
+
+/// Thread-safe name → metric registry.  Lookup takes a mutex, so callers
+/// on the hot path hoist the returned reference out of their loops.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LatencyHistogram& histogram(const std::string& name);
+
+    MetricsSnapshot snapshot() const;
+
+    /// Zero every registered metric in place.  References handed out by
+    /// counter()/gauge()/histogram() remain valid.
+    void reset();
+
+    /// Process-wide registry all built-in instrumentation reports to.
+    static MetricsRegistry& global();
+
+private:
+    mutable std::mutex mutex_;
+    Stopwatch uptime_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// True when the LIQUIDD_METRICS environment variable is set to a value
+/// other than "" or "0" — the toggle for the human-readable metrics block
+/// appended to bench tables and CLI runs.
+bool metrics_env_enabled();
+
+/// Machine-readable report (schema "liquidd.metrics.v1"): counters,
+/// gauges, histograms with bucket arrays and quantile estimates, plus the
+/// derived block.  Parses back with ld::support::json.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Table rows shared by the console block (TablePrinter) and the CSV
+/// mirror (CsvWriter): one row per metric plus the derived quantities.
+std::vector<std::string> metrics_table_headers();
+std::vector<std::vector<Cell>> metrics_table_rows(const MetricsSnapshot& snapshot);
+
+/// Render the snapshot as an aligned table on `os`.
+void print_metrics_table(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace ld::support

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ld::support {
 
@@ -18,6 +19,13 @@ public:
 
     /// Milliseconds elapsed since construction or the last `restart()`.
     double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+    /// Integer nanoseconds elapsed — the unit the metrics counters use.
+    std::uint64_t elapsed_ns() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+                .count());
+    }
 
     /// Reset the stopwatch origin to now.
     void restart() noexcept { start_ = Clock::now(); }

@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/stopwatch.hpp"
+
 namespace ld::support {
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers)
+    : tasks_executed_(MetricsRegistry::global().counter("pool.tasks_executed")),
+      tasks_helped_(MetricsRegistry::global().counter("pool.tasks_helped")),
+      busy_ns_(MetricsRegistry::global().counter("pool.busy_ns")),
+      idle_ns_(MetricsRegistry::global().counter("pool.idle_ns")),
+      queue_depth_(MetricsRegistry::global().gauge("pool.queue_depth")) {
     if (workers == 0) {
         workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
     }
+    MetricsRegistry::global().gauge("pool.workers").set(static_cast<std::int64_t>(workers));
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -33,13 +41,19 @@ void ThreadPool::worker_loop() {
     for (;;) {
         Job job;
         {
+            const Stopwatch wait_clock;
             std::unique_lock<std::mutex> lock(mutex_);
             ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            idle_ns_.add(wait_clock.elapsed_ns());
             if (queue_.empty()) return;  // stopping and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            queue_depth_.add(-1);
         }
+        const Stopwatch run_clock;
         job.group->run(job.fn);
+        busy_ns_.add(run_clock.elapsed_ns());
+        tasks_executed_.add(1);
     }
 }
 
@@ -52,8 +66,10 @@ bool ThreadPool::try_help(TaskGroup& group) {
         if (it == queue_.end()) return false;
         job = std::move(*it);
         queue_.erase(it);
+        queue_depth_.add(-1);
     }
     job.group->run(job.fn);
+    tasks_helped_.add(1);
     return true;
 }
 
@@ -61,6 +77,7 @@ void ThreadPool::enqueue(Job job) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(job));
+        queue_depth_.add(1);
     }
     ready_.notify_one();
 }

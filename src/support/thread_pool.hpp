@@ -17,6 +17,9 @@
 //  * Determinism is the caller's contract: tasks are identified by their
 //    submission index, so pinning one RNG stream per task index yields
 //    bit-identical results regardless of which OS thread runs which task.
+//  * Every pool reports to the global MetricsRegistry under "pool.*":
+//    tasks executed / helped, live + peak queue depth, and per-worker
+//    busy/idle nanoseconds (relaxed sharded atomics — a few ns per task).
 
 #pragma once
 
@@ -28,6 +31,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/metrics.hpp"
 
 namespace ld::support {
 
@@ -74,6 +79,14 @@ private:
     std::deque<Job> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+
+    // Cached global-registry metrics (shared by every pool instance, so
+    // counts aggregate across dedicated test pools and the global pool).
+    Counter& tasks_executed_;
+    Counter& tasks_helped_;
+    Counter& busy_ns_;
+    Counter& idle_ns_;
+    Gauge& queue_depth_;
 };
 
 /// One batch of tasks on a pool.  Submit any number of jobs, then wait().

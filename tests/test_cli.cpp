@@ -12,6 +12,7 @@
 #include "ld/model/instance.hpp"
 #include "ld/model/competency_gen.hpp"
 #include "support/expect.hpp"
+#include "support/json.hpp"
 #include <fstream>
 #include <cstdio>
 #include "graph/generators.hpp"
@@ -163,6 +164,40 @@ TEST(Runner, NoisyMechanismRequiresDiscardFlag) {
     EXPECT_THROW(cli::run(options, out), SpecError);
     options.discard_cycles = true;
     EXPECT_EQ(cli::run(options, out), 0);
+}
+
+TEST(OptionParsing, MetricsOutFlag) {
+    const auto parsed = cli::parse_options({"--metrics-out", "/tmp/m.json"});
+    ASSERT_TRUE(parsed.metrics_out.has_value());
+    EXPECT_EQ(*parsed.metrics_out, "/tmp/m.json");
+    EXPECT_THROW(cli::parse_options({"--metrics-out"}), SpecError);
+}
+
+TEST(Runner, MetricsOutWritesParseableJson) {
+    const std::string path = ::testing::TempDir() + "/liquidd_metrics_test.json";
+    cli::Options options;
+    options.n = 40;
+    options.replications = 30;
+    options.threads = 2;
+    options.metrics_out = path;
+    std::ostringstream out;
+    EXPECT_EQ(cli::run(options, out), 0);
+    EXPECT_NE(out.str().find("wrote metrics report"), std::string::npos);
+
+    namespace json = ld::support::json;
+    const json::Value doc = json::parse_file(path);
+    EXPECT_EQ(doc.at("schema").as_string(), "liquidd.metrics.v1");
+    // The run must have been counted: at least this call's replications
+    // (the process-wide registry may hold more from earlier calls).
+    EXPECT_GE(doc.at("counters").at("engine.replications").as_number(), 30.0);
+    EXPECT_GE(doc.at("counters").at("engine.workspace_created").as_number(), 1.0);
+    const json::Value& latency = doc.at("histograms").at("estimate.latency");
+    EXPECT_GE(latency.at("count").as_number(), 1.0);
+    EXPECT_GT(latency.at("total_seconds").as_number(), 0.0);
+    EXPECT_TRUE(doc.at("derived").contains("replications_per_sec"));
+    EXPECT_GT(doc.at("derived").at("replications_per_sec").as_number(), 0.0);
+    EXPECT_TRUE(doc.at("gauges").contains("pool.queue_depth"));
+    std::remove(path.c_str());
 }
 
 TEST(Runner, DotExportWritesAFile) {

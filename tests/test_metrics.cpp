@@ -1,0 +1,279 @@
+// Tests for the observability layer: sharded counters/gauges/histograms,
+// registry thread-safety under the pool, snapshot diffs, derived
+// quantities, and the JSON report round-tripping through the parser.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+namespace support = ld::support;
+namespace json = ld::support::json;
+
+TEST(Counter, AggregatesAcrossPoolWorkers) {
+    support::MetricsRegistry registry;
+    support::Counter& counter = registry.counter("test.counter");
+    support::ThreadPool pool(4);
+    support::TaskGroup group(pool);
+    constexpr std::size_t kTasks = 16;
+    constexpr std::size_t kAddsPerTask = 10000;
+    for (std::size_t t = 0; t < kTasks; ++t) {
+        group.submit([&counter] {
+            for (std::size_t i = 0; i < kAddsPerTask; ++i) counter.add(1);
+        });
+    }
+    group.wait();
+    EXPECT_EQ(counter.value(), kTasks * kAddsPerTask);
+}
+
+TEST(Counter, ResetZeroesAllShards) {
+    support::Counter counter;
+    counter.add(7);
+    counter.add(3);
+    EXPECT_EQ(counter.value(), 10u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add(2);
+    EXPECT_EQ(counter.value(), 2u);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+    support::Gauge gauge;
+    gauge.set(5);
+    gauge.add(3);   // 8
+    gauge.add(-6);  // 2
+    EXPECT_EQ(gauge.value(), 2);
+    EXPECT_EQ(gauge.max(), 8);
+    gauge.set(1);
+    EXPECT_EQ(gauge.value(), 1);
+    EXPECT_EQ(gauge.max(), 8);
+}
+
+TEST(LatencyHistogram, BucketBoundsAreStrictlyIncreasing) {
+    const auto bounds = support::LatencyHistogram::bucket_bounds();
+    ASSERT_GT(bounds.size(), 2u);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundaryPlacement) {
+    const auto bounds = support::LatencyHistogram::bucket_bounds();
+    // A value exactly on a bound lands in that bound's bucket...
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        EXPECT_EQ(support::LatencyHistogram::bucket_for(bounds[i]), i);
+    }
+    // ...just above it, in the next; zero/negative clamp into bucket 0;
+    // values past the last bound go to the overflow bucket.
+    EXPECT_EQ(support::LatencyHistogram::bucket_for(bounds[0] * 1.01), 1u);
+    EXPECT_EQ(support::LatencyHistogram::bucket_for(0.0), 0u);
+    EXPECT_EQ(support::LatencyHistogram::bucket_for(-1.0), 0u);
+    EXPECT_EQ(support::LatencyHistogram::bucket_for(bounds.back() * 2.0), bounds.size());
+
+    support::LatencyHistogram hist;
+    hist.record(bounds[3]);
+    hist.record(bounds[3] * 1.01);
+    hist.record(bounds.back() * 2.0);
+    const auto counts = hist.bucket_counts();
+    ASSERT_EQ(counts.size(), bounds.size() + 1);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(counts[4], 1u);
+    EXPECT_EQ(counts.back(), 1u);
+    EXPECT_EQ(hist.count(), 3u);
+}
+
+TEST(LatencyHistogram, TotalsAndQuantiles) {
+    support::LatencyHistogram hist;
+    for (int i = 0; i < 90; ++i) hist.record(1e-4);  // bucket with bound 1e-4
+    for (int i = 0; i < 10; ++i) hist.record(1e-2);
+    EXPECT_EQ(hist.count(), 100u);
+    EXPECT_NEAR(hist.total_seconds(), 90 * 1e-4 + 10 * 1e-2, 1e-6);
+
+    support::MetricsSnapshot::HistogramRow row{
+        "h", hist.count(), hist.total_seconds(), hist.bucket_counts()};
+    EXPECT_NEAR(row.mean_seconds(), row.total_seconds / 100.0, 1e-12);
+    EXPECT_DOUBLE_EQ(row.quantile(0.5), 1e-4);
+    EXPECT_DOUBLE_EQ(row.quantile(0.95), 1e-2);
+    EXPECT_LE(row.quantile(0.0), row.quantile(1.0));
+}
+
+TEST(MetricsRegistry, LookupIsIdempotent) {
+    support::MetricsRegistry registry;
+    EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+    EXPECT_NE(&registry.counter("a"), &registry.counter("b"));
+    EXPECT_EQ(&registry.gauge("a"), &registry.gauge("a"));
+    EXPECT_EQ(&registry.histogram("a"), &registry.histogram("a"));
+}
+
+TEST(MetricsRegistry, ThreadSafeLookupAndWriteUnderPool) {
+    support::MetricsRegistry registry;
+    support::ThreadPool pool(4);
+    support::TaskGroup group(pool);
+    constexpr std::size_t kTasks = 32;
+    constexpr std::size_t kAdds = 2000;
+    for (std::size_t t = 0; t < kTasks; ++t) {
+        group.submit([&registry, t] {
+            // Mixed lookups of shared names from every worker: exercises
+            // the registry mutex and the sharded writers concurrently.
+            support::Counter& counter =
+                registry.counter("shared.counter." + std::to_string(t % 4));
+            support::LatencyHistogram& hist = registry.histogram("shared.hist");
+            registry.gauge("shared.gauge").set(static_cast<std::int64_t>(t));
+            for (std::size_t i = 0; i < kAdds; ++i) {
+                counter.add(1);
+                if (i % 100 == 0) hist.record(1e-5);
+            }
+        });
+    }
+    group.wait();
+    std::uint64_t total = 0;
+    for (int c = 0; c < 4; ++c) {
+        total += registry.counter("shared.counter." + std::to_string(c)).value();
+    }
+    EXPECT_EQ(total, kTasks * kAdds);
+    EXPECT_EQ(registry.histogram("shared.hist").count(), kTasks * (kAdds / 100));
+}
+
+TEST(MetricsRegistry, ResetKeepsReferencesValid) {
+    support::MetricsRegistry registry;
+    support::Counter& counter = registry.counter("c");
+    support::LatencyHistogram& hist = registry.histogram("h");
+    counter.add(5);
+    hist.record(0.001);
+    registry.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_EQ(hist.count(), 0u);
+    counter.add(1);
+    EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+TEST(MetricsSnapshot, SinceComputesDeltas) {
+    support::MetricsRegistry registry;
+    registry.counter("c").add(10);
+    registry.histogram("h").record(1e-3);
+    registry.gauge("g").set(4);
+    const auto before = registry.snapshot();
+    registry.counter("c").add(7);
+    registry.histogram("h").record(1e-3);
+    registry.histogram("h").record(1e-3);
+    registry.gauge("g").set(2);
+    const auto delta = registry.snapshot().since(before);
+    EXPECT_EQ(delta.counter_value("c"), 7u);
+    const auto* hist = delta.find_histogram("h");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 2u);
+    // Gauges keep their current value rather than differencing.
+    EXPECT_EQ(delta.gauge_value("g"), 2);
+}
+
+TEST(MetricsSnapshot, DerivedQuantities) {
+    support::MetricsSnapshot snap;
+    snap.uptime_seconds = 2.0;
+    snap.counters = {{"engine.replication_ns", 500000000ull},  // 0.5 s
+                     {"engine.replications", 1000},
+                     {"engine.workspace_created", 2},
+                     {"engine.workspace_reused", 8},
+                     {"pool.busy_ns", 1000000000ull}};  // 1 s busy
+    snap.gauges = {{"pool.workers", 2, 2}};
+    const auto derived = support::derive_metrics(snap);
+    EXPECT_NEAR(derived.replications_per_sec, 2000.0, 1e-9);
+    EXPECT_NEAR(derived.workspace_reuse_rate, 0.8, 1e-12);
+    EXPECT_NEAR(derived.pool_utilisation, 1.0 / 4.0, 1e-12);
+}
+
+TEST(MetricsJson, ReportRoundTripsThroughParser) {
+    support::MetricsRegistry registry;
+    registry.counter("engine.replications").add(42);
+    registry.gauge("pool.workers").set(3);
+    registry.histogram("estimate.latency").record(0.0123);
+    std::ostringstream out;
+    support::write_metrics_json(out, registry.snapshot());
+
+    const json::Value doc = json::parse(out.str());
+    EXPECT_EQ(doc.at("schema").as_string(), "liquidd.metrics.v1");
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("engine.replications").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("pool.workers").at("value").as_number(), 3.0);
+    const json::Value& hist = doc.at("histograms").at("estimate.latency");
+    EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 1.0);
+    EXPECT_GT(hist.at("mean_seconds").as_number(), 0.0);
+    std::uint64_t bucket_total = 0;
+    for (const auto& bucket : hist.at("buckets").as_array()) {
+        bucket_total += static_cast<std::uint64_t>(bucket.at("count").as_number());
+    }
+    EXPECT_EQ(bucket_total, 1u);
+    EXPECT_TRUE(doc.at("derived").contains("replications_per_sec"));
+    EXPECT_TRUE(doc.at("derived").contains("pool_utilisation"));
+}
+
+TEST(MetricsTable, RowsCoverEveryMetricAndDerived) {
+    support::MetricsRegistry registry;
+    registry.counter("c").add(1);
+    registry.gauge("g").set(2);
+    registry.histogram("h").record(0.5);
+    const auto rows = support::metrics_table_rows(registry.snapshot());
+    EXPECT_EQ(rows.size(), 3u + 3u);  // one per metric + three derived
+    std::ostringstream out;
+    support::print_metrics_table(out, registry.snapshot());
+    EXPECT_NE(out.str().find("derived.pool_utilisation"), std::string::npos);
+}
+
+TEST(Json, ParsesScalarsContainersEscapes) {
+    const json::Value doc = json::parse(R"({
+        "num": -1.25e3, "t": true, "f": false, "nil": null,
+        "str": "a\"b\\c\ndA",
+        "arr": [1, 2.5, "x", {"k": []}],
+        "nested": {"a": {"b": 7}}
+    })");
+    EXPECT_DOUBLE_EQ(doc.at("num").as_number(), -1250.0);
+    EXPECT_TRUE(doc.at("t").as_bool());
+    EXPECT_FALSE(doc.at("f").as_bool());
+    EXPECT_TRUE(doc.at("nil").is_null());
+    EXPECT_EQ(doc.at("str").as_string(), "a\"b\\c\ndA");
+    ASSERT_EQ(doc.at("arr").as_array().size(), 4u);
+    EXPECT_DOUBLE_EQ(doc.at("arr").as_array()[1].as_number(), 2.5);
+    EXPECT_DOUBLE_EQ(doc.at("nested").at("a").at("b").as_number(), 7.0);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW(doc.at("missing"), json::Error);
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(json::parse(""), json::Error);
+    EXPECT_THROW(json::parse("{"), json::Error);
+    EXPECT_THROW(json::parse("[1,]"), json::Error);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), json::Error);
+    EXPECT_THROW(json::parse("\"unterminated"), json::Error);
+    EXPECT_THROW(json::parse("12 34"), json::Error);
+    EXPECT_THROW(json::parse("1..2"), json::Error);
+    EXPECT_THROW(json::parse_file("/no/such/file.json"), json::Error);
+    EXPECT_THROW(json::parse("3").at("k"), json::Error);  // non-object access
+}
+
+TEST(PoolMetrics, GlobalRegistryObservesPoolActivity) {
+    auto& registry = support::MetricsRegistry::global();
+    const auto before = registry.snapshot();
+    {
+        support::ThreadPool pool(2);
+        support::TaskGroup group(pool);
+        for (int i = 0; i < 8; ++i) {
+            group.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); });
+        }
+        group.wait();
+    }
+    const auto delta = registry.snapshot().since(before);
+    // wait() may help with some tasks; executed + helped must cover all 8.
+    EXPECT_GE(delta.counter_value("pool.tasks_executed") +
+                  delta.counter_value("pool.tasks_helped"),
+              8u);
+    EXPECT_GT(delta.counter_value("pool.busy_ns") +
+                  delta.counter_value("pool.tasks_helped"),
+              0u);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// `bench_diff` — the CI perf gate: compare two google-benchmark JSON
+// snapshots (e.g. the committed BENCH_1.json baseline vs a fresh
+// bench-smoke run), print a per-benchmark delta table, and exit nonzero
+// when any shared benchmark slowed down past the threshold.
+//
+//   bench_diff <baseline.json> <candidate.json>
+//              [--threshold <frac>]   fail when delta > frac (default 0.20)
+//              [--metric cpu_time|real_time]   compared field (default cpu_time)
+//
+// Benchmarks present in only one snapshot are listed as added/removed but
+// never fail the gate — renames must not break CI.  Exit codes: 0 ok,
+// 1 regression past threshold, 2 usage or parse error.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/table_printer.hpp"
+
+namespace {
+
+namespace json = ld::support::json;
+
+struct Args {
+    std::string baseline;
+    std::string candidate;
+    double threshold = 0.20;
+    std::string metric = "cpu_time";
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "bench_diff: " << message << "\n"
+              << "usage: bench_diff <baseline.json> <candidate.json>"
+                 " [--threshold <frac>] [--metric cpu_time|real_time]\n";
+    std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage_error(flag + ": missing value");
+            return argv[++i];
+        };
+        if (flag == "--threshold") {
+            try {
+                args.threshold = std::stod(next());
+            } catch (const std::exception&) {
+                usage_error("--threshold: expected a number");
+            }
+            if (args.threshold <= 0.0) usage_error("--threshold: must be positive");
+        } else if (flag == "--metric") {
+            args.metric = next();
+            if (args.metric != "cpu_time" && args.metric != "real_time") {
+                usage_error("--metric: expected cpu_time or real_time");
+            }
+        } else if (flag == "--help" || flag == "-h") {
+            std::cout << "bench_diff — google-benchmark JSON regression gate\n"
+                         "usage: bench_diff <baseline.json> <candidate.json>"
+                         " [--threshold <frac>] [--metric cpu_time|real_time]\n";
+            std::exit(0);
+        } else if (!flag.empty() && flag[0] == '-') {
+            usage_error("unknown flag '" + flag + "'");
+        } else {
+            positional.push_back(flag);
+        }
+    }
+    if (positional.size() != 2) usage_error("expected exactly two snapshot paths");
+    args.baseline = positional[0];
+    args.candidate = positional[1];
+    return args;
+}
+
+double unit_to_ns(const std::string& unit) {
+    if (unit == "ns") return 1.0;
+    if (unit == "us") return 1e3;
+    if (unit == "ms") return 1e6;
+    if (unit == "s") return 1e9;
+    throw json::Error("unknown time_unit '" + unit + "'");
+}
+
+/// name → time in ns for every per-iteration benchmark entry (aggregate
+/// rows like mean/median/stddev from --benchmark_repetitions are skipped).
+std::map<std::string, double> load_times(const std::string& path,
+                                         const std::string& metric) {
+    const json::Value doc = json::parse_file(path);
+    std::map<std::string, double> times;
+    for (const json::Value& entry : doc.at("benchmarks").as_array()) {
+        if (const json::Value* run_type = entry.find("run_type")) {
+            if (run_type->as_string() != "iteration") continue;
+        }
+        const double scale = unit_to_ns(entry.at("time_unit").as_string());
+        times[entry.at("name").as_string()] = entry.at(metric).as_number() * scale;
+    }
+    return times;
+}
+
+std::string format_delta(double delta) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+.1f%%", delta * 100.0);
+    return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args = parse_args(argc, argv);
+    std::map<std::string, double> base, cand;
+    try {
+        base = load_times(args.baseline, args.metric);
+        cand = load_times(args.candidate, args.metric);
+    } catch (const std::exception& e) {
+        std::cerr << "bench_diff: " << e.what() << '\n';
+        return 2;
+    }
+
+    ld::support::TablePrinter table(
+        {"benchmark", "base_ms", "cand_ms", "delta", "status"}, 4);
+    std::size_t compared = 0, regressions = 0, added = 0, removed = 0;
+    for (const auto& [name, base_ns] : base) {
+        const auto it = cand.find(name);
+        if (it == cand.end()) {
+            ++removed;
+            table.add_row({name, base_ns / 1e6, std::string("-"), std::string("-"),
+                           std::string("removed")});
+            continue;
+        }
+        ++compared;
+        const double cand_ns = it->second;
+        const double delta = base_ns > 0.0 ? (cand_ns - base_ns) / base_ns : 0.0;
+        std::string status = "ok";
+        if (delta > args.threshold) {
+            status = "SLOW";
+            ++regressions;
+        } else if (delta < -args.threshold) {
+            status = "fast";
+        }
+        table.add_row({name, base_ns / 1e6, cand_ns / 1e6, format_delta(delta), status});
+    }
+    for (const auto& [name, cand_ns] : cand) {
+        if (base.count(name)) continue;
+        ++added;
+        table.add_row({name, std::string("-"), cand_ns / 1e6, std::string("-"),
+                       std::string("added")});
+    }
+
+    table.print(std::cout);
+    std::cout << compared << " compared (" << args.metric << "), " << regressions
+              << " regression" << (regressions == 1 ? "" : "s") << " past +"
+              << args.threshold * 100.0 << "%, " << added << " added, " << removed
+              << " removed\n";
+    if (regressions > 0) {
+        std::cout << "FAIL: candidate is slower than baseline past the threshold\n";
+        return 1;
+    }
+    return 0;
+}

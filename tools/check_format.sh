@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate: lines *changed since the base ref* must
+# conform to .clang-format; the legacy tree is never mass-reformatted.
+#
+#   tools/check_format.sh [<base-ref>]     (default: origin/main)
+#
+# Exits nonzero and prints the offending diff when changed lines are
+# misformatted.  Requires clang-format and git-clang-format.
+
+set -euo pipefail
+
+base="${1:-origin/main}"
+if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+    echo "check_format: base ref '$base' not found; skipping" >&2
+    exit 0
+fi
+merge_base=$(git merge-base "$base" HEAD)
+
+diff_output=$(git clang-format --diff --quiet "$merge_base" -- \
+    src tests bench tools examples 2>/dev/null || true)
+case "$diff_output" in
+    ""|*"no modified files to format"*|*"did not modify any files"*)
+        echo "check_format: changed lines are clang-format clean"
+        ;;
+    *)
+        echo "$diff_output"
+        echo
+        echo "check_format: FAIL — run 'git clang-format $merge_base' and commit" >&2
+        exit 1
+        ;;
+esac
