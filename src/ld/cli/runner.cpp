@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <string_view>
 
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
@@ -9,6 +10,7 @@
 #include "ld/delegation/realize.hpp"
 #include "ld/dnh/conditions.hpp"
 #include "ld/election/evaluator.hpp"
+#include "ld/experiments/sweep.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
 #include "support/metrics.hpp"
@@ -44,6 +46,9 @@ std::string usage() {
     return R"(liquidd — liquid democracy experiment runner
 
 usage: liquidd [flags]
+       liquidd sweep <spec.json> [flags]   (declarative parameter sweeps;
+                                            see `liquidd sweep --help`
+                                            and docs/SWEEPS.md)
 
   --graph <spec>         topology (default complete)
   --competencies <spec>  competency profile (default uniform:0.3,0.7)
@@ -213,6 +218,136 @@ int run(const Options& options, std::ostream& out) {
             }
             support::write_metrics_json(metrics, snapshot);
             out << "\nwrote metrics report to " << *options.metrics_out << "\n";
+        }
+    }
+    return 0;
+}
+
+std::string sweep_usage() {
+    return R"(liquidd sweep — declarative, checkpointed parameter sweeps
+
+usage: liquidd sweep <spec.json> [flags]
+
+The spec describes a cartesian grid over n × alpha × graph ×
+competencies × mechanism (axis values use the same spec grammar as the
+single-run flags); every grid cell is evaluated with a seed derived from
+(sweep seed, cell index), so runs reproduce bit-for-bit.  Rows stream to
+CSV (or JSON lines when the output ends in .jsonl) and a checkpoint
+manifest is rewritten atomically after every cell.
+
+  --out <path>        row output (default <spec stem>.csv in the current
+                      directory; sharded runs get .shard<i>of<k> added)
+  --ckpt <path>       checkpoint manifest (default <out>.ckpt.json)
+  --resume            replay finished cells from the checkpoint, then
+                      continue; output is byte-identical to an
+                      uninterrupted run
+  --shard <i>/<k>     run only cells with index % k == i (multi-machine
+                      partition; the union of all shards equals the
+                      unsharded run)
+  --threads <count>   override the spec's replication workers (0 = auto)
+  --max-cells <count> stop after this many new cells (interruption drill)
+  --metrics-out <path> end-of-run metrics report as JSON
+  --help              show this text
+
+Spec reference, worked examples, and the checkpoint/shard semantics:
+docs/SWEEPS.md.  Ready-made specs: examples/sweeps/.
+)";
+}
+
+SweepOptions parse_sweep_options(const std::vector<std::string>& args) {
+    SweepOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) throw SpecError(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--out") options.output_path = next();
+        else if (flag == "--ckpt") options.checkpoint_path = next();
+        else if (flag == "--resume") options.resume = true;
+        else if (flag == "--shard") {
+            const std::string& value = next();
+            const auto slash = value.find('/');
+            if (slash == std::string::npos) {
+                throw SpecError("--shard: expected <index>/<count>, got '" + value + "'");
+            }
+            options.shard_index = parse_size(value.substr(0, slash), "--shard");
+            options.shard_count = parse_size(value.substr(slash + 1), "--shard");
+            if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+                throw SpecError("--shard: need index < count, got '" + value + "'");
+            }
+        }
+        else if (flag == "--threads") options.threads = parse_size(next(), flag);
+        else if (flag == "--max-cells") options.max_cells = parse_size(next(), flag);
+        else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else if (!flag.empty() && flag[0] == '-') {
+            throw SpecError("unknown flag '" + flag + "' (try `liquidd sweep --help`)");
+        }
+        else if (options.spec_path.empty()) options.spec_path = flag;
+        else throw SpecError("unexpected argument '" + flag + "'");
+    }
+    if (!options.help && options.spec_path.empty()) {
+        throw SpecError("sweep: missing <spec.json> (try `liquidd sweep --help`)");
+    }
+    return options;
+}
+
+namespace {
+
+/// `examples/sweeps/alpha_grid.json` -> `alpha_grid` (current directory).
+std::string spec_stem(const std::string& path) {
+    const auto dir = path.find_last_of("/\\");
+    std::string stem = dir == std::string::npos ? path : path.substr(dir + 1);
+    if (std::string_view(stem).ends_with(".json")) stem.resize(stem.size() - 5);
+    if (stem.empty()) stem = "sweep";
+    return stem;
+}
+
+}  // namespace
+
+int run_sweep(const SweepOptions& options, std::ostream& out) {
+    if (options.help) {
+        out << sweep_usage();
+        return 0;
+    }
+    const auto spec = experiments::SweepSpec::load(options.spec_path);
+
+    experiments::SweepOptions engine_options;
+    engine_options.shard.index = options.shard_index;
+    engine_options.shard.count = options.shard_count;
+    engine_options.resume = options.resume;
+    engine_options.max_cells = options.max_cells;
+    engine_options.threads = options.threads;
+    if (options.output_path) {
+        engine_options.output_path = *options.output_path;
+    } else {
+        engine_options.output_path = spec_stem(options.spec_path);
+        if (options.shard_count > 1) {
+            engine_options.output_path += ".shard" + std::to_string(options.shard_index) +
+                                          "of" + std::to_string(options.shard_count);
+        }
+        engine_options.output_path += ".csv";
+    }
+    if (options.checkpoint_path) engine_options.checkpoint_path = *options.checkpoint_path;
+
+    experiments::SweepEngine engine(spec, engine_options);
+    engine.run(out);
+
+    if (options.metrics_out || support::metrics_env_enabled()) {
+        const auto snapshot = support::MetricsRegistry::global().snapshot();
+        if (support::metrics_env_enabled()) {
+            out << "\n-- metrics --\n";
+            support::print_metrics_table(out, snapshot);
+        }
+        if (options.metrics_out) {
+            std::ofstream metrics(*options.metrics_out);
+            if (!metrics) {
+                throw SpecError("--metrics-out: cannot open '" + *options.metrics_out +
+                                "'");
+            }
+            support::write_metrics_json(metrics, snapshot);
+            out << "wrote metrics report to " << *options.metrics_out << "\n";
         }
     }
     return 0;

@@ -41,4 +41,28 @@ std::string usage();
 /// Execute: build, evaluate, print.  Returns a process exit code.
 int run(const Options& options, std::ostream& out);
 
+/// Parsed `liquidd sweep` command line (see docs/SWEEPS.md).
+struct SweepOptions {
+    std::string spec_path;                  ///< positional: the sweep spec JSON
+    std::size_t shard_index = 0;            ///< --shard i/k
+    std::size_t shard_count = 1;
+    bool resume = false;                    ///< --resume
+    std::size_t max_cells = 0;              ///< --max-cells (0 = unlimited)
+    std::optional<std::size_t> threads{};   ///< --threads overrides the spec
+    std::optional<std::string> output_path; ///< --out (default: <spec stem>.csv)
+    std::optional<std::string> checkpoint_path;  ///< --ckpt
+    std::optional<std::string> metrics_out; ///< --metrics-out (JSON report)
+    bool help = false;
+};
+
+/// Parse the args after the `sweep` subcommand.  Throws SpecError.
+SweepOptions parse_sweep_options(const std::vector<std::string>& args);
+
+/// Usage text for `liquidd sweep`.
+std::string sweep_usage();
+
+/// Load the spec, run the sweep, stream rows/checkpoints.  Returns a
+/// process exit code.
+int run_sweep(const SweepOptions& options, std::ostream& out);
+
 }  // namespace ld::cli

@@ -1,8 +1,10 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 namespace ld::support::json {
@@ -244,6 +246,98 @@ Value parse_file(const std::string& path) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return parse(buffer.str());
+}
+
+std::string format_number(double value) {
+    if (!std::isfinite(value)) throw Error("json: cannot serialize non-finite number");
+    std::ostringstream os;
+    os << std::setprecision(17) << value;
+    return os.str();
+}
+
+std::string quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char raw : text) {
+        const auto ch = static_cast<unsigned char>(raw);
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (ch < 0x20) {
+                    static const char hex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[ch >> 4];
+                    out += hex[ch & 0xf];
+                } else {
+                    out += raw;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+void write_value(std::ostream& os, const Value& value, int indent, int depth) {
+    const auto newline_pad = [&](int levels) {
+        if (indent <= 0) return;
+        os << '\n' << std::string(static_cast<std::size_t>(indent) * levels, ' ');
+    };
+    if (value.is_null()) {
+        os << "null";
+    } else if (value.is_bool()) {
+        os << (value.as_bool() ? "true" : "false");
+    } else if (value.is_number()) {
+        os << format_number(value.as_number());
+    } else if (value.is_string()) {
+        os << quote(value.as_string());
+    } else if (value.is_array()) {
+        const Array& array = value.as_array();
+        if (array.empty()) {
+            os << "[]";
+            return;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < array.size(); ++i) {
+            if (i) os << (indent > 0 ? "," : ", ");
+            newline_pad(depth + 1);
+            write_value(os, array[i], indent, depth + 1);
+        }
+        newline_pad(depth);
+        os << ']';
+    } else {
+        const Object& object = value.as_object();
+        if (object.empty()) {
+            os << "{}";
+            return;
+        }
+        os << '{';
+        std::size_t i = 0;
+        for (const auto& [key, member] : object) {
+            if (i++) os << (indent > 0 ? "," : ", ");
+            newline_pad(depth + 1);
+            os << quote(key) << ": ";
+            write_value(os, member, indent, depth + 1);
+        }
+        newline_pad(depth);
+        os << '}';
+    }
+}
+
+}  // namespace
+
+void write(std::ostream& os, const Value& value, int indent) {
+    write_value(os, value, indent, 0);
+}
+
+std::string dump(const Value& value, int indent) {
+    std::ostringstream os;
+    write(os, value, indent);
+    return os.str();
 }
 
 }  // namespace ld::support::json

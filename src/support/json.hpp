@@ -1,7 +1,9 @@
-// Minimal JSON document model + recursive-descent parser, enough to read
-// google-benchmark snapshots (tools/bench_diff) and the liquidd metrics
-// reports back in tests.  Writer-side escaping lives with the emitters;
-// this header is read-only access: parse, then navigate with at()/find().
+// Minimal JSON document model, recursive-descent parser, and serializer.
+// The parser is enough to read google-benchmark snapshots
+// (tools/bench_diff), liquidd metrics reports, and sweep specs /
+// checkpoint manifests; the serializer (write/dump) round-trips a Value
+// so that checkpoints re-emit bit-identically (numbers are formatted with
+// a single shared function, see format_number).
 
 #pragma once
 
@@ -67,5 +69,21 @@ Value parse(std::string_view text);
 
 /// Parse the file at `path`; Error on unreadable file or bad JSON.
 Value parse_file(const std::string& path);
+
+/// Canonical number rendering used by the serializer: round-trip precision
+/// (17 significant digits, so parse(format_number(x)) == x), integral
+/// doubles without a decimal point.  Throws Error on NaN/infinity, which
+/// JSON cannot represent.
+std::string format_number(double value);
+
+/// `text` as a quoted, escaped JSON string literal.
+std::string quote(const std::string& text);
+
+/// Serialize `value` to `os`.  `indent` 0 emits one compact line (JSONL
+/// rows); positive values pretty-print with that many spaces per level.
+void write(std::ostream& os, const Value& value, int indent = 0);
+
+/// write() into a string.
+std::string dump(const Value& value, int indent = 0);
 
 }  // namespace ld::support::json

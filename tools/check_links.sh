@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Dead-link check for the repo's markdown: every relative link target in a
+# git-tracked *.md file must exist on disk.  External links (http/https/
+# mailto) and pure in-page anchors are skipped; a `path#anchor` link is
+# checked for `path` only.  Exits nonzero listing every dead link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS= read -r file; do
+  # Inline markdown links: capture the (target) of every [text](target).
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;
+    esac
+    target="${target%%#*}"
+    # Links resolve relative to the file; repo-root-relative also accepted.
+    if [ ! -e "$(dirname "$file")/$target" ] && [ ! -e "$target" ]; then
+      echo "dead link in $file: $target"
+      status=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$file" \
+             | sed -E 's/`[^`]*`//g' \
+             | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//; s/ .*//' || true)
+done < <(git ls-files '*.md')
+
+if [ "$status" -eq 0 ]; then
+  echo "markdown links OK"
+fi
+exit "$status"
