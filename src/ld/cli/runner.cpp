@@ -1,5 +1,6 @@
 #include "ld/cli/runner.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <ostream>
 #include <string_view>
@@ -13,7 +14,10 @@
 #include "ld/experiments/sweep.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
+#include "ld/serve/server.hpp"
+#include "support/build_info.hpp"
 #include "support/metrics.hpp"
+#include "support/signal_drain.hpp"
 #include "support/table_printer.hpp"
 #include "support/thread_pool.hpp"
 
@@ -45,10 +49,14 @@ std::size_t parse_size(const std::string& value, const std::string& flag) {
 std::string usage() {
     return R"(liquidd — liquid democracy experiment runner
 
-usage: liquidd [flags]
+usage: liquidd [run] [flags]
        liquidd sweep <spec.json> [flags]   (declarative parameter sweeps;
                                             see `liquidd sweep --help`
                                             and docs/SWEEPS.md)
+       liquidd serve [flags]               (long-running evaluation server;
+                                            see `liquidd serve --help`
+                                            and docs/SERVING.md)
+       liquidd --version                   (git describe, build type, compiler)
 
   --graph <spec>         topology (default complete)
   --competencies <spec>  competency profile (default uniform:0.3,0.7)
@@ -330,7 +338,12 @@ int run_sweep(const SweepOptions& options, std::ostream& out) {
         engine_options.output_path += ".csv";
     }
     if (options.checkpoint_path) engine_options.checkpoint_path = *options.checkpoint_path;
+    // SIGINT/SIGTERM: finish the cell in flight, keep the published
+    // checkpoint, and exit 0 so supervisors see a clean stop; the user
+    // reruns with --resume to continue.
+    engine_options.cancel = [] { return support::SignalDrain::requested(); };
 
+    support::SignalDrain drain_on_signal;
     experiments::SweepEngine engine(spec, engine_options);
     engine.run(out);
 
@@ -351,6 +364,122 @@ int run_sweep(const SweepOptions& options, std::ostream& out) {
         }
     }
     return 0;
+}
+
+std::string serve_usage() {
+    return R"(liquidd serve — long-running evaluation server (liquidd.rpc.v1)
+
+usage: liquidd serve [flags]
+
+Listens on a Unix-domain socket and/or a TCP loopback port and answers
+newline-delimited JSON requests: eval, instance.load, instance.info,
+metrics, health, shutdown.  Evals against a cached instance are
+micro-batched onto the shared replication engine; results are
+bit-identical to the one-shot CLI with the same (params, seed, threads).
+SIGTERM/SIGINT (or a `shutdown` request) drains gracefully: stop
+accepting, finish admitted work, flush metrics, exit 0.
+
+  --socket <path>        Unix-domain socket to listen on
+  --tcp <port>           TCP loopback port (0 picks an ephemeral port,
+                         printed on startup); at least one of
+                         --socket/--tcp is required
+  --queue-capacity <n>   admission bound: evals queued beyond this are
+                         rejected with `overloaded` (default 128)
+  --batch-max <n>        evals coalesced per dispatcher pass when they
+                         target the same cached instance (default 16)
+  --threads <count>      default eval threads for requests that name
+                         none (default 0 = auto, one per hardware thread)
+  --deadline-ms <ms>     default per-request deadline when a request
+                         carries no deadline_ms (default 0 = none)
+  --metrics-out <path>   flush a liquidd.metrics.v1 report here as the
+                         last drain step
+  --help                 show this text
+
+Protocol reference, backpressure semantics, and a load-generator
+walkthrough: docs/SERVING.md.  Load generator: liquidd_loadgen.
+)";
+}
+
+ServeOptions parse_serve_options(const std::vector<std::string>& args) {
+    ServeOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) throw SpecError(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--socket") options.unix_socket = next();
+        else if (flag == "--tcp") {
+            const std::size_t port = parse_size(next(), flag);
+            if (port > 65535) throw SpecError("--tcp: port must be <= 65535");
+            options.tcp_port = port;
+        }
+        else if (flag == "--queue-capacity") options.queue_capacity = parse_size(next(), flag);
+        else if (flag == "--batch-max") {
+            options.batch_max = parse_size(next(), flag);
+            if (options.batch_max == 0) throw SpecError("--batch-max: must be >= 1");
+        }
+        else if (flag == "--threads") options.threads = parse_size(next(), flag);
+        else if (flag == "--deadline-ms") options.deadline_ms = parse_size(next(), flag);
+        else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else throw SpecError("unknown flag '" + flag + "' (try `liquidd serve --help`)");
+    }
+    if (!options.help && !options.unix_socket && !options.tcp_port) {
+        throw SpecError("serve: need --socket <path> and/or --tcp <port>");
+    }
+    return options;
+}
+
+int run_serve(const ServeOptions& options, std::ostream& out) {
+    if (options.help) {
+        out << serve_usage();
+        return 0;
+    }
+
+    serve::ServerConfig config;
+    if (options.unix_socket) config.unix_socket = *options.unix_socket;
+    if (options.tcp_port) config.tcp_port = static_cast<std::uint16_t>(*options.tcp_port);
+    config.queue_capacity = options.queue_capacity;
+    config.batch_max = options.batch_max;
+    config.eval_threads = options.threads;
+    config.default_deadline = std::chrono::milliseconds(options.deadline_ms);
+    config.drain_on_signal = true;
+    if (options.metrics_out) config.metrics_out = *options.metrics_out;
+
+    support::SignalDrain drain_on_signal;  // SIGINT/SIGTERM -> graceful drain
+    serve::Server server(std::move(config));
+    server.start();
+
+    out << support::version_line() << "\n";
+    if (options.unix_socket) out << "listening on unix:" << *options.unix_socket << "\n";
+    if (options.tcp_port) {
+        out << "listening on tcp:127.0.0.1:" << server.tcp_port() << "\n";
+    }
+    out << "serving (SIGTERM/SIGINT or a shutdown request drains)\n" << std::flush;
+
+    const int code = server.wait();
+    out << "drained cleanly";
+    if (options.metrics_out) out << "; metrics flushed to " << *options.metrics_out;
+    out << "\n";
+    return code;
+}
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out) {
+    if (!args.empty() && (args[0] == "--version" || args[0] == "-V")) {
+        out << support::version_line() << "\n";
+        return 0;
+    }
+    if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+        const std::vector<std::string> rest(args.begin() + 1, args.end());
+        if (args[0] == "run") return run(parse_options(rest), out);
+        if (args[0] == "sweep") return run_sweep(parse_sweep_options(rest), out);
+        if (args[0] == "serve") return run_serve(parse_serve_options(rest), out);
+        throw SpecError("unknown subcommand '" + args[0] +
+                        "'; valid subcommands: run, sweep, serve "
+                        "(bare flags run a single evaluation; try --help)");
+    }
+    return run(parse_options(args), out);
 }
 
 }  // namespace ld::cli

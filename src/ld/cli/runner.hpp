@@ -61,8 +61,37 @@ SweepOptions parse_sweep_options(const std::vector<std::string>& args);
 /// Usage text for `liquidd sweep`.
 std::string sweep_usage();
 
-/// Load the spec, run the sweep, stream rows/checkpoints.  Returns a
-/// process exit code.
+/// Load the spec, run the sweep, stream rows/checkpoints.  SIGINT and
+/// SIGTERM finish the current cell, persist the checkpoint, and exit
+/// cleanly (rerun with --resume).  Returns a process exit code.
 int run_sweep(const SweepOptions& options, std::ostream& out);
+
+/// Parsed `liquidd serve` command line (see docs/SERVING.md).
+struct ServeOptions {
+    std::optional<std::string> unix_socket;  ///< --socket <path>
+    std::optional<std::size_t> tcp_port;     ///< --tcp <port> (0 = ephemeral)
+    std::size_t queue_capacity = 128;        ///< --queue-capacity
+    std::size_t batch_max = 16;              ///< --batch-max
+    std::size_t threads = 0;                 ///< --threads (0 = auto)
+    std::size_t deadline_ms = 0;             ///< --deadline-ms (0 = none)
+    std::optional<std::string> metrics_out;  ///< --metrics-out (flushed on drain)
+    bool help = false;
+};
+
+/// Parse the args after the `serve` subcommand.  Throws SpecError.
+ServeOptions parse_serve_options(const std::vector<std::string>& args);
+
+/// Usage text for `liquidd serve`.
+std::string serve_usage();
+
+/// Run the evaluation server until SIGTERM/SIGINT or a `shutdown` RPC
+/// drains it.  Returns a process exit code (0 on a clean drain).
+int run_serve(const ServeOptions& options, std::ostream& out);
+
+/// Top-level argv dispatch shared by the binary and the tests:
+/// subcommands (`run`, `sweep`, `serve`), `--version`, and the bare-flag
+/// single-evaluation form.  Throws SpecError on an unknown subcommand,
+/// naming every valid one.
+int dispatch(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace ld::cli

@@ -12,6 +12,7 @@
 #include "ld/experiments/harness.hpp"  // stable_seed
 #include "ld/election/evaluator.hpp"
 #include "ld/model/instance.hpp"
+#include "support/build_info.hpp"
 #include "support/csv_writer.hpp"
 #include "support/expect.hpp"
 #include "support/metrics.hpp"
@@ -340,6 +341,7 @@ SweepEngine::Row SweepEngine::run_cell(const SweepCell& cell) const {
 void SweepEngine::write_checkpoint(const std::map<std::size_t, Row>& done) const {
     json::Object manifest;
     manifest.emplace("schema", json::Value(std::string("liquidd.sweep.v1")));
+    manifest.emplace("build", support::build_info_json());
     manifest.emplace("sweep", json::Value(spec_.name));
     manifest.emplace("spec_fingerprint", json::Value(hex_seed(spec_.fingerprint())));
     json::Object shard;
@@ -463,6 +465,13 @@ SweepResult SweepEngine::run(std::ostream& log) {
             interrupted = true;
             break;
         }
+        if (options_.cancel && options_.cancel()) {
+            // The previous cell's checkpoint is already published, so
+            // stopping here loses no work.
+            interrupted = true;
+            result.cancelled = true;
+            break;
+        }
         const support::Stopwatch clock;
         Row row;
         try {
@@ -493,8 +502,11 @@ SweepResult SweepEngine::run(std::ostream& log) {
     if (!options_.quiet) {
         log << "sweep " << spec_.name << ": " << result.cells_completed << " run, "
             << result.cells_skipped << " resumed"
-            << (result.finished ? "" : " (stopped early; rerun with --resume)") << " -> "
-            << options_.output_path << "\n";
+            << (result.finished
+                    ? ""
+                    : (result.cancelled ? " (interrupted; checkpoint saved, rerun with --resume)"
+                                        : " (stopped early; rerun with --resume)"))
+            << " -> " << options_.output_path << "\n";
     }
     return result;
 }

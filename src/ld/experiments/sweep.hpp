@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -113,6 +114,12 @@ struct SweepOptions {
     std::string output_path;          ///< rows; ".jsonl"/".ndjson" selects JSON lines
     std::string checkpoint_path;      ///< empty: `<output_path>.ckpt.json`
     bool quiet = false;               ///< suppress per-cell progress lines
+    /// Polled between cells: return true to stop before starting the
+    /// next one (the checkpoint for every finished cell is already on
+    /// disk, so a rerun with `resume` continues seamlessly).  The CLI
+    /// wires this to support::SignalDrain so SIGINT/SIGTERM finish the
+    /// current cell, persist the manifest, and exit cleanly.
+    std::function<bool()> cancel{};
 };
 
 /// What a run did.
@@ -121,6 +128,7 @@ struct SweepResult {
     std::size_t cells_completed = 0;  ///< newly evaluated this run
     std::size_t cells_skipped = 0;    ///< replayed from the checkpoint
     bool finished = false;            ///< every shard cell is in the output
+    bool cancelled = false;           ///< stopped by SweepOptions::cancel
 };
 
 /// Expands the grid and runs it.  Construction validates the spec; run()

@@ -1,0 +1,108 @@
+#include "ld/serve/protocol.hpp"
+
+#include "support/build_info.hpp"
+
+namespace ld::serve {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::BadRequest: return "bad_request";
+        case ErrorCode::UnknownMethod: return "unknown_method";
+        case ErrorCode::Overloaded: return "overloaded";
+        case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+        case ErrorCode::NotFound: return "not_found";
+        case ErrorCode::ShuttingDown: return "shutting_down";
+        case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+Request parse_request(std::string_view line,
+                      std::chrono::steady_clock::time_point now) {
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::Error& e) {
+        throw ProtocolError(ErrorCode::BadRequest, std::string("bad JSON: ") + e.what());
+    }
+    if (!doc.is_object()) {
+        throw ProtocolError(ErrorCode::BadRequest, "request must be a JSON object");
+    }
+
+    Request request;
+    request.admitted_at = now;
+    if (const json::Value* id = doc.find("id")) {
+        if (!id->is_string() && !id->is_number() && !id->is_null()) {
+            throw ProtocolError(ErrorCode::BadRequest, "id must be a string or number");
+        }
+        request.id = *id;
+    }
+    const json::Value* method = doc.find("method");
+    if (!method || !method->is_string() || method->as_string().empty()) {
+        throw ProtocolError(ErrorCode::BadRequest, "missing method");
+    }
+    request.method = method->as_string();
+    if (const json::Value* params = doc.find("params")) {
+        if (!params->is_object() && !params->is_null()) {
+            throw ProtocolError(ErrorCode::BadRequest, "params must be an object");
+        }
+        request.params = *params;
+    }
+    if (const json::Value* deadline = doc.find("deadline_ms")) {
+        if (!deadline->is_number() || deadline->as_number() < 0) {
+            throw ProtocolError(ErrorCode::BadRequest,
+                                "deadline_ms must be a non-negative number");
+        }
+        request.deadline =
+            now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline->as_number()));
+    }
+    return request;
+}
+
+json::Value id_of_line(std::string_view line) noexcept {
+    try {
+        const json::Value doc = json::parse(line);
+        if (doc.is_object()) {
+            if (const json::Value* id = doc.find("id")) return *id;
+        }
+    } catch (...) {
+    }
+    return json::Value();
+}
+
+std::string render_result(const json::Value& id, json::Object result) {
+    json::Object response;
+    response.emplace("id", id);
+    response.emplace("ok", json::Value(true));
+    response.emplace("result", json::Value(std::move(result)));
+    return json::dump(json::Value(std::move(response)));
+}
+
+std::string render_error(const json::Value& id, ErrorCode code,
+                         const std::string& message) {
+    json::Object error;
+    error.emplace("code", json::Value(std::string(error_code_name(code))));
+    error.emplace("message", json::Value(message));
+    json::Object response;
+    response.emplace("id", id);
+    response.emplace("ok", json::Value(false));
+    response.emplace("error", json::Value(std::move(error)));
+    return json::dump(json::Value(std::move(response)));
+}
+
+std::string render_handshake() {
+    json::Object handshake;
+    handshake.emplace("schema", json::Value(std::string(kSchema)));
+    handshake.emplace("server", json::Value(std::string("liquidd")));
+    handshake.emplace("build", support::build_info_json());
+    json::Array methods;
+    for (const char* name :
+         {"eval", "instance.load", "instance.info", "metrics", "health", "shutdown"}) {
+        methods.emplace_back(std::string(name));
+    }
+    handshake.emplace("methods", json::Value(std::move(methods)));
+    return json::dump(json::Value(std::move(handshake)));
+}
+
+}  // namespace ld::serve

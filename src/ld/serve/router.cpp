@@ -1,0 +1,289 @@
+#include "ld/serve/router.hpp"
+
+#include <sstream>
+
+#include "ld/cli/specs.hpp"
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/election/evaluator.hpp"
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ld::serve {
+
+namespace {
+
+// Param access helpers: every mismatch is a BadRequest naming the key.
+
+[[noreturn]] void bad_param(const std::string& key, const std::string& what) {
+    throw ProtocolError(ErrorCode::BadRequest, "params." + key + ": " + what);
+}
+
+const json::Value& require(const json::Value& params, const std::string& key) {
+    if (!params.is_object()) {
+        throw ProtocolError(ErrorCode::BadRequest, "params object required");
+    }
+    const json::Value* value = params.find(key);
+    if (!value) bad_param(key, "missing");
+    return *value;
+}
+
+std::string require_string(const json::Value& params, const std::string& key) {
+    const json::Value& value = require(params, key);
+    if (!value.is_string() || value.as_string().empty()) {
+        bad_param(key, "expected a non-empty string");
+    }
+    return value.as_string();
+}
+
+double require_number(const json::Value& params, const std::string& key) {
+    const json::Value& value = require(params, key);
+    if (!value.is_number()) bad_param(key, "expected a number");
+    return value.as_number();
+}
+
+std::size_t require_count(const json::Value& params, const std::string& key) {
+    const double d = require_number(params, key);
+    if (d < 0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
+        bad_param(key, "expected a non-negative integer");
+    }
+    return static_cast<std::size_t>(d);
+}
+
+std::size_t optional_count(const json::Value& params, const std::string& key,
+                           std::size_t fallback) {
+    if (!params.is_object() || !params.find(key)) return fallback;
+    return require_count(params, key);
+}
+
+bool optional_bool(const json::Value& params, const std::string& key, bool fallback) {
+    if (!params.is_object() || !params.find(key)) return fallback;
+    const json::Value& value = params.at(key);
+    if (!value.is_bool()) bad_param(key, "expected a bool");
+    return value.as_bool();
+}
+
+json::Object report_to_json(const election::GainReport& report) {
+    json::Object result;
+    result.emplace("pd", json::Value(report.pd));
+    result.emplace("pm", json::Value(report.pm.value));
+    result.emplace("pm_stderr", json::Value(report.pm.std_error));
+    result.emplace("gain", json::Value(report.gain));
+    result.emplace("gain_ci_lo", json::Value(report.gain_ci.lo));
+    result.emplace("gain_ci_hi", json::Value(report.gain_ci.hi));
+    result.emplace("mean_delegators", json::Value(report.mean_delegators));
+    result.emplace("mean_sinks", json::Value(report.mean_sinks));
+    result.emplace("mean_max_weight", json::Value(report.mean_max_weight));
+    result.emplace("mean_longest_path", json::Value(report.mean_longest_path));
+    result.emplace("replications",
+                   json::Value(static_cast<double>(report.pm.replications)));
+    return result;
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config, InstanceCache& cache, ServeStatus* status)
+    : config_(config), cache_(cache), status_(status) {}
+
+Router::Outcome Router::execute(const Request& request) {
+    auto& registry = support::MetricsRegistry::global();
+    registry.counter("serve.requests").add(1);
+    const support::Stopwatch clock;
+
+    Outcome outcome;
+    try {
+        json::Object result;
+        if (request.method == "eval") {
+            result = do_eval(request.params);
+        } else if (request.method == "instance.load") {
+            result = do_instance_load(request.params);
+        } else if (request.method == "instance.info") {
+            result = do_instance_info(request.params);
+        } else if (request.method == "metrics") {
+            result = do_metrics();
+        } else if (request.method == "health") {
+            result = do_health();
+        } else if (request.method == "shutdown") {
+            result.emplace("draining", json::Value(true));
+            if (shutdown_hook_) shutdown_hook_();
+        } else {
+            throw ProtocolError(ErrorCode::UnknownMethod,
+                                "unknown method '" + request.method + "'");
+        }
+        outcome.ok = true;
+        outcome.result = std::move(result);
+    } catch (const ProtocolError& e) {
+        registry.counter("serve.errors").add(1);
+        outcome.code = e.code();
+        outcome.message = e.what();
+    } catch (const std::exception& e) {
+        registry.counter("serve.errors").add(1);
+        outcome.code = ErrorCode::Internal;
+        outcome.message = e.what();
+    }
+
+    registry.histogram("serve.latency." + request.method).record(clock.elapsed_seconds());
+    return outcome;
+}
+
+std::string Router::render(const json::Value& id, const Outcome& outcome) {
+    if (outcome.ok) return render_result(id, outcome.result);
+    return render_error(id, outcome.code, outcome.message);
+}
+
+std::string Router::handle(const Request& request) {
+    auto& registry = support::MetricsRegistry::global();
+
+    // A request that waited past its deadline in the queue is dead on
+    // arrival — reject before burning evaluation time on it.
+    if (request.expired(std::chrono::steady_clock::now())) {
+        registry.counter("serve.rejected_deadline").add(1);
+        return render_error(request.id, ErrorCode::DeadlineExceeded,
+                            "deadline expired before execution");
+    }
+
+    const Outcome outcome = execute(request);
+
+    // The result is worthless if the caller's deadline passed while we
+    // computed it; report the expiry so clients can trust deadlines.
+    if (outcome.ok && request.expired(std::chrono::steady_clock::now())) {
+        registry.counter("serve.rejected_deadline").add(1);
+        return render_error(request.id, ErrorCode::DeadlineExceeded,
+                            "deadline expired during execution");
+    }
+    return render(request.id, outcome);
+}
+
+json::Object Router::do_eval(const json::Value& params) {
+    const std::string mechanism_spec = require_string(params, "mechanism");
+    const std::uint64_t seed = optional_count(params, "seed", 1);
+    const std::size_t replications = optional_count(params, "replications", 200);
+    if (replications == 0 || replications > config_.max_replications) {
+        bad_param("replications",
+                  "must be in [1, " + std::to_string(config_.max_replications) + "]");
+    }
+
+    election::EvalOptions eval;
+    eval.replications = replications;
+    eval.inner_samples = optional_count(params, "inner_samples", eval.inner_samples);
+    eval.approximate_tally = optional_bool(params, "approximate", false);
+    const bool discard_cycles = optional_bool(params, "discard_cycles", false);
+    if (discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
+    const std::size_t threads = optional_count(params, "threads", config_.eval_threads);
+    eval.threads =
+        threads == 0 ? support::ThreadPool::global().worker_count() : threads;
+
+    const auto mechanism = cli::make_mechanism(mechanism_spec);
+    if (!mechanism->approval_respecting() && !discard_cycles) {
+        bad_param("mechanism", "'" + mechanism_spec +
+                                   "' can create delegation cycles; set "
+                                   "\"discard_cycles\": true");
+    }
+
+    json::Object result;
+    election::GainReport report;
+    if (params.is_object() && params.find("instance")) {
+        // Cached-instance path ≡ CLI `--load-instance`: the RNG starts
+        // fresh at `seed` and drives only the replication loop.
+        const std::string fingerprint = require_string(params, "instance");
+        const auto cached = cache_.find(fingerprint);
+        if (!cached) {
+            throw ProtocolError(ErrorCode::NotFound,
+                                "instance '" + fingerprint +
+                                    "' not cached (call instance.load first)");
+        }
+        rng::Rng rng(seed);
+        report = election::estimate_gain(*mechanism, cached->instance, rng, eval);
+        result.emplace("instance", json::Value(fingerprint));
+    } else {
+        // Inline path ≡ CLI `--graph/--competencies`: one RNG seeded at
+        // `seed` realizes the graph, then the competencies, then runs the
+        // replications — the same draws in the same order.
+        const std::string graph_spec = require_string(params, "graph");
+        const std::string competency_spec = require_string(params, "competencies");
+        const std::size_t n = require_count(params, "n");
+        const double alpha = require_number(params, "alpha");
+        rng::Rng rng(seed);
+        auto graph = cli::make_graph(graph_spec, n, rng);
+        auto competencies =
+            cli::make_competencies(competency_spec, graph.vertex_count(), rng);
+        const model::Instance instance(std::move(graph), std::move(competencies), alpha);
+        report = election::estimate_gain(*mechanism, instance, rng, eval);
+    }
+
+    auto fields = report_to_json(report);
+    result.merge(fields);
+    result.emplace("threads", json::Value(static_cast<double>(eval.threads)));
+    result.emplace("seed", json::Value(static_cast<double>(seed)));
+    support::MetricsRegistry::global().counter("serve.evals").add(1);
+    return result;
+}
+
+json::Object Router::do_instance_load(const json::Value& params) {
+    const std::string graph_spec = require_string(params, "graph");
+    const std::string competency_spec = require_string(params, "competencies");
+    const std::size_t n = require_count(params, "n");
+    const double alpha = require_number(params, "alpha");
+    const std::uint64_t seed = optional_count(params, "seed", 1);
+    if (alpha <= 0) bad_param("alpha", "approval margin must be > 0");
+
+    bool was_hit = false;
+    const auto entry =
+        cache_.load(graph_spec, competency_spec, n, alpha, seed, &was_hit);
+    json::Object result;
+    result.emplace("instance", json::Value(entry->fingerprint));
+    result.emplace("voters",
+                   json::Value(static_cast<double>(entry->instance.voter_count())));
+    result.emplace("alpha", json::Value(entry->alpha));
+    result.emplace("cached", json::Value(was_hit));
+    result.emplace("description", json::Value(entry->instance.describe()));
+    return result;
+}
+
+json::Object Router::do_instance_info(const json::Value& params) {
+    const std::string fingerprint = require_string(params, "instance");
+    const auto entry = cache_.find(fingerprint);
+    if (!entry) {
+        throw ProtocolError(ErrorCode::NotFound,
+                            "instance '" + fingerprint + "' not cached");
+    }
+    json::Object result;
+    result.emplace("instance", json::Value(entry->fingerprint));
+    result.emplace("graph", json::Value(entry->graph_spec));
+    result.emplace("competencies", json::Value(entry->competency_spec));
+    result.emplace("n", json::Value(static_cast<double>(entry->n)));
+    result.emplace("alpha", json::Value(entry->alpha));
+    result.emplace("seed", json::Value(static_cast<double>(entry->seed)));
+    result.emplace("voters",
+                   json::Value(static_cast<double>(entry->instance.voter_count())));
+    result.emplace("description", json::Value(entry->instance.describe()));
+    return result;
+}
+
+json::Object Router::do_metrics() {
+    // Reuse the liquidd.metrics.v1 writer verbatim, re-parsed into the
+    // response — one schema for files and RPC alike.
+    std::ostringstream os;
+    support::write_metrics_json(os, support::MetricsRegistry::global().snapshot());
+    json::Object result;
+    result.emplace("report", json::parse(os.str()));
+    return result;
+}
+
+json::Object Router::do_health() {
+    json::Object result;
+    const bool draining = status_ && status_->draining.load(std::memory_order_relaxed);
+    result.emplace("status", json::Value(std::string(draining ? "draining" : "ok")));
+    result.emplace(
+        "queue_depth",
+        json::Value(static_cast<double>(
+            status_ ? status_->queue_depth.load(std::memory_order_relaxed) : 0)));
+    result.emplace(
+        "connections",
+        json::Value(static_cast<double>(
+            status_ ? status_->connections.load(std::memory_order_relaxed) : 0)));
+    result.emplace("instances", json::Value(static_cast<double>(cache_.size())));
+    return result;
+}
+
+}  // namespace ld::serve

@@ -1,0 +1,389 @@
+#include "ld/serve/server.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/metrics.hpp"
+#include "support/signal_drain.hpp"
+
+namespace ld::serve {
+
+namespace {
+
+/// Params identity used to deduplicate evals inside a micro-batch.
+/// json::Object is a std::map, so dump() is key-order canonical:
+/// identical params always produce identical keys.  Requests that spell
+/// a default out versus omitting it get different keys — dedup is an
+/// optimisation, never a correctness requirement.
+std::string dedup_key_of(const Request& request) {
+    return request.method + '\x1f' + json::dump(request.params);
+}
+
+/// Batch grouping key: the cached-instance fingerprint.  Inline-spec
+/// evals return "" and are never grouped (they share no warm state).
+std::string batch_key_of(const Request& request) {
+    if (!request.params.is_object()) return {};
+    const json::Value* instance = request.params.find("instance");
+    if (instance && instance->is_string()) return instance->as_string();
+    return {};
+}
+
+}  // namespace
+
+void Server::ClientConn::send(const std::string& line) noexcept {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    try {
+        support::net::write_line(socket, line);
+    } catch (const support::net::NetError&) {
+        // Peer hung up before reading its response; nothing to do.
+    }
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      router_(RouterConfig{config_.eval_threads, config_.max_replications}, cache_,
+              &status_) {
+    router_.set_shutdown_hook([this] { request_drain(); });
+}
+
+Server::~Server() {
+    if (started_ && !drained_) {
+        request_drain();
+        wait();
+    }
+    for (int fd : wake_pipe_) {
+        if (fd != -1) ::close(fd);
+    }
+}
+
+void Server::start() {
+    if (started_) return;
+    if (config_.unix_socket.empty() && !config_.tcp_port.has_value()) {
+        throw support::net::NetError("serve: no listener configured");
+    }
+    if (::pipe(wake_pipe_) != 0) {
+        throw support::net::NetError("serve: cannot create wake pipe");
+    }
+    for (int fd : wake_pipe_) {
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+
+    if (!config_.unix_socket.empty()) {
+        unix_listener_ = support::net::Listener::unix_domain(config_.unix_socket);
+    }
+    if (config_.tcp_port.has_value()) {
+        tcp_listener_ = support::net::Listener::tcp_loopback(*config_.tcp_port);
+        tcp_port_ = tcp_listener_->port();
+    }
+
+    started_ = true;
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    if (unix_listener_) {
+        accept_threads_.emplace_back([this] { accept_loop(*unix_listener_); });
+    }
+    if (tcp_listener_) {
+        accept_threads_.emplace_back([this] { accept_loop(*tcp_listener_); });
+    }
+    if (config_.drain_on_signal) {
+        signal_watcher_ = std::thread([this] { watch_signals(); });
+    }
+}
+
+void Server::request_drain() {
+    {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        if (drain_requested_) return;
+        drain_requested_ = true;
+    }
+    status_.draining.store(true, std::memory_order_relaxed);
+    if (wake_pipe_[1] != -1) {
+        const char byte = 1;
+        [[maybe_unused]] const auto rc = ::write(wake_pipe_[1], &byte, 1);
+    }
+    drain_cv_.notify_all();
+}
+
+int Server::wait() {
+    {
+        std::unique_lock<std::mutex> lock(drain_mutex_);
+        drain_cv_.wait(lock, [this] { return drain_requested_; });
+        if (drained_) return 0;
+        drained_ = true;
+    }
+    do_drain();
+    return 0;
+}
+
+void Server::do_drain() {
+    // 1. Stop accepting: the wake pipe is already readable, so accept
+    //    loops fall out of poll; join them and close the listeners.
+    for (auto& thread : accept_threads_) {
+        if (thread.joinable()) thread.join();
+    }
+    accept_threads_.clear();
+    if (signal_watcher_.joinable()) signal_watcher_.join();
+    if (unix_listener_) unix_listener_->close();
+    if (tcp_listener_) tcp_listener_->close();
+
+    // 2. Finish in-flight work: connection threads now reject new evals
+    //    (draining flag), so the queue only shrinks; wait for the
+    //    dispatcher to empty it, then stop the dispatcher.
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        idle_cv_.wait(lock, [this] { return queue_.empty() && !dispatcher_busy_; });
+        stop_dispatcher_ = true;
+    }
+    queue_cv_.notify_all();
+    if (dispatcher_.joinable()) dispatcher_.join();
+
+    // 3. Close connections: shut the read side first so reader threads
+    //    unblock and finish any inline request (their responses still
+    //    flush), then join and close.
+    std::vector<std::shared_ptr<ClientConn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns.swap(conns_);
+    }
+    for (const auto& conn : conns) {
+        if (conn->socket.valid()) ::shutdown(conn->socket.fd(), SHUT_RD);
+    }
+    for (const auto& conn : conns) {
+        if (conn->reader.joinable()) conn->reader.join();
+        conn->socket.close();
+    }
+
+    // 4. Flush metrics.
+    auto& registry = support::MetricsRegistry::global();
+    registry.counter("serve.drains").add(1);
+    if (!config_.metrics_out.empty()) {
+        std::ofstream out(config_.metrics_out);
+        if (out) support::write_metrics_json(out, registry.snapshot());
+    }
+}
+
+void Server::accept_loop(support::net::Listener& listener) {
+    while (!draining()) {
+        auto client = listener.accept(wake_pipe_[0]);
+        if (!client.has_value()) break;  // woken for drain
+        auto conn = std::make_shared<ClientConn>();
+        conn->socket = std::move(*client);
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            if (draining()) {
+                conn->socket.close();
+                break;
+            }
+            conns_.push_back(conn);
+        }
+        status_.connections.fetch_add(1, std::memory_order_relaxed);
+        support::MetricsRegistry::global().counter("serve.connections").add(1);
+        conn->reader = std::thread([this, conn] { connection_loop(conn); });
+    }
+}
+
+void Server::watch_signals() {
+    pollfd fds[2] = {{support::SignalDrain::wake_fd(), POLLIN, 0},
+                     {wake_pipe_[0], POLLIN, 0}};
+    while (true) {
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0 && errno == EINTR) continue;
+        break;  // signal arrived, drain requested, or poll failed
+    }
+    if (support::SignalDrain::requested()) request_drain();
+}
+
+void Server::connection_loop(std::shared_ptr<ClientConn> conn) {
+    try {
+        conn->send(render_handshake());
+        support::net::LineReader reader(conn->socket);
+        std::string line;
+        while (reader.read_line(line)) {
+            handle_connection_line(conn, line);
+        }
+    } catch (const support::net::NetError&) {
+        // Connection dropped mid-read; treat as EOF.
+    }
+    status_.connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Request Server::parse_with_default_deadline(const std::string& line) {
+    Request request = parse_request(line, std::chrono::steady_clock::now());
+    if (!request.deadline.has_value() && config_.default_deadline.count() > 0) {
+        request.deadline = request.admitted_at + config_.default_deadline;
+    }
+    return request;
+}
+
+bool Server::try_admit_locked() const { return queue_.size() < config_.queue_capacity; }
+
+void Server::set_queue_depth_locked() {
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    status_.queue_depth.store(depth, std::memory_order_relaxed);
+    support::MetricsRegistry::global().gauge("serve.queue_depth").set(depth);
+}
+
+void Server::handle_connection_line(const std::shared_ptr<ClientConn>& conn,
+                                    const std::string& line) {
+    auto& registry = support::MetricsRegistry::global();
+    Request request;
+    try {
+        request = parse_with_default_deadline(line);
+    } catch (const ProtocolError& e) {
+        registry.counter("serve.errors").add(1);
+        conn->send(render_error(id_of_line(line), e.code(), e.what()));
+        return;
+    }
+
+    if (request.method != "eval") {
+        // Cheap control-plane methods execute inline on the connection
+        // thread: health and shutdown must answer even when the eval
+        // queue is saturated.
+        conn->send(router_.handle(request));
+        return;
+    }
+
+    if (draining()) {
+        conn->send(render_error(request.id, ErrorCode::ShuttingDown,
+                                "server is draining"));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (!try_admit_locked()) {
+            registry.counter("serve.rejected_overload").add(1);
+            conn->send(render_error(request.id, ErrorCode::Overloaded,
+                                    "admission queue full (capacity " +
+                                        std::to_string(config_.queue_capacity) +
+                                        "); retry later"));
+            return;
+        }
+        QueuedEval queued;
+        queued.batch_key = batch_key_of(request);
+        queued.dedup_key = dedup_key_of(request);
+        queued.request = std::move(request);
+        queued.conn = conn;
+        queue_.push_back(std::move(queued));
+        set_queue_depth_locked();
+        registry.counter("serve.admitted").add(1);
+    }
+    queue_cv_.notify_one();
+}
+
+void Server::dispatcher_loop() {
+    while (true) {
+        std::vector<QueuedEval> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stop_dispatcher_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_dispatcher_) break;
+                continue;
+            }
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            // Coalesce queued evals on the same cached instance into this
+            // pass (order across different instances is not preserved —
+            // responses are id-matched, so clients do not care).
+            if (!batch.front().batch_key.empty()) {
+                for (auto it = queue_.begin();
+                     it != queue_.end() && batch.size() < config_.batch_max;) {
+                    if (it->batch_key == batch.front().batch_key) {
+                        batch.push_back(std::move(*it));
+                        it = queue_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+            dispatcher_busy_ = true;
+            set_queue_depth_locked();
+        }
+
+        execute_batch(batch);
+
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            dispatcher_busy_ = false;
+        }
+        idle_cv_.notify_all();
+    }
+    idle_cv_.notify_all();
+}
+
+void Server::execute_batch(std::vector<QueuedEval>& batch) {
+    auto& registry = support::MetricsRegistry::global();
+    registry.counter("serve.batches").add(1);
+    if (batch.size() > 1) {
+        registry.counter("serve.batched_evals").add(batch.size());
+    }
+
+    // Identical requests are computed once; every further waiter gets the
+    // shared outcome rendered against its own id.  This is the batching
+    // payoff: N clients polling the same (instance, mechanism, seed)
+    // share one replication sweep on the pool.
+    std::unordered_map<std::string, Router::Outcome> computed;
+    for (QueuedEval& item : batch) {
+        const auto now = std::chrono::steady_clock::now();
+        if (item.request.expired(now)) {
+            registry.counter("serve.rejected_deadline").add(1);
+            item.conn->send(render_error(item.request.id, ErrorCode::DeadlineExceeded,
+                                         "deadline expired in the queue"));
+            continue;
+        }
+        const auto found = computed.find(item.dedup_key);
+        const bool shared = found != computed.end();
+        if (shared) registry.counter("serve.dedup_shared").add(1);
+        const Router::Outcome& outcome =
+            shared ? found->second
+                   : computed.emplace(item.dedup_key, router_.execute(item.request))
+                         .first->second;
+        if (outcome.ok && item.request.expired(std::chrono::steady_clock::now())) {
+            registry.counter("serve.rejected_deadline").add(1);
+            item.conn->send(render_error(item.request.id, ErrorCode::DeadlineExceeded,
+                                         "deadline expired during execution"));
+            continue;
+        }
+        item.conn->send(Router::render(item.request.id, outcome));
+    }
+}
+
+std::string Server::handle_line(const std::string& line) {
+    auto& registry = support::MetricsRegistry::global();
+    Request request;
+    try {
+        request = parse_with_default_deadline(line);
+    } catch (const ProtocolError& e) {
+        registry.counter("serve.errors").add(1);
+        return render_error(id_of_line(line), e.code(), e.what());
+    }
+
+    if (request.method == "eval") {
+        if (draining()) {
+            return render_error(request.id, ErrorCode::ShuttingDown,
+                                "server is draining");
+        }
+        std::size_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            depth = queue_.size();
+        }
+        if (depth >= config_.queue_capacity) {
+            registry.counter("serve.rejected_overload").add(1);
+            return render_error(request.id, ErrorCode::Overloaded,
+                                "admission queue full (capacity " +
+                                    std::to_string(config_.queue_capacity) +
+                                    "); retry later");
+        }
+        registry.counter("serve.admitted").add(1);
+    }
+    return router_.handle(request);
+}
+
+}  // namespace ld::serve

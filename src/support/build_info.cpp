@@ -1,0 +1,39 @@
+#include "support/build_info.hpp"
+
+// The three macros are injected for this file only via
+// set_source_files_properties in src/CMakeLists.txt; fallbacks keep the
+// library buildable without CMake (e.g. quick compile_commands checks).
+#ifndef LIQUIDD_GIT_DESCRIBE
+#define LIQUIDD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LIQUIDD_BUILD_TYPE
+#define LIQUIDD_BUILD_TYPE "unknown"
+#endif
+#ifndef LIQUIDD_COMPILER
+#define LIQUIDD_COMPILER "unknown"
+#endif
+
+namespace ld::support {
+
+const BuildInfo& build_info() {
+    static const BuildInfo info{LIQUIDD_GIT_DESCRIBE, LIQUIDD_BUILD_TYPE,
+                                LIQUIDD_COMPILER};
+    return info;
+}
+
+std::string version_line() {
+    const BuildInfo& info = build_info();
+    return "liquidd " + info.git_describe + " (" + info.build_type + ", " +
+           info.compiler + ")";
+}
+
+json::Value build_info_json() {
+    const BuildInfo& info = build_info();
+    json::Object object;
+    object.emplace("git_describe", json::Value(info.git_describe));
+    object.emplace("build_type", json::Value(info.build_type));
+    object.emplace("compiler", json::Value(info.compiler));
+    return json::Value(std::move(object));
+}
+
+}  // namespace ld::support

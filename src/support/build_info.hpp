@@ -1,0 +1,38 @@
+// Build provenance baked in at configure time: git describe, CMake build
+// type, and the compiler id/version.  One block, embedded everywhere a
+// machine-readable artifact leaves the process — `liquidd --version`,
+// metrics reports (liquidd.metrics.v1), sweep checkpoint manifests
+// (liquidd.sweep.v1), and the serve handshake (liquidd.rpc.v1) — so any
+// result file can be traced back to the binary that produced it.
+//
+// The values arrive as compile definitions on build_info.cpp only (see
+// src/CMakeLists.txt), so touching the git state never rebuilds more than
+// one translation unit.
+
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace ld::support {
+
+/// What was compiled, how.
+struct BuildInfo {
+    std::string git_describe;  ///< `git describe --always --dirty --tags`
+    std::string build_type;    ///< CMAKE_BUILD_TYPE
+    std::string compiler;      ///< "<id> <version>", e.g. "GNU 13.2.0"
+};
+
+/// The singleton filled in at configure time ("unknown" fields when built
+/// outside a git checkout or without CMake).
+const BuildInfo& build_info();
+
+/// One-line human rendering: "liquidd <describe> (<type>, <compiler>)".
+std::string version_line();
+
+/// The same block as a JSON object {"git_describe", "build_type",
+/// "compiler"} for embedding in reports and manifests.
+json::Value build_info_json();
+
+}  // namespace ld::support

@@ -59,6 +59,11 @@ public:
     const Value& at(const std::string& key) const;
     const Value* find(const std::string& key) const;
 
+    /// Deep structural equality (same alternative, equal contents).
+    /// Doubles compare with ==, which is exactly the round-trip contract:
+    /// parse(dump(v)) == v because format_number keeps 17 digits.
+    friend bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
 private:
     std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
 };

@@ -8,6 +8,9 @@
 #include <sstream>
 #include <string_view>
 
+#include "support/build_info.hpp"
+#include "support/json.hpp"
+
 namespace ld::support {
 
 namespace detail {
@@ -309,6 +312,7 @@ std::string json_string(const std::string& s) {
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
     os << "{\n";
     os << "  \"schema\": \"liquidd.metrics.v1\",\n";
+    os << "  \"build\": " << json::dump(build_info_json()) << ",\n";
     os << "  \"uptime_seconds\": " << json_number(snapshot.uptime_seconds) << ",\n";
 
     os << "  \"counters\": {";

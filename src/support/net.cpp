@@ -1,0 +1,243 @@
+#include "support/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ld::support::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+        throw NetError("unix socket path '" + path + "' empty or longer than " +
+                       std::to_string(sizeof(address.sun_path) - 1) + " bytes");
+    }
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    return address;
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return address;
+}
+
+}  // namespace
+
+// Socket -------------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+std::size_t Socket::read_some(char* data, std::size_t size) {
+    while (true) {
+        const ssize_t n = ::recv(fd_, data, size, 0);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        fail("recv");
+    }
+}
+
+void Socket::write_all(std::string_view data) {
+    while (!data.empty()) {
+        const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail("send");
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+}
+
+void Socket::shutdown_both() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// LineReader ---------------------------------------------------------------
+
+bool LineReader::read_line(std::string& line) {
+    while (true) {
+        if (const auto newline = buffer_.find('\n'); newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return true;
+        }
+        if (eof_) {
+            if (buffer_.empty()) return false;
+            line = std::move(buffer_);
+            buffer_.clear();
+            return true;
+        }
+        char chunk[4096];
+        const std::size_t n = socket_->read_some(chunk, sizeof chunk);
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, n);
+    }
+}
+
+void write_line(Socket& socket, std::string_view line) {
+    std::string framed;
+    framed.reserve(line.size() + 1);
+    framed.append(line);
+    framed.push_back('\n');
+    socket.write_all(framed);
+}
+
+// Listener -----------------------------------------------------------------
+
+Listener Listener::unix_domain(const std::string& path) {
+    const sockaddr_un address = unix_address(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+        ::close(fd);
+        fail("bind('" + path + "')");
+    }
+    if (::listen(fd, 64) != 0) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        fail("listen('" + path + "')");
+    }
+    return Listener(fd, path, 0);
+}
+
+Listener Listener::tcp_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) fail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in address = loopback_address(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+        ::close(fd);
+        fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    socklen_t length = sizeof address;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+        ::close(fd);
+        fail("getsockname");
+    }
+    if (::listen(fd, 64) != 0) {
+        ::close(fd);
+        fail("listen(127.0.0.1)");
+    }
+    return Listener(fd, std::string{}, ntohs(address.sin_port));
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      port_(other.port_) {
+    other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+        port_ = other.port_;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+std::optional<Socket> Listener::accept(int wake_fd) {
+    while (fd_ >= 0) {
+        pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+        const nfds_t count = wake_fd >= 0 ? 2 : 1;
+        const int ready = ::poll(fds, count, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;  // the signal sets the wake fd
+            fail("poll");
+        }
+        if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP))) {
+            return std::nullopt;
+        }
+        if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+            const int client = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+            if (client < 0) {
+                if (errno == EINTR || errno == ECONNABORTED) continue;
+                if (errno == EBADF || errno == EINVAL) return std::nullopt;  // closed
+                fail("accept");
+            }
+            return Socket(client);
+        }
+    }
+    return std::nullopt;
+}
+
+void Listener::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+// Clients ------------------------------------------------------------------
+
+Socket connect_unix(const std::string& path) {
+    const sockaddr_un address = unix_address(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+        ::close(fd);
+        fail("connect('" + path + "')");
+    }
+    return Socket(fd);
+}
+
+Socket connect_tcp_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) fail("socket(AF_INET)");
+    const sockaddr_in address = loopback_address(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+        ::close(fd);
+        fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    return Socket(fd);
+}
+
+}  // namespace ld::support::net

@@ -1,0 +1,125 @@
+// Minimal POSIX socket helpers for the serve layer and its clients:
+// Unix-domain and TCP-loopback listeners, blocking stream sockets, and
+// newline-delimited line framing.  Deliberately tiny — no TLS, no
+// non-loopback TCP, no async I/O — because the serve transport is a
+// local IPC boundary, not a network service.
+//
+// Everything throws NetError (with errno text) on failure; Socket and
+// Listener are move-only RAII owners of their file descriptors.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ld::support::net {
+
+/// Thrown on any socket-layer failure (bind, connect, accept, I/O).
+class NetError : public std::runtime_error {
+public:
+    explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A connected, blocking stream socket (move-only fd owner).
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    bool valid() const noexcept { return fd_ >= 0; }
+    int fd() const noexcept { return fd_; }
+
+    /// Read up to `size` bytes; returns 0 on orderly EOF.  Retries EINTR.
+    std::size_t read_some(char* data, std::size_t size);
+
+    /// Write all of `data`, looping over partial writes.  Throws on a
+    /// closed peer (EPIPE is an error, not a signal — callers pass
+    /// MSG_NOSIGNAL).
+    void write_all(std::string_view data);
+
+    /// shutdown(SHUT_RDWR): unblocks any thread sleeping in read_some on
+    /// this socket (used to tear connections down during drain).
+    void shutdown_both() noexcept;
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Buffered newline framing over a Socket.  read_line strips the
+/// trailing '\n' (and a preceding '\r', for telnet-style poking).
+class LineReader {
+public:
+    explicit LineReader(Socket& socket) : socket_(&socket) {}
+
+    /// Next line into `line`.  False on EOF with no buffered data; a
+    /// final unterminated line is returned as-is.
+    bool read_line(std::string& line);
+
+private:
+    Socket* socket_;
+    std::string buffer_;
+    bool eof_ = false;
+};
+
+/// `line` + '\n' in one write.
+void write_line(Socket& socket, std::string_view line);
+
+/// A bound, listening server socket: either a Unix-domain path or a TCP
+/// socket bound to 127.0.0.1.
+class Listener {
+public:
+    /// Bind and listen on a Unix-domain socket at `path` (unlinked first
+    /// so restarts do not collide; unlinked again on close).
+    static Listener unix_domain(const std::string& path);
+
+    /// Bind and listen on 127.0.0.1:`port`; port 0 picks an ephemeral
+    /// port, readable afterwards via port().
+    static Listener tcp_loopback(std::uint16_t port);
+
+    ~Listener();
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    bool valid() const noexcept { return fd_ >= 0; }
+    int fd() const noexcept { return fd_; }
+
+    /// Bound TCP port (0 for Unix-domain listeners).
+    std::uint16_t port() const noexcept { return port_; }
+    const std::string& path() const noexcept { return path_; }
+
+    /// Block until a client connects or `wake_fd` becomes readable
+    /// (pass -1 for no wake fd).  Returns nullopt on wake-up or if the
+    /// listener has been closed.
+    std::optional<Socket> accept(int wake_fd = -1);
+
+    void close() noexcept;
+
+private:
+    Listener(int fd, std::string path, std::uint16_t port)
+        : fd_(fd), path_(std::move(path)), port_(port) {}
+
+    int fd_ = -1;
+    std::string path_;  ///< unix path to unlink on close ("" for TCP)
+    std::uint16_t port_ = 0;
+};
+
+/// Connect to a Unix-domain server socket.
+Socket connect_unix(const std::string& path);
+
+/// Connect to 127.0.0.1:`port`.
+Socket connect_tcp_loopback(std::uint16_t port);
+
+}  // namespace ld::support::net

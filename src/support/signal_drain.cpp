@@ -1,0 +1,74 @@
+#include "support/signal_drain.hpp"
+
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/expect.hpp"
+
+namespace ld::support {
+
+namespace {
+
+// Process-global signal state: flag + self-pipe.  The pipe is created
+// once, lazily, before any handler can run (SignalDrain's constructor
+// calls pipe_fds() first), so the handler itself never allocates.
+volatile std::sig_atomic_t g_requested = 0;
+int g_pipe[2] = {-1, -1};
+
+const int* pipe_fds() noexcept {
+    static const bool created = [] {
+        if (::pipe(g_pipe) != 0) return false;
+        for (int fd : g_pipe) {
+            ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+            ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        }
+        return true;
+    }();
+    (void)created;
+    return g_pipe;
+}
+
+extern "C" void drain_signal_handler(int) {
+    g_requested = 1;
+    if (g_pipe[1] != -1) {
+        const char byte = 1;
+        [[maybe_unused]] const auto rc = ::write(g_pipe[1], &byte, 1);
+    }
+}
+
+}  // namespace
+
+SignalDrain::SignalDrain(std::initializer_list<int> signals) {
+    pipe_fds();  // ensure the pipe exists before a handler can fire
+    for (int sig : signals) {
+        expects(saved_count_ < kMaxSignals, "SignalDrain: too many signals");
+        void (*previous)(int) = std::signal(sig, drain_signal_handler);
+        if (previous == SIG_ERR) continue;
+        saved_[saved_count_++] = Saved{sig, previous};
+    }
+}
+
+SignalDrain::SignalDrain() : SignalDrain({SIGINT, SIGTERM}) {}
+
+SignalDrain::~SignalDrain() {
+    for (int i = saved_count_ - 1; i >= 0; --i) {
+        std::signal(saved_[i].signal, saved_[i].handler);
+    }
+}
+
+bool SignalDrain::requested() noexcept { return g_requested != 0; }
+
+int SignalDrain::wake_fd() noexcept { return pipe_fds()[0]; }
+
+void SignalDrain::trigger() noexcept { drain_signal_handler(0); }
+
+void SignalDrain::reset() noexcept {
+    g_requested = 0;
+    char sink[64];
+    while (::read(pipe_fds()[0], sink, sizeof sink) > 0) {
+    }
+}
+
+}  // namespace ld::support

@@ -1,0 +1,64 @@
+// Cooperative shutdown on SIGINT/SIGTERM, shared by every long-running
+// entry point: `liquidd serve` uses it to stop accepting and drain
+// in-flight requests, `liquidd sweep` to finish the current cell and
+// leave a resumable checkpoint.
+//
+// The handler does the only two async-signal-safe things that matter:
+// set a flag and write one byte to a self-pipe.  Poll loops include
+// `wake_fd()` in their fd set so a signal interrupts a blocking wait
+// immediately; everything else polls `requested()` at its natural
+// checkpoint boundary (between sweep cells, per accept iteration).
+//
+// State is process-global because POSIX signal dispositions are; the
+// SignalDrain object is only a scoped installer that restores the
+// previous handlers on destruction, so tests can install, raise, assert,
+// and leave no trace.
+
+#pragma once
+
+#include <initializer_list>
+
+namespace ld::support {
+
+/// Scoped SIGINT/SIGTERM → drain-flag installer.
+class SignalDrain {
+public:
+    /// Install the flag-setting handler for `signals` (default SIGINT and
+    /// SIGTERM), remembering the previous dispositions.
+    explicit SignalDrain(std::initializer_list<int> signals);
+    SignalDrain();
+
+    /// Restore the dispositions saved at construction.
+    ~SignalDrain();
+
+    SignalDrain(const SignalDrain&) = delete;
+    SignalDrain& operator=(const SignalDrain&) = delete;
+
+    /// True once any installed signal has been delivered (or trigger()
+    /// was called).  Sticky until reset().
+    static bool requested() noexcept;
+
+    /// Read end of the self-pipe: becomes readable when a drain is
+    /// requested.  Include it in poll() sets; never read more than to
+    /// drain it.  Valid for the life of the process.
+    static int wake_fd() noexcept;
+
+    /// Request a drain as if a signal had arrived (used by the serve
+    /// `shutdown` RPC and by tests).  Async-signal-safe.
+    static void trigger() noexcept;
+
+    /// Clear the flag and drain the pipe (tests, or serving again after a
+    /// completed drain).
+    static void reset() noexcept;
+
+private:
+    struct Saved {
+        int signal;
+        void (*handler)(int);
+    };
+    static constexpr int kMaxSignals = 4;
+    Saved saved_[kMaxSignals];
+    int saved_count_ = 0;
+};
+
+}  // namespace ld::support

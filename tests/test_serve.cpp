@@ -1,0 +1,564 @@
+// Tests for the serve subsystem: liquidd.rpc.v1 parsing and rendering,
+// router method dispatch and error mapping, the CLI-parity contract
+// (served evals bit-identical to the one-shot paths), deadline and
+// admission-control semantics, the instance cache, graceful drain over a
+// real Unix socket, the SignalDrain helper, and the subcommand dispatch
+// the serve CLI hangs off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ld/cli/runner.hpp"
+#include "ld/cli/specs.hpp"
+#include "ld/election/evaluator.hpp"
+#include "ld/model/instance.hpp"
+#include "ld/serve/server.hpp"
+#include "support/build_info.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/net.hpp"
+#include "support/signal_drain.hpp"
+
+namespace {
+
+namespace serve = ld::serve;
+namespace net = ld::support::net;
+namespace json = ld::support::json;
+using serve::ErrorCode;
+using serve::Request;
+
+constexpr const char* kGraph = "complete";
+constexpr const char* kCompetencies = "uniform:0.3,0.7";
+constexpr const char* kMechanism = "threshold:1";
+constexpr std::size_t kN = 40;
+constexpr double kAlpha = 0.05;
+constexpr std::uint64_t kSeed = 7;
+constexpr std::size_t kReps = 30;
+
+Request make_request(const std::string& method, json::Object params) {
+    Request request;
+    request.id = json::Value(1.0);
+    request.method = method;
+    request.params = json::Value(std::move(params));
+    request.admitted_at = std::chrono::steady_clock::now();
+    return request;
+}
+
+json::Object eval_params() {
+    json::Object params;
+    params.emplace("mechanism", json::Value(std::string(kMechanism)));
+    params.emplace("graph", json::Value(std::string(kGraph)));
+    params.emplace("competencies", json::Value(std::string(kCompetencies)));
+    params.emplace("n", json::Value(static_cast<double>(kN)));
+    params.emplace("alpha", json::Value(kAlpha));
+    params.emplace("seed", json::Value(static_cast<double>(kSeed)));
+    params.emplace("replications", json::Value(static_cast<double>(kReps)));
+    params.emplace("threads", json::Value(1.0));
+    return params;
+}
+
+json::Value call(serve::Router& router, const std::string& method,
+                 json::Object params) {
+    return json::parse(router.handle(make_request(method, std::move(params))));
+}
+
+/// The one-shot CLI path, verbatim: one RNG seeds the graph, then the
+/// competencies, then the replications.
+ld::election::GainReport direct_inline_eval() {
+    ld::rng::Rng rng(kSeed);
+    auto graph = ld::cli::make_graph(kGraph, kN, rng);
+    auto competencies =
+        ld::cli::make_competencies(kCompetencies, graph.vertex_count(), rng);
+    const ld::model::Instance instance(std::move(graph), std::move(competencies),
+                                       kAlpha);
+    const auto mechanism = ld::cli::make_mechanism(kMechanism);
+    ld::election::EvalOptions eval;
+    eval.replications = kReps;
+    eval.threads = 1;
+    return ld::election::estimate_gain(*mechanism, instance, rng, eval);
+}
+
+// Protocol ----------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesFullRequest) {
+    const auto now = std::chrono::steady_clock::now();
+    const Request request = serve::parse_request(
+        R"({"id": "a7", "method": "eval", "params": {"n": 3}, "deadline_ms": 250})",
+        now);
+    EXPECT_EQ(request.id.as_string(), "a7");
+    EXPECT_EQ(request.method, "eval");
+    EXPECT_EQ(request.params.at("n").as_number(), 3.0);
+    ASSERT_TRUE(request.deadline.has_value());
+    EXPECT_EQ(*request.deadline, now + std::chrono::milliseconds(250));
+    EXPECT_FALSE(request.expired(now));
+    EXPECT_TRUE(request.expired(now + std::chrono::milliseconds(251)));
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto expect_bad = [&](const std::string& line) {
+        try {
+            serve::parse_request(line, now);
+            FAIL() << "expected ProtocolError for: " << line;
+        } catch (const serve::ProtocolError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadRequest) << line;
+        }
+    };
+    expect_bad("not json at all");
+    expect_bad(R"([1, 2, 3])");
+    expect_bad(R"({"id": 1})");                                  // no method
+    expect_bad(R"({"id": 1, "method": ""})");                    // empty method
+    expect_bad(R"({"id": true, "method": "health"})");           // bool id
+    expect_bad(R"({"id": 1, "method": "health", "params": 4})"); // non-object params
+    expect_bad(R"({"id": 1, "method": "health", "deadline_ms": -5})");
+    expect_bad(R"({"id": 1, "method": "health", "deadline_ms": "soon"})");
+}
+
+TEST(ServeProtocol, IdOfLineIsBestEffort) {
+    EXPECT_EQ(serve::id_of_line(R"({"id": 42, "method": false})").as_number(), 42.0);
+    EXPECT_TRUE(serve::id_of_line("garbage").is_null());
+}
+
+TEST(ServeProtocol, HandshakeNamesSchemaBuildAndMethods) {
+    const json::Value handshake = json::parse(serve::render_handshake());
+    EXPECT_EQ(handshake.at("schema").as_string(), serve::kSchema);
+    EXPECT_EQ(handshake.at("build").at("git_describe").as_string(),
+              ld::support::build_info().git_describe);
+    const json::Array& methods = handshake.at("methods").as_array();
+    std::vector<std::string> names;
+    for (const auto& m : methods) names.push_back(m.as_string());
+    EXPECT_NE(std::find(names.begin(), names.end(), "eval"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "shutdown"), names.end());
+}
+
+TEST(ServeProtocol, RenderedResponsesRoundTrip) {
+    json::Object result;
+    result.emplace("x", json::Value(1.5));
+    const json::Value ok = json::parse(serve::render_result(json::Value(3.0), result));
+    EXPECT_TRUE(ok.at("ok").as_bool());
+    EXPECT_EQ(ok.at("id").as_number(), 3.0);
+    EXPECT_EQ(ok.at("result").at("x").as_number(), 1.5);
+
+    const json::Value err = json::parse(
+        serve::render_error(json::Value(std::string("q")), ErrorCode::Overloaded, "full"));
+    EXPECT_FALSE(err.at("ok").as_bool());
+    EXPECT_EQ(err.at("error").at("code").as_string(), "overloaded");
+    EXPECT_EQ(err.at("error").at("message").as_string(), "full");
+}
+
+// Router ------------------------------------------------------------------
+
+TEST(ServeRouter, UnknownMethodAndValidation) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+
+    EXPECT_EQ(call(router, "nope", {}).at("error").at("code").as_string(),
+              "unknown_method");
+
+    json::Object no_mechanism;
+    no_mechanism.emplace("graph", json::Value(std::string(kGraph)));
+    EXPECT_EQ(call(router, "eval", std::move(no_mechanism))
+                  .at("error")
+                  .at("code")
+                  .as_string(),
+              "bad_request");
+
+    auto zero_reps = eval_params();
+    zero_reps.erase("replications");
+    zero_reps.emplace("replications", json::Value(0.0));
+    EXPECT_EQ(call(router, "eval", std::move(zero_reps))
+                  .at("error")
+                  .at("code")
+                  .as_string(),
+              "bad_request");
+
+    // Cycle-capable mechanisms need an explicit discard_cycles, exactly
+    // like the CLI's --discard-cycles requirement.
+    auto noisy = eval_params();
+    noisy.erase("mechanism");
+    noisy.emplace("mechanism", json::Value(std::string("noisy:1,0.2")));
+    EXPECT_EQ(call(router, "eval", std::move(noisy)).at("error").at("code").as_string(),
+              "bad_request");
+}
+
+TEST(ServeRouter, InstanceLoadInfoAndCacheHits) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+
+    json::Object load;
+    load.emplace("graph", json::Value(std::string(kGraph)));
+    load.emplace("competencies", json::Value(std::string(kCompetencies)));
+    load.emplace("n", json::Value(static_cast<double>(kN)));
+    load.emplace("alpha", json::Value(kAlpha));
+    load.emplace("seed", json::Value(static_cast<double>(kSeed)));
+
+    const json::Value first = call(router, "instance.load", load);
+    ASSERT_TRUE(first.at("ok").as_bool()) << json::dump(first);
+    EXPECT_FALSE(first.at("result").at("cached").as_bool());
+    const std::string fingerprint = first.at("result").at("instance").as_string();
+    EXPECT_EQ(fingerprint,
+              serve::InstanceCache::fingerprint(kGraph, kCompetencies, kN, kAlpha, kSeed));
+
+    const json::Value second = call(router, "instance.load", load);
+    EXPECT_TRUE(second.at("result").at("cached").as_bool());
+    EXPECT_EQ(second.at("result").at("instance").as_string(), fingerprint);
+    EXPECT_EQ(cache.size(), 1u);
+
+    json::Object info;
+    info.emplace("instance", json::Value(fingerprint));
+    const json::Value described = call(router, "instance.info", info);
+    EXPECT_EQ(described.at("result").at("n").as_number(), static_cast<double>(kN));
+    EXPECT_EQ(described.at("result").at("graph").as_string(), kGraph);
+
+    json::Object missing;
+    missing.emplace("instance", json::Value(std::string("0xdead")));
+    EXPECT_EQ(call(router, "instance.info", std::move(missing))
+                  .at("error")
+                  .at("code")
+                  .as_string(),
+              "not_found");
+    EXPECT_EQ(call(router, "eval", [&] {
+                  auto params = eval_params();
+                  params.erase("graph");
+                  params.erase("competencies");
+                  params.erase("n");
+                  params.erase("alpha");
+                  params.emplace("instance", json::Value(std::string("0xdead")));
+                  return params;
+              }())
+                  .at("error")
+                  .at("code")
+                  .as_string(),
+              "not_found");
+}
+
+TEST(ServeRouter, InlineEvalIsBitIdenticalToCliPath) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+    const auto expected = direct_inline_eval();
+
+    const json::Value response = call(router, "eval", eval_params());
+    ASSERT_TRUE(response.at("ok").as_bool()) << json::dump(response);
+    const json::Value& result = response.at("result");
+    EXPECT_EQ(result.at("pd").as_number(), expected.pd);
+    EXPECT_EQ(result.at("pm").as_number(), expected.pm.value);
+    EXPECT_EQ(result.at("pm_stderr").as_number(), expected.pm.std_error);
+    EXPECT_EQ(result.at("gain").as_number(), expected.gain);
+    EXPECT_EQ(result.at("gain_ci_lo").as_number(), expected.gain_ci.lo);
+    EXPECT_EQ(result.at("gain_ci_hi").as_number(), expected.gain_ci.hi);
+    EXPECT_EQ(result.at("threads").as_number(), 1.0);
+
+    // And again: a served instance is stateless across requests.
+    const json::Value repeat = call(router, "eval", eval_params());
+    EXPECT_EQ(repeat.at("result").at("pm").as_number(), expected.pm.value);
+}
+
+TEST(ServeRouter, CachedEvalMatchesLoadInstancePath) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+
+    // The CLI --load-instance contract: a fresh RNG at `seed` drives only
+    // the replications over the already-realized instance.
+    bool was_hit = false;
+    const auto entry = cache.load(kGraph, kCompetencies, kN, kAlpha, kSeed, &was_hit);
+    ld::rng::Rng rng(kSeed);
+    const auto mechanism = ld::cli::make_mechanism(kMechanism);
+    ld::election::EvalOptions eval;
+    eval.replications = kReps;
+    eval.threads = 1;
+    const auto expected =
+        ld::election::estimate_gain(*mechanism, entry->instance, rng, eval);
+
+    auto params = eval_params();
+    params.erase("graph");
+    params.erase("competencies");
+    params.erase("n");
+    params.erase("alpha");
+    params.emplace("instance", json::Value(entry->fingerprint));
+    const json::Value response = call(router, "eval", std::move(params));
+    ASSERT_TRUE(response.at("ok").as_bool()) << json::dump(response);
+    EXPECT_EQ(response.at("result").at("pm").as_number(), expected.pm.value);
+    EXPECT_EQ(response.at("result").at("gain").as_number(), expected.gain);
+    EXPECT_EQ(response.at("result").at("instance").as_string(), entry->fingerprint);
+}
+
+TEST(ServeRouter, ExpiredDeadlineIsRejectedBeforeExecution) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+    Request request = make_request("health", {});
+    request.deadline = request.admitted_at - std::chrono::milliseconds(1);
+    const json::Value response = json::parse(router.handle(request));
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("error").at("code").as_string(), "deadline_exceeded");
+}
+
+TEST(ServeRouter, HealthReportsStatusBlock) {
+    serve::InstanceCache cache;
+    serve::ServeStatus status;
+    status.queue_depth.store(3);
+    status.connections.store(2);
+    serve::Router router({}, cache, &status);
+    const json::Value response = call(router, "health", {});
+    EXPECT_EQ(response.at("result").at("status").as_string(), "ok");
+    EXPECT_EQ(response.at("result").at("queue_depth").as_number(), 3.0);
+    EXPECT_EQ(response.at("result").at("connections").as_number(), 2.0);
+
+    status.draining.store(true);
+    EXPECT_EQ(call(router, "health", {}).at("result").at("status").as_string(),
+              "draining");
+}
+
+TEST(ServeRouter, MetricsMethodEmbedsBuildInfo) {
+    serve::InstanceCache cache;
+    serve::Router router({}, cache);
+    const json::Value response = call(router, "metrics", {});
+    ASSERT_TRUE(response.at("ok").as_bool());
+    const json::Value& report = response.at("result").at("report");
+    EXPECT_EQ(report.at("schema").as_string(), "liquidd.metrics.v1");
+    EXPECT_EQ(report.at("build").at("git_describe").as_string(),
+              ld::support::build_info().git_describe);
+}
+
+// Server (no sockets) -----------------------------------------------------
+
+TEST(ServeServer, HandleLineMapsParseErrors) {
+    serve::Server server(serve::ServerConfig{});
+    const json::Value response = json::parse(server.handle_line("{{{"));
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("error").at("code").as_string(), "bad_request");
+    EXPECT_TRUE(response.at("id").is_null());
+}
+
+TEST(ServeServer, ZeroCapacityRejectsEveryEvalButAnswersControlPlane) {
+    serve::ServerConfig config;
+    config.queue_capacity = 0;
+    serve::Server server(std::move(config));
+
+    const json::Value rejected = json::parse(server.handle_line(
+        R"({"id": 1, "method": "eval", "params": {"mechanism": "direct"}})"));
+    EXPECT_EQ(rejected.at("error").at("code").as_string(), "overloaded");
+
+    const json::Value health =
+        json::parse(server.handle_line(R"({"id": 2, "method": "health"})"));
+    EXPECT_TRUE(health.at("ok").as_bool());
+}
+
+TEST(ServeServer, ShutdownRpcDrainsAndRejectsNewEvals) {
+    serve::Server server(serve::ServerConfig{});
+    const json::Value ack =
+        json::parse(server.handle_line(R"({"id": 1, "method": "shutdown"})"));
+    ASSERT_TRUE(ack.at("ok").as_bool());
+    EXPECT_TRUE(server.draining());
+
+    const json::Value rejected = json::parse(server.handle_line(
+        R"({"id": 2, "method": "eval", "params": {"mechanism": "direct"}})"));
+    EXPECT_EQ(rejected.at("error").at("code").as_string(), "shutting_down");
+    EXPECT_EQ(server.wait(), 0);
+}
+
+// Server (Unix socket end to end) -----------------------------------------
+
+std::string socket_path(const std::string& tag) {
+    // sun_path is ~108 bytes; keep it short and unique per test.
+    return ::testing::TempDir() + "/ld_" + tag + ".sock";
+}
+
+TEST(ServeServer, SocketSessionAndGracefulDrain) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("session");
+    serve::Server server(std::move(config));
+    server.start();
+
+    net::Socket client = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(client);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));  // server speaks first
+    EXPECT_EQ(json::parse(line).at("schema").as_string(), serve::kSchema);
+
+    json::Object load;
+    load.emplace("graph", json::Value(std::string(kGraph)));
+    load.emplace("competencies", json::Value(std::string(kCompetencies)));
+    load.emplace("n", json::Value(static_cast<double>(kN)));
+    load.emplace("alpha", json::Value(kAlpha));
+    load.emplace("seed", json::Value(static_cast<double>(kSeed)));
+    json::Object request;
+    request.emplace("id", json::Value(1.0));
+    request.emplace("method", json::Value(std::string("instance.load")));
+    request.emplace("params", json::Value(std::move(load)));
+    net::write_line(client, json::dump(json::Value(std::move(request))));
+    ASSERT_TRUE(reader.read_line(line));
+    const json::Value loaded = json::parse(line);
+    ASSERT_TRUE(loaded.at("ok").as_bool()) << line;
+    const std::string fingerprint = loaded.at("result").at("instance").as_string();
+
+    // A served eval over the socket matches the in-process evaluation.
+    bool was_hit = false;
+    serve::InstanceCache reference_cache;
+    const auto entry =
+        reference_cache.load(kGraph, kCompetencies, kN, kAlpha, kSeed, &was_hit);
+    ld::rng::Rng rng(kSeed);
+    const auto mechanism = ld::cli::make_mechanism(kMechanism);
+    ld::election::EvalOptions eval_options;
+    eval_options.replications = kReps;
+    eval_options.threads = 1;
+    const auto expected =
+        ld::election::estimate_gain(*mechanism, entry->instance, rng, eval_options);
+
+    json::Object eval;
+    eval.emplace("mechanism", json::Value(std::string(kMechanism)));
+    eval.emplace("instance", json::Value(fingerprint));
+    eval.emplace("seed", json::Value(static_cast<double>(kSeed)));
+    eval.emplace("replications", json::Value(static_cast<double>(kReps)));
+    eval.emplace("threads", json::Value(1.0));
+    json::Object eval_request;
+    eval_request.emplace("id", json::Value(2.0));
+    eval_request.emplace("method", json::Value(std::string("eval")));
+    eval_request.emplace("params", json::Value(std::move(eval)));
+    net::write_line(client, json::dump(json::Value(std::move(eval_request))));
+    ASSERT_TRUE(reader.read_line(line));
+    const json::Value evaluated = json::parse(line);
+    ASSERT_TRUE(evaluated.at("ok").as_bool()) << line;
+    EXPECT_EQ(evaluated.at("result").at("pm").as_number(), expected.pm.value);
+    EXPECT_EQ(evaluated.at("result").at("gain").as_number(), expected.gain);
+
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+    EXPECT_FALSE(reader.read_line(line));  // connection torn down
+
+    // The listener is gone: a fresh connect must fail.
+    EXPECT_THROW(net::connect_unix(server.config().unix_socket), net::NetError);
+}
+
+TEST(ServeServer, DrainUnderLoadAnswersEveryAcceptedRequest) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("drain");
+    serve::Server server(std::move(config));
+    server.start();
+
+    net::Socket client = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(client);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));  // handshake
+
+    // Burst evals, then drain immediately: each request must be answered
+    // exactly once — computed if it was admitted before the drain flag,
+    // rejected with shutting_down if not.  Nothing may be dropped.
+    constexpr int kBurst = 6;
+    for (int i = 0; i < kBurst; ++i) {
+        json::Object params;
+        params.emplace("mechanism", json::Value(std::string(kMechanism)));
+        params.emplace("graph", json::Value(std::string(kGraph)));
+        params.emplace("competencies", json::Value(std::string(kCompetencies)));
+        params.emplace("n", json::Value(30.0));
+        params.emplace("alpha", json::Value(kAlpha));
+        params.emplace("seed", json::Value(static_cast<double>(i + 1)));
+        params.emplace("replications", json::Value(20.0));
+        params.emplace("threads", json::Value(1.0));
+        json::Object request;
+        request.emplace("id", json::Value(static_cast<double>(i + 1)));
+        request.emplace("method", json::Value(std::string("eval")));
+        request.emplace("params", json::Value(std::move(params)));
+        net::write_line(client, json::dump(json::Value(std::move(request))));
+    }
+    server.request_drain();
+
+    int answered = 0;
+    int ok = 0;
+    int shutting_down = 0;
+    while (answered < kBurst && reader.read_line(line)) {
+        const json::Value response = json::parse(line);
+        ++answered;
+        if (response.at("ok").as_bool()) {
+            ++ok;
+        } else {
+            EXPECT_EQ(response.at("error").at("code").as_string(), "shutting_down")
+                << line;
+            ++shutting_down;
+        }
+    }
+    EXPECT_EQ(answered, kBurst);
+    EXPECT_EQ(ok + shutting_down, kBurst);
+    EXPECT_EQ(server.wait(), 0);
+}
+
+// SignalDrain -------------------------------------------------------------
+
+TEST(SignalDrain, RaisedSignalSetsTheFlagAndWakePipe) {
+    ld::support::SignalDrain::reset();
+    {
+        ld::support::SignalDrain drain;
+        EXPECT_FALSE(ld::support::SignalDrain::requested());
+        ASSERT_EQ(std::raise(SIGTERM), 0);  // handled, not fatal
+        EXPECT_TRUE(ld::support::SignalDrain::requested());
+        char byte = 0;
+        EXPECT_EQ(::read(ld::support::SignalDrain::wake_fd(), &byte, 1), 1);
+    }
+    ld::support::SignalDrain::reset();
+}
+
+TEST(SignalDrain, TriggerDrainsAServingServer) {
+    ld::support::SignalDrain::reset();
+    ld::support::SignalDrain drain;
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("signal");
+    config.drain_on_signal = true;
+    serve::Server server(std::move(config));
+    server.start();
+
+    ld::support::SignalDrain::trigger();  // as if SIGTERM arrived
+    EXPECT_EQ(server.wait(), 0);
+    EXPECT_TRUE(server.draining());
+    ld::support::SignalDrain::reset();
+}
+
+// CLI dispatch ------------------------------------------------------------
+
+TEST(ServeCli, DispatchKnowsEverySubcommand) {
+    std::ostringstream out;
+    try {
+        ld::cli::dispatch({"frobnicate"}, out);
+        FAIL() << "expected SpecError";
+    } catch (const ld::cli::SpecError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("run"), std::string::npos);
+        EXPECT_NE(what.find("sweep"), std::string::npos);
+        EXPECT_NE(what.find("serve"), std::string::npos);
+    }
+}
+
+TEST(ServeCli, VersionPrintsBuildInfo) {
+    std::ostringstream out;
+    EXPECT_EQ(ld::cli::dispatch({"--version"}, out), 0);
+    EXPECT_EQ(out.str(), ld::support::version_line() + "\n");
+    EXPECT_NE(out.str().find(ld::support::build_info().git_describe),
+              std::string::npos);
+}
+
+TEST(ServeCli, ServeOptionsValidate) {
+    EXPECT_THROW(ld::cli::parse_serve_options({}), ld::cli::SpecError);
+    EXPECT_THROW(ld::cli::parse_serve_options({"--tcp", "70000"}), ld::cli::SpecError);
+    EXPECT_THROW(ld::cli::parse_serve_options({"--socket", "/tmp/x", "--batch-max", "0"}),
+                 ld::cli::SpecError);
+    const auto options = ld::cli::parse_serve_options(
+        {"--socket", "/tmp/x.sock", "--tcp", "0", "--queue-capacity", "7",
+         "--deadline-ms", "1500"});
+    EXPECT_EQ(*options.unix_socket, "/tmp/x.sock");
+    EXPECT_EQ(*options.tcp_port, 0u);
+    EXPECT_EQ(options.queue_capacity, 7u);
+    EXPECT_EQ(options.deadline_ms, 1500u);
+
+    std::ostringstream out;
+    EXPECT_EQ(ld::cli::run_serve(ld::cli::parse_serve_options({"--help"}), out), 0);
+    EXPECT_NE(out.str().find("--queue-capacity"), std::string::npos);
+}
+
+}  // namespace

@@ -218,6 +218,35 @@ TEST(SweepEngine, InterruptAndResumeIsByteIdentical) {
     EXPECT_EQ(read_file(uninterrupted.output_path), read_file(resumed.output_path));
 }
 
+TEST(SweepEngine, CancelHookStopsBetweenCellsAndResumes) {
+    // The cancel hook is what SIGINT/SIGTERM drive through the CLI: the
+    // cell in flight finishes, the checkpoint stays published, and a
+    // resumed run reproduces the uninterrupted output byte for byte.
+    auto uninterrupted = options_for("cancel_full");
+    exp::SweepEngine(tiny_spec(), uninterrupted).run(std::cout);
+
+    auto cancelled = options_for("cancel_partial");
+    int polls = 0;
+    cancelled.cancel = [&polls] { return ++polls > 1; };  // stop after cell 0
+    const auto partial = exp::SweepEngine(tiny_spec(), cancelled).run(std::cout);
+    EXPECT_FALSE(partial.finished);
+    EXPECT_TRUE(partial.cancelled);
+    EXPECT_EQ(partial.cells_completed, 1u);
+
+    // The checkpoint written for the finished cell records build info.
+    const json::Value manifest = json::parse_file(cancelled.output_path + ".ckpt.json");
+    EXPECT_TRUE(manifest.at("build").at("git_describe").is_string());
+
+    auto resumed = cancelled;
+    resumed.cancel = {};
+    resumed.resume = true;
+    const auto rest = exp::SweepEngine(tiny_spec(), resumed).run(std::cout);
+    EXPECT_TRUE(rest.finished);
+    EXPECT_FALSE(rest.cancelled);
+    EXPECT_EQ(rest.cells_skipped, 1u);
+    EXPECT_EQ(read_file(uninterrupted.output_path), read_file(resumed.output_path));
+}
+
 TEST(SweepEngine, ResumeRefusesAChangedSpec) {
     auto options = options_for("resume_guard");
     options.max_cells = 1;

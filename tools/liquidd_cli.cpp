@@ -12,13 +12,7 @@
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     try {
-        if (!args.empty() && args[0] == "sweep") {
-            const auto options = ld::cli::parse_sweep_options(
-                {args.begin() + 1, args.end()});
-            return ld::cli::run_sweep(options, std::cout);
-        }
-        const auto options = ld::cli::parse_options(args);
-        return ld::cli::run(options, std::cout);
+        return ld::cli::dispatch(args, std::cout);
     } catch (const std::exception& e) {
         std::cerr << "liquidd: " << e.what() << '\n'
                   << "run 'liquidd --help' for usage\n";

@@ -1,0 +1,322 @@
+// liquidd_loadgen — QPS replay client for `liquidd serve`.
+//
+// Reads a JSON-lines file of liquidd.rpc.v1 request templates (ids are
+// assigned here, sequentially), connects over a Unix-domain socket or
+// TCP loopback, and replays the file at a target rate with a pipelined
+// writer/reader pair: the writer paces sends against the wall clock, the
+// reader matches responses back to send timestamps.  The summary reports
+// achieved throughput, latency percentiles, and a per-error-code
+// breakdown — `overloaded` counts here are the admission controller
+// working, not a failure.
+//
+//   liquidd_loadgen --socket /tmp/liquidd.sock --requests reqs.jsonl \
+//       --qps 200 --repeat 10
+//
+// `--preload '<instance.load params>'` loads an instance first and
+// substitutes its fingerprint for the string "@instance" in templates,
+// so request files can exercise the micro-batched cached-eval path
+// without knowing fingerprints up front.  Walkthrough: docs/SERVING.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/net.hpp"
+
+namespace json = ld::support::json;
+namespace net = ld::support::net;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+    std::string unix_socket;
+    int tcp_port = -1;
+    std::string requests_path;
+    double qps = 0.0;          ///< 0 = as fast as the socket allows
+    std::size_t repeat = 1;    ///< replay the file this many times
+    std::string preload;       ///< instance.load params JSON ("" = none)
+    bool fail_on_error = false;  ///< exit 1 if any response has ok=false
+    bool help = false;
+};
+
+constexpr const char* kUsage = R"(liquidd_loadgen — QPS replay client for `liquidd serve`
+
+usage: liquidd_loadgen (--socket <path> | --tcp <port>) --requests <file.jsonl>
+                       [--qps <rate>] [--repeat <n>] [--preload <params-json>]
+                       [--fail-on-error]
+
+  --socket <path>      connect to a Unix-domain server socket
+  --tcp <port>         connect to 127.0.0.1:<port>
+  --requests <file>    JSON-lines request templates (ids assigned here)
+  --qps <rate>         target send rate (default 0 = unpaced)
+  --repeat <n>         replay the file n times (default 1)
+  --preload <params>   instance.load with these params first; the returned
+                       fingerprint replaces "@instance" in templates
+  --fail-on-error      exit 1 when any response has ok=false (CI smoke)
+  --help               show this text
+
+Exit status: 0 on a complete replay (every request answered, every
+response well-formed); 1 on transport failure, malformed responses,
+missing responses, or --fail-on-error with error responses; 2 on usage
+errors.
+)";
+
+[[noreturn]] void usage_error(const std::string& what) {
+    std::cerr << "liquidd_loadgen: " << what << "\n" << kUsage;
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options options;
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) usage_error(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--socket") options.unix_socket = next();
+        else if (flag == "--tcp") options.tcp_port = std::stoi(next());
+        else if (flag == "--requests") options.requests_path = next();
+        else if (flag == "--qps") options.qps = std::stod(next());
+        else if (flag == "--repeat") options.repeat = std::stoul(next());
+        else if (flag == "--preload") options.preload = next();
+        else if (flag == "--fail-on-error") options.fail_on_error = true;
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else usage_error("unknown flag '" + flag + "'");
+    }
+    if (options.help) return options;
+    if (options.unix_socket.empty() && options.tcp_port < 0) {
+        usage_error("need --socket or --tcp");
+    }
+    if (options.tcp_port > 65535) usage_error("--tcp: port must be <= 65535");
+    if (options.requests_path.empty()) usage_error("need --requests <file.jsonl>");
+    if (options.repeat == 0) usage_error("--repeat: must be >= 1");
+    return options;
+}
+
+/// Request templates: parsed once, re-rendered per send with the
+/// assigned id (and the preloaded fingerprint substituted).
+std::vector<json::Value> load_templates(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) usage_error("cannot open requests file '" + path + "'");
+    std::vector<json::Value> templates;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        json::Value value;
+        try {
+            value = json::parse(line);
+        } catch (const json::Error& e) {
+            usage_error(path + ":" + std::to_string(line_no) + ": " + e.what());
+        }
+        if (!value.is_object() || !value.contains("method")) {
+            usage_error(path + ":" + std::to_string(line_no) +
+                        ": templates must be objects with a \"method\"");
+        }
+        templates.push_back(std::move(value));
+    }
+    if (templates.empty()) usage_error("'" + path + "' holds no requests");
+    return templates;
+}
+
+/// Deep-copy `value` replacing every string "@instance" with
+/// `fingerprint` (no-op when fingerprint is empty).
+json::Value substitute(const json::Value& value, const std::string& fingerprint) {
+    if (fingerprint.empty()) return value;
+    if (value.is_string() && value.as_string() == "@instance") {
+        return json::Value(fingerprint);
+    }
+    if (value.is_object()) {
+        json::Object out;
+        for (const auto& [key, member] : value.as_object()) {
+            out.emplace(key, substitute(member, fingerprint));
+        }
+        return json::Value(std::move(out));
+    }
+    if (value.is_array()) {
+        json::Array out;
+        for (const auto& member : value.as_array()) {
+            out.push_back(substitute(member, fingerprint));
+        }
+        return json::Value(std::move(out));
+    }
+    return value;
+}
+
+std::string render_request(const json::Value& tmpl, std::size_t id,
+                           const std::string& fingerprint) {
+    json::Object request;
+    request.emplace("id", json::Value(static_cast<double>(id)));
+    for (const auto& [key, member] : tmpl.as_object()) {
+        if (key == "id") continue;  // template ids are ignored
+        request.emplace(key, substitute(member, fingerprint));
+    }
+    return json::dump(json::Value(std::move(request)));
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options options = parse_args(argc, argv);
+    if (options.help) {
+        std::cout << kUsage;
+        return 0;
+    }
+
+    try {
+        const auto templates = load_templates(options.requests_path);
+        net::Socket socket = options.unix_socket.empty()
+                                 ? net::connect_tcp_loopback(
+                                       static_cast<std::uint16_t>(options.tcp_port))
+                                 : net::connect_unix(options.unix_socket);
+        net::LineReader reader(socket);
+
+        std::string line;
+        if (!reader.read_line(line)) {
+            std::cerr << "liquidd_loadgen: server closed before the handshake\n";
+            return 1;
+        }
+        const json::Value handshake = json::parse(line);
+        if (handshake.at("schema").as_string() != "liquidd.rpc.v1") {
+            std::cerr << "liquidd_loadgen: unexpected schema '"
+                      << handshake.at("schema").as_string() << "'\n";
+            return 1;
+        }
+        std::cout << "connected: " << line << "\n";
+
+        // Optional instance preload, before the clock starts: its
+        // fingerprint patches "@instance" placeholders in the templates.
+        std::string fingerprint;
+        if (!options.preload.empty()) {
+            json::Object load;
+            load.emplace("id", json::Value(0.0));
+            load.emplace("method", json::Value(std::string("instance.load")));
+            load.emplace("params", json::parse(options.preload));
+            net::write_line(socket, json::dump(json::Value(std::move(load))));
+            if (!reader.read_line(line)) {
+                std::cerr << "liquidd_loadgen: no response to --preload\n";
+                return 1;
+            }
+            const json::Value response = json::parse(line);
+            if (!response.at("ok").as_bool()) {
+                std::cerr << "liquidd_loadgen: --preload failed: " << line << "\n";
+                return 1;
+            }
+            fingerprint = response.at("result").at("instance").as_string();
+            std::cout << "preloaded instance " << fingerprint << "\n";
+        }
+
+        const std::size_t total = templates.size() * options.repeat;
+        std::vector<Clock::time_point> sent_at(total);
+        std::vector<double> latencies_ms;
+        latencies_ms.reserve(total);
+        std::map<std::string, std::size_t> outcomes;  // "ok" or an error code
+        std::size_t malformed = 0;
+        std::mutex mutex;  // guards sent_at reads vs writes, and the tallies
+
+        const Clock::time_point start = Clock::now();
+        std::thread collector([&] {
+            std::string response_line;
+            for (std::size_t received = 0; received < total; ++received) {
+                if (!reader.read_line(response_line)) break;
+                const Clock::time_point now = Clock::now();
+                std::lock_guard<std::mutex> lock(mutex);
+                try {
+                    const json::Value response = json::parse(response_line);
+                    const std::size_t id =
+                        static_cast<std::size_t>(response.at("id").as_number());
+                    if (id < 1 || id > total) throw json::Error("id out of range");
+                    latencies_ms.push_back(
+                        std::chrono::duration<double, std::milli>(now - sent_at[id - 1])
+                            .count());
+                    if (response.at("ok").as_bool()) {
+                        ++outcomes["ok"];
+                    } else {
+                        ++outcomes[response.at("error").at("code").as_string()];
+                    }
+                } catch (const json::Error&) {
+                    ++malformed;
+                }
+            }
+        });
+
+        const auto period =
+            options.qps > 0
+                ? std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(1.0 / options.qps))
+                : Clock::duration::zero();
+        for (std::size_t i = 0; i < total; ++i) {
+            if (period.count() > 0) std::this_thread::sleep_until(start + period * i);
+            const std::string request =
+                render_request(templates[i % templates.size()], i + 1, fingerprint);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                sent_at[i] = Clock::now();
+            }
+            net::write_line(socket, request);
+        }
+        collector.join();
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+
+        std::size_t answered = 0;
+        std::size_t errors = 0;
+        std::ostringstream breakdown;
+        for (const auto& [code, count] : outcomes) {
+            answered += count;
+            if (code != "ok") errors += count;
+            breakdown << "  " << code << ": " << count;
+        }
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+
+        std::cout << "loadgen: " << answered << "/" << total << " answered in "
+                  << elapsed << " s (" << (elapsed > 0 ? answered / elapsed : 0.0)
+                  << " req/s)\n"
+                  << breakdown.str() << "\n"
+                  << "  latency ms: p50 " << percentile(latencies_ms, 0.50) << "  p90 "
+                  << percentile(latencies_ms, 0.90) << "  p99 "
+                  << percentile(latencies_ms, 0.99) << "  max "
+                  << (latencies_ms.empty() ? 0.0 : latencies_ms.back()) << "\n";
+
+        if (malformed > 0) {
+            std::cerr << "liquidd_loadgen: " << malformed << " malformed response(s)\n";
+            return 1;
+        }
+        if (answered != total) {
+            std::cerr << "liquidd_loadgen: " << (total - answered)
+                      << " request(s) unanswered (server drained early?)\n";
+            return 1;
+        }
+        if (options.fail_on_error && errors > 0) {
+            std::cerr << "liquidd_loadgen: " << errors
+                      << " error response(s) with --fail-on-error\n";
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "liquidd_loadgen: " << e.what() << "\n";
+        return 1;
+    }
+}
