@@ -391,6 +391,9 @@ accepting, finish admitted work, flush metrics, exit 0.
                          none (default 0 = auto, one per hardware thread)
   --deadline-ms <ms>     default per-request deadline when a request
                          carries no deadline_ms (default 0 = none)
+  --write-timeout-ms <ms>  bound on any single response write; a client
+                         that stops reading this long is dropped
+                         (default 5000, 0 = block indefinitely)
   --metrics-out <path>   flush a liquidd.metrics.v1 report here as the
                          last drain step
   --help                 show this text
@@ -421,6 +424,7 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
         }
         else if (flag == "--threads") options.threads = parse_size(next(), flag);
         else if (flag == "--deadline-ms") options.deadline_ms = parse_size(next(), flag);
+        else if (flag == "--write-timeout-ms") options.write_timeout_ms = parse_size(next(), flag);
         else if (flag == "--metrics-out") options.metrics_out = next();
         else if (flag == "--help" || flag == "-h") options.help = true;
         else throw SpecError("unknown flag '" + flag + "' (try `liquidd serve --help`)");
@@ -444,6 +448,7 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
     config.batch_max = options.batch_max;
     config.eval_threads = options.threads;
     config.default_deadline = std::chrono::milliseconds(options.deadline_ms);
+    config.write_timeout = std::chrono::milliseconds(options.write_timeout_ms);
     config.drain_on_signal = true;
     if (options.metrics_out) config.metrics_out = *options.metrics_out;
 

@@ -74,6 +74,7 @@ struct ServeOptions {
     std::size_t batch_max = 16;              ///< --batch-max
     std::size_t threads = 0;                 ///< --threads (0 = auto)
     std::size_t deadline_ms = 0;             ///< --deadline-ms (0 = none)
+    std::size_t write_timeout_ms = 5000;     ///< --write-timeout-ms (0 = block)
     std::optional<std::string> metrics_out;  ///< --metrics-out (flushed on drain)
     bool help = false;
 };

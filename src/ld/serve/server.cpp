@@ -1,6 +1,8 @@
 #include "ld/serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <unordered_map>
 
@@ -37,11 +39,17 @@ std::string batch_key_of(const Request& request) {
 }  // namespace
 
 void Server::ClientConn::send(const std::string& line) noexcept {
+    if (dead.load(std::memory_order_relaxed)) return;
     std::lock_guard<std::mutex> lock(write_mutex);
     try {
-        support::net::write_line(socket, line);
+        support::net::write_line(socket, line, write_timeout_ms);
     } catch (const support::net::NetError&) {
-        // Peer hung up before reading its response; nothing to do.
+        // Peer hung up, or stopped reading until the bounded write timed
+        // out.  Either way the client is unrecoverable: drop it so it
+        // cannot stall the dispatcher again, and shut the socket down so
+        // its reader thread unblocks and reaps the connection.
+        dead.store(true, std::memory_order_relaxed);
+        socket.shutdown_both();
     }
 }
 
@@ -143,20 +151,24 @@ void Server::do_drain() {
     queue_cv_.notify_all();
     if (dispatcher_.joinable()) dispatcher_.join();
 
-    // 3. Close connections: shut the read side first so reader threads
+    // 3. Close connections: shut the read side so reader threads
     //    unblock and finish any inline request (their responses still
-    //    flush), then join and close.
+    //    flush — bounded by write_timeout), then wait for every
+    //    detached reader to reap itself.  Copy, don't swap: exiting
+    //    readers remove themselves from conns_ concurrently.
     std::vector<std::shared_ptr<ClientConn>> conns;
     {
         std::lock_guard<std::mutex> lock(conns_mutex_);
-        conns.swap(conns_);
+        conns = conns_;
     }
     for (const auto& conn : conns) {
         if (conn->socket.valid()) ::shutdown(conn->socket.fd(), SHUT_RD);
     }
-    for (const auto& conn : conns) {
-        if (conn->reader.joinable()) conn->reader.join();
-        conn->socket.close();
+    conns.clear();  // sockets close when the last shared_ptr drops
+    {
+        std::unique_lock<std::mutex> lock(conns_mutex_);
+        conns_cv_.wait(lock, [this] { return active_readers_ == 0; });
+        conns_.clear();
     }
 
     // 4. Flush metrics.
@@ -170,10 +182,24 @@ void Server::do_drain() {
 
 void Server::accept_loop(support::net::Listener& listener) {
     while (!draining()) {
-        auto client = listener.accept(wake_pipe_[0]);
+        std::optional<support::net::Socket> client;
+        try {
+            client = listener.accept(wake_pipe_[0]);
+        } catch (const support::net::NetError& e) {
+            // A failed accept must degrade, never terminate the server.
+            std::fprintf(stderr, "liquidd serve: accept failed: %s\n", e.what());
+            support::MetricsRegistry::global().counter("serve.accept_errors").add(1);
+            pollfd wake{wake_pipe_[0], POLLIN, 0};
+            ::poll(&wake, 1, 100);
+            continue;
+        }
         if (!client.has_value()) break;  // woken for drain
         auto conn = std::make_shared<ClientConn>();
         conn->socket = std::move(*client);
+        conn->write_timeout_ms =
+            config_.write_timeout.count() > 0
+                ? static_cast<int>(config_.write_timeout.count())
+                : -1;
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
             if (draining()) {
@@ -181,10 +207,13 @@ void Server::accept_loop(support::net::Listener& listener) {
                 break;
             }
             conns_.push_back(conn);
+            ++active_readers_;
         }
         status_.connections.fetch_add(1, std::memory_order_relaxed);
         support::MetricsRegistry::global().counter("serve.connections").add(1);
-        conn->reader = std::thread([this, conn] { connection_loop(conn); });
+        // Detached: the thread reaps itself via finish_connection, and
+        // do_drain waits on active_readers_ instead of joining handles.
+        std::thread([this, conn] { connection_loop(conn); }).detach();
     }
 }
 
@@ -210,7 +239,22 @@ void Server::connection_loop(std::shared_ptr<ClientConn> conn) {
     } catch (const support::net::NetError&) {
         // Connection dropped mid-read; treat as EOF.
     }
+    finish_connection(conn);
+}
+
+void Server::finish_connection(const std::shared_ptr<ClientConn>& conn) {
+    // The socket is NOT closed here: queued evals may still hold the
+    // conn and flush responses to a peer that shut down only its write
+    // side.  The fd closes with the last shared_ptr, which is also what
+    // makes fd reuse safe — no send can ever race a close.
     status_.connections.fetch_sub(1, std::memory_order_relaxed);
+    // Decrement-and-notify under the mutex, and touch no member after:
+    // once active_readers_ hits 0 a draining Server may be destroyed
+    // out from under this (detached) thread.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+    --active_readers_;
+    conns_cv_.notify_all();
 }
 
 Request Server::parse_with_default_deadline(const std::string& line) {
@@ -254,24 +298,42 @@ void Server::handle_connection_line(const std::shared_ptr<ClientConn>& conn,
                                 "server is draining"));
         return;
     }
+    bool shutting_down = false;
+    bool overloaded = false;
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
-        if (!try_admit_locked()) {
-            registry.counter("serve.rejected_overload").add(1);
-            conn->send(render_error(request.id, ErrorCode::Overloaded,
-                                    "admission queue full (capacity " +
-                                        std::to_string(config_.queue_capacity) +
-                                        "); retry later"));
-            return;
+        // Authoritative drain check: the fast-path check above races
+        // with do_drain, which observes an empty queue and sets
+        // stop_dispatcher_ under this mutex.  An eval enqueued after
+        // that point would never be dispatched — so re-check here and
+        // reject instead of silently dropping it.
+        if (stop_dispatcher_ || draining()) {
+            shutting_down = true;
+        } else if (!try_admit_locked()) {
+            overloaded = true;
+        } else {
+            QueuedEval queued;
+            queued.batch_key = batch_key_of(request);
+            queued.dedup_key = dedup_key_of(request);
+            queued.request = std::move(request);
+            queued.conn = conn;
+            queue_.push_back(std::move(queued));
+            set_queue_depth_locked();
+            registry.counter("serve.admitted").add(1);
         }
-        QueuedEval queued;
-        queued.batch_key = batch_key_of(request);
-        queued.dedup_key = dedup_key_of(request);
-        queued.request = std::move(request);
-        queued.conn = conn;
-        queue_.push_back(std::move(queued));
-        set_queue_depth_locked();
-        registry.counter("serve.admitted").add(1);
+    }
+    if (shutting_down) {
+        conn->send(render_error(request.id, ErrorCode::ShuttingDown,
+                                "server is draining"));
+        return;
+    }
+    if (overloaded) {
+        registry.counter("serve.rejected_overload").add(1);
+        conn->send(render_error(request.id, ErrorCode::Overloaded,
+                                "admission queue full (capacity " +
+                                    std::to_string(config_.queue_capacity) +
+                                    "); retry later"));
+        return;
     }
     queue_cv_.notify_one();
 }

@@ -11,7 +11,14 @@
 //                      into the bounded queue — or is rejected with
 //                      `overloaded` when the queue is full, which is the
 //                      whole backpressure story: the server never
-//                      buffers more than queue_capacity evals.
+//                      buffers more than queue_capacity evals.  The
+//                      threads are detached and self-reaping: on client
+//                      disconnect each removes its connection from the
+//                      live set and decrements active_readers_, so churn
+//                      never accumulates fds or thread handles.  All
+//                      response writes are bounded by write_timeout; a
+//                      peer that stops reading is dropped, never allowed
+//                      to wedge the dispatcher or a drain.
 //   dispatcher thread  pops evals, coalesces up to batch_max requests
 //                      that target the same cached instance into one
 //                      micro-batch (identical requests are computed once
@@ -64,6 +71,11 @@ struct ServerConfig {
     /// Default per-request deadline applied when a request carries no
     /// deadline_ms (0 = none).
     std::chrono::milliseconds default_deadline{0};
+    /// Bound on any single response write.  A client whose socket buffer
+    /// stays full this long (it stopped reading) is dropped, so it can
+    /// never head-of-line-block the dispatcher or hang a drain
+    /// (0 = block indefinitely).
+    std::chrono::milliseconds write_timeout{5'000};
     /// Watch support::SignalDrain's wake pipe and drain on SIGINT/SIGTERM
     /// (the caller installs the handler; see cli::run_serve).
     bool drain_on_signal = false;
@@ -114,9 +126,14 @@ private:
     struct ClientConn {
         support::net::Socket socket;
         std::mutex write_mutex;
-        std::thread reader;
+        int write_timeout_ms = -1;
+        /// Set once a write timed out or failed: the peer is gone (or
+        /// not reading); later sends are skipped.
+        std::atomic<bool> dead{false};
 
-        /// Serialised, best-effort line write (peer may be gone).
+        /// Serialised, bounded, best-effort line write.  On failure or
+        /// timeout the connection is shut down (unblocking its reader)
+        /// and marked dead.
         void send(const std::string& line) noexcept;
     };
 
@@ -130,6 +147,7 @@ private:
     void accept_loop(support::net::Listener& listener);
     void watch_signals();
     void connection_loop(std::shared_ptr<ClientConn> conn);
+    void finish_connection(const std::shared_ptr<ClientConn>& conn);
     void handle_connection_line(const std::shared_ptr<ClientConn>& conn,
                                 const std::string& line);
     void dispatcher_loop();
@@ -161,7 +179,9 @@ private:
     bool stop_dispatcher_ = false;
 
     std::mutex conns_mutex_;
-    std::vector<std::shared_ptr<ClientConn>> conns_;
+    std::condition_variable conns_cv_;  ///< drain waits for readers to exit
+    std::vector<std::shared_ptr<ClientConn>> conns_;  ///< live connections only
+    std::size_t active_readers_ = 0;  ///< detached reader threads still running
 
     std::mutex drain_mutex_;
     std::condition_variable drain_cv_;

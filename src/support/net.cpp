@@ -1,6 +1,8 @@
 #include "support/net.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -38,6 +41,38 @@ sockaddr_in loopback_address(std::uint16_t port) {
     return address;
 }
 
+/// Clear the way for binding a Unix socket at `path`: nothing there is
+/// fine; a socket file nobody answers on (crashed previous run) is
+/// unlinked; a live server or any non-socket file throws — bind must
+/// never silently delete something that is still in use.
+void remove_stale_unix_socket(const std::string& path, const sockaddr_un& address) {
+    struct stat st {};
+    if (::lstat(path.c_str(), &st) != 0) {
+        if (errno == ENOENT) return;
+        fail("stat('" + path + "')");
+    }
+    if (!S_ISSOCK(st.st_mode)) {
+        throw NetError("refusing to replace '" + path +
+                       "': exists and is not a socket");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe < 0) fail("socket(AF_UNIX)");
+    const int connected =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&address), sizeof address);
+    const int connect_errno = errno;
+    ::close(probe);
+    if (connected == 0) {
+        throw NetError("'" + path + "' is in use by a live server");
+    }
+    if (connect_errno != ECONNREFUSED) {
+        throw NetError("cannot tell whether '" + path + "' is stale (connect: " +
+                       std::strerror(connect_errno) + "); remove it manually");
+    }
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+        fail("unlink stale socket '" + path + "'");
+    }
+}
+
 }  // namespace
 
 // Socket -------------------------------------------------------------------
@@ -63,14 +98,47 @@ std::size_t Socket::read_some(char* data, std::size_t size) {
     }
 }
 
-void Socket::write_all(std::string_view data) {
-    while (!data.empty()) {
-        const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            fail("send");
+void Socket::write_all(std::string_view data, int timeout_ms) {
+    if (timeout_ms < 0) {
+        while (!data.empty()) {
+            const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                fail("send");
+            }
+            data.remove_prefix(static_cast<std::size_t>(n));
         }
-        data.remove_prefix(static_cast<std::size_t>(n));
+        return;
+    }
+
+    // Bounded write: non-blocking sends, polling for writability until
+    // the deadline.  The socket itself stays in blocking mode —
+    // MSG_DONTWAIT scopes the non-blocking behaviour to these sends.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!data.empty()) {
+        const ssize_t n =
+            ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            data.remove_prefix(static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  deadline - std::chrono::steady_clock::now())
+                                  .count();
+            if (left <= 0) {
+                throw NetError("send: peer not reading, timed out after " +
+                               std::to_string(timeout_ms) + "ms");
+            }
+            pollfd writable{fd_, POLLOUT, 0};
+            const int ready = ::poll(
+                &writable, 1, static_cast<int>(std::min<long long>(left, 60'000)));
+            if (ready < 0 && errno != EINTR) fail("poll(POLLOUT)");
+            continue;
+        }
+        fail("send");
     }
 }
 
@@ -111,21 +179,21 @@ bool LineReader::read_line(std::string& line) {
     }
 }
 
-void write_line(Socket& socket, std::string_view line) {
+void write_line(Socket& socket, std::string_view line, int timeout_ms) {
     std::string framed;
     framed.reserve(line.size() + 1);
     framed.append(line);
     framed.push_back('\n');
-    socket.write_all(framed);
+    socket.write_all(framed, timeout_ms);
 }
 
 // Listener -----------------------------------------------------------------
 
 Listener Listener::unix_domain(const std::string& path) {
     const sockaddr_un address = unix_address(path);
+    remove_stale_unix_socket(path, address);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) fail("socket(AF_UNIX)");
-    ::unlink(path.c_str());  // stale socket from a previous run
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
         ::close(fd);
         fail("bind('" + path + "')");
@@ -197,6 +265,17 @@ std::optional<Socket> Listener::accept(int wake_fd) {
             if (client < 0) {
                 if (errno == EINTR || errno == ECONNABORTED) continue;
                 if (errno == EBADF || errno == EINVAL) return std::nullopt;  // closed
+                if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+                    errno == ENOMEM) {
+                    // Out of descriptors/buffers: a load condition that
+                    // clears when connections close.  Back off so the
+                    // poll above does not spin on the still-pending
+                    // connection, keeping the wake fd responsive.
+                    pollfd wake{wake_fd, POLLIN, 0};
+                    const int woke = ::poll(&wake, wake_fd >= 0 ? 1 : 0, 100);
+                    if (woke > 0 && wake_fd >= 0) return std::nullopt;
+                    continue;
+                }
                 fail("accept");
             }
             return Socket(client);

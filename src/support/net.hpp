@@ -43,8 +43,12 @@ public:
 
     /// Write all of `data`, looping over partial writes.  Throws on a
     /// closed peer (EPIPE is an error, not a signal — callers pass
-    /// MSG_NOSIGNAL).
-    void write_all(std::string_view data);
+    /// MSG_NOSIGNAL).  With `timeout_ms >= 0` the write is bounded: it
+    /// uses non-blocking sends and polls for writability, throwing
+    /// NetError once the deadline passes — so one peer that stops
+    /// reading cannot park the writing thread forever.  `timeout_ms < 0`
+    /// blocks indefinitely.
+    void write_all(std::string_view data, int timeout_ms = -1);
 
     /// shutdown(SHUT_RDWR): unblocks any thread sleeping in read_some on
     /// this socket (used to tear connections down during drain).
@@ -72,15 +76,18 @@ private:
     bool eof_ = false;
 };
 
-/// `line` + '\n' in one write.
-void write_line(Socket& socket, std::string_view line);
+/// `line` + '\n' in one write.  `timeout_ms` as in Socket::write_all.
+void write_line(Socket& socket, std::string_view line, int timeout_ms = -1);
 
 /// A bound, listening server socket: either a Unix-domain path or a TCP
 /// socket bound to 127.0.0.1.
 class Listener {
 public:
-    /// Bind and listen on a Unix-domain socket at `path` (unlinked first
-    /// so restarts do not collide; unlinked again on close).
+    /// Bind and listen on a Unix-domain socket at `path`.  A leftover
+    /// socket file from a crashed run is removed only after probing that
+    /// nothing answers on it; a live server or a non-socket file at
+    /// `path` makes this throw instead of clobbering it.  The path is
+    /// unlinked again on close.
     static Listener unix_domain(const std::string& path);
 
     /// Bind and listen on 127.0.0.1:`port`; port 0 picks an ephemeral
@@ -102,7 +109,9 @@ public:
 
     /// Block until a client connects or `wake_fd` becomes readable
     /// (pass -1 for no wake fd).  Returns nullopt on wake-up or if the
-    /// listener has been closed.
+    /// listener has been closed.  Descriptor exhaustion (EMFILE/ENFILE
+    /// and friends) is a load condition, not an error: accept backs off
+    /// briefly and retries rather than throwing.
     std::optional<Socket> accept(int wake_fd = -1);
 
     void close() noexcept;

@@ -1,5 +1,6 @@
 #include "support/signal_drain.hpp"
 
+#include <atomic>
 #include <csignal>
 
 #include <fcntl.h>
@@ -14,7 +15,11 @@ namespace {
 // Process-global signal state: flag + self-pipe.  The pipe is created
 // once, lazily, before any handler can run (SignalDrain's constructor
 // calls pipe_fds() first), so the handler itself never allocates.
-volatile std::sig_atomic_t g_requested = 0;
+// The flag is a lock-free atomic, not volatile sig_atomic_t: requested()
+// is read from watcher threads, not just the interrupted thread, and a
+// lock-free atomic store is async-signal-safe.
+std::atomic<int> g_requested{0};
+static_assert(std::atomic<int>::is_always_lock_free);
 int g_pipe[2] = {-1, -1};
 
 const int* pipe_fds() noexcept {
@@ -31,7 +36,7 @@ const int* pipe_fds() noexcept {
 }
 
 extern "C" void drain_signal_handler(int) {
-    g_requested = 1;
+    g_requested.store(1, std::memory_order_relaxed);
     if (g_pipe[1] != -1) {
         const char byte = 1;
         [[maybe_unused]] const auto rc = ::write(g_pipe[1], &byte, 1);
@@ -58,14 +63,16 @@ SignalDrain::~SignalDrain() {
     }
 }
 
-bool SignalDrain::requested() noexcept { return g_requested != 0; }
+bool SignalDrain::requested() noexcept {
+    return g_requested.load(std::memory_order_relaxed) != 0;
+}
 
 int SignalDrain::wake_fd() noexcept { return pipe_fds()[0]; }
 
 void SignalDrain::trigger() noexcept { drain_signal_handler(0); }
 
 void SignalDrain::reset() noexcept {
-    g_requested = 0;
+    g_requested.store(0, std::memory_order_relaxed);
     char sink[64];
     while (::read(pipe_fds()[0], sink, sizeof sink) > 0) {
     }

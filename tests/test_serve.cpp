@@ -10,11 +10,15 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "ld/cli/runner.hpp"
@@ -372,6 +376,48 @@ std::string socket_path(const std::string& tag) {
     return ::testing::TempDir() + "/ld_" + tag + ".sock";
 }
 
+TEST(NetListener, RefusesToClobberALiveUnixSocket) {
+    const std::string path = socket_path("live");
+    net::Listener first = net::Listener::unix_domain(path);
+    // Something answers at `path`: a second bind must fail loudly
+    // instead of silently unlinking the live server's socket.
+    EXPECT_THROW(net::Listener::unix_domain(path), net::NetError);
+    // ... and the live listener still works afterwards.
+    net::Socket probe = net::connect_unix(path);
+    EXPECT_TRUE(probe.valid());
+}
+
+TEST(NetListener, ReplacesAStaleUnixSocketButNotARegularFile) {
+    // A socket file nobody listens on (crashed run): bind adopts the path.
+    const std::string stale = socket_path("stale");
+    {
+        // Simulate the crash with a raw bind that leaves the file behind.
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        ASSERT_LT(stale.size(), sizeof(address.sun_path));
+        std::memcpy(address.sun_path, stale.c_str(), stale.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof address), 0);
+        ::close(fd);
+
+        net::Listener revived = net::Listener::unix_domain(stale);
+        EXPECT_TRUE(revived.valid());
+        net::Socket probe = net::connect_unix(stale);
+        EXPECT_TRUE(probe.valid());
+    }
+
+    // A regular file at the path is never deleted.
+    const std::string file = socket_path("notasock");
+    { std::ofstream out(file); out << "precious"; }
+    EXPECT_THROW(net::Listener::unix_domain(file), net::NetError);
+    std::ifstream check(file);
+    std::string contents;
+    check >> contents;
+    EXPECT_EQ(contents, "precious");
+    ::unlink(file.c_str());
+}
+
 TEST(ServeServer, SocketSessionAndGracefulDrain) {
     serve::ServerConfig config;
     config.unix_socket = socket_path("session");
@@ -436,6 +482,85 @@ TEST(ServeServer, SocketSessionAndGracefulDrain) {
 
     // The listener is gone: a fresh connect must fail.
     EXPECT_THROW(net::connect_unix(server.config().unix_socket), net::NetError);
+}
+
+TEST(ServeServer, ReapsDisconnectedClientsUnderChurn) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("churn");
+    serve::Server server(std::move(config));
+    server.start();
+
+    // Connect/handshake/close repeatedly: every reader thread must reap
+    // itself and release its connection — a server that retained them
+    // until drain would leak one fd + one thread per iteration.
+    for (int i = 0; i < 25; ++i) {
+        net::Socket client = net::connect_unix(server.config().unix_socket);
+        net::LineReader reader(client);
+        std::string line;
+        ASSERT_TRUE(reader.read_line(line));  // handshake
+        client.close();
+    }
+
+    // `health` reports the live-connection gauge; poll until every
+    // disconnected client has been reaped.
+    double connections = -1.0;
+    for (int spin = 0; spin < 200; ++spin) {
+        const json::Value health =
+            json::parse(server.handle_line(R"({"id": 1, "method": "health"})"));
+        connections = health.at("result").at("connections").as_number();
+        if (connections == 0.0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(connections, 0.0);
+
+    // The server is still healthy: a fresh client gets a handshake.
+    net::Socket again = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(again);
+    std::string line;
+    EXPECT_TRUE(reader.read_line(line));
+
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeServer, SlowReaderIsDroppedNotHeadOfLineBlocking) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("slow");
+    config.write_timeout = std::chrono::milliseconds(100);
+    serve::Server server(std::move(config));
+    server.start();
+
+    // A client that never reads: once its socket buffer fills, bounded
+    // writes must time out and drop it instead of wedging the server.
+    net::Socket stalled = net::connect_unix(server.config().unix_socket);
+    json::Object params;
+    params.emplace("graph", json::Value(std::string(kGraph)));
+    params.emplace("competencies", json::Value(std::string(kCompetencies)));
+    params.emplace("n", json::Value(static_cast<double>(kN)));
+    params.emplace("alpha", json::Value(kAlpha));
+    params.emplace("seed", json::Value(static_cast<double>(kSeed)));
+    json::Object request;
+    request.emplace("id", json::Value(1.0));
+    request.emplace("method", json::Value(std::string("instance.info")));
+    request.emplace("params", json::Value(std::move(params)));
+    const std::string line = json::dump(json::Value(std::move(request)));
+    // Flood requests without ever reading a response: the responses
+    // back up until the server's bounded write times out and the
+    // server shuts this connection down (our writes then fail).
+    try {
+        for (int i = 0; i < 20'000; ++i) net::write_line(stalled, line);
+    } catch (const net::NetError&) {
+        // Server dropped us (RST on the shut-down socket) — expected.
+    }
+
+    // The server must still serve other clients and drain promptly;
+    // with a wedged dispatcher or reader this would hang, not pass.
+    net::Socket healthy = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(healthy);
+    std::string response;
+    EXPECT_TRUE(reader.read_line(response));  // handshake
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
 }
 
 TEST(ServeServer, DrainUnderLoadAnswersEveryAcceptedRequest) {
