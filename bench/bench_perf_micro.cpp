@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "graph/generators.hpp"
 #include "ld/delegation/realize.hpp"
+#include "ld/model/competency_gen.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/election/tally.hpp"
 #include "ld/election/workspace.hpp"
@@ -17,6 +20,7 @@
 #include "ld/mech/approval_size_threshold.hpp"
 #include "prob/poisson_binomial.hpp"
 #include "prob/weighted_bernoulli_sum.hpp"
+#include "support/build_info.hpp"
 
 namespace {
 
@@ -134,6 +138,71 @@ void BM_WeightedSumTally(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightedSumTally)->Arg(500)->Arg(2000);
 
+// Tentpole ablation: the certified ε-truncated tally on the same instance
+// family as BM_WeightedSumTally.  The live DP window hugs the W/2
+// threshold instead of spanning [0, W], so per-realization cost drops
+// from O(#sinks·W) to ~O(#sinks·σ_W) with a proven |ΔP| ≤ ε/2.
+void BM_TallyTruncated(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(5);  // same stream as BM_WeightedSumTally: same realization
+    const auto inst = experiments::complete_pc_instance(rng, n, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    const auto out = delegation::realize(m, inst, rng);
+    election::TallyScratch scratch;
+    const double eps = 1e-12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(election::truncated_correct_probability(
+            out, inst.competencies(), eps, scratch));
+    }
+}
+BENCHMARK(BM_TallyTruncated)->Arg(500)->Arg(2000);
+
+// The truncation pays off most in the Lemma-3 regime — at most √n
+// delegators, so the weight profile is ~n unit-weight sinks and the DP
+// variance is Θ(n) while the support is Θ(n) wide: the live window
+// O(σ·√log(1/ε)) is a vanishing fraction of the exact buffer.  The
+// exact/truncated pair below shares one deterministic √n-budget outcome.
+delegation::DelegationOutcome budget_outcome(std::size_t n) {
+    std::vector<mech::Action> actions;
+    actions.reserve(n);
+    const auto budget = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < budget) {
+            actions.push_back(
+                mech::Action::delegate_to(static_cast<graph::Vertex>(i + budget)));
+        } else {
+            actions.push_back(mech::Action::vote());
+        }
+    }
+    return delegation::DelegationOutcome(actions);
+}
+
+void BM_TallyExactBudget(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(9);
+    const auto p = model::uniform_competencies(rng, n, 0.45, 0.65);
+    const auto out = budget_outcome(n);
+    election::TallyScratch scratch;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(election::exact_correct_probability(out, p, scratch));
+    }
+}
+BENCHMARK(BM_TallyExactBudget)->Arg(500)->Arg(2000);
+
+void BM_TallyTruncatedBudget(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(9);  // same stream as BM_TallyExactBudget: same profile
+    const auto p = model::uniform_competencies(rng, n, 0.45, 0.65);
+    const auto out = budget_outcome(n);
+    election::TallyScratch scratch;
+    const double eps = 1e-12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(election::truncated_correct_probability(
+            out, p, eps, scratch));
+    }
+}
+BENCHMARK(BM_TallyTruncatedBudget)->Arg(500)->Arg(2000);
+
 // Ablation: exact-inner-step estimator vs naive vote sampling at matched
 // wall-clock-ish budgets.  Compare std_error per unit work in the counters.
 void BM_EstimatorRaoBlackwell(benchmark::State& state) {
@@ -169,6 +238,28 @@ void BM_EstimateGain(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateGain)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// Adaptive stopping: estimate_gain runs batches until the P^M standard
+// error reaches the target instead of a fixed count.  The replications
+// counter records where it stopped — the speed claim is reps-not-run.
+void BM_EstimateGainAdaptive(benchmark::State& state) {
+    rng::Rng rng(8);
+    const auto inst = experiments::complete_pc_instance(rng, 201, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.target_std_error = 5e-4;
+    opts.adaptive_batch = 50;
+    opts.max_replications = 2000;
+    opts.tally_epsilon = 1e-12;
+    std::size_t last_reps = 0;
+    for (auto _ : state) {
+        const auto report = election::estimate_gain(m, inst, rng, opts);
+        last_reps = report.pm.replications;
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["replications"] = static_cast<double>(last_reps);
+}
+BENCHMARK(BM_EstimateGainAdaptive);
+
 // Workspace reuse: realize_into through one ReplicationWorkspace (the
 // steady-state inner loop) vs the allocating realize() above.
 void BM_RealizeDelegationWorkspace(benchmark::State& state) {
@@ -202,4 +293,16 @@ BENCHMARK(BM_EstimatorNaive);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every snapshot records which *library* build type
+// produced it (`context.liquidd_build_type`): google-benchmark's own
+// `library_build_type` describes the installed benchmark .so, not this
+// repo's flags, and `bench_diff --strict` gates on the repo's type.
+int main(int argc, char** argv) {
+    benchmark::AddCustomContext("liquidd_build_type",
+                                ld::support::build_info().build_type);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -64,6 +64,14 @@ usage: liquidd [run] [flags]
   --n <count>            number of voters (default 100)
   --alpha <margin>       approval margin alpha > 0 (default 0.05)
   --reps <count>         Monte-Carlo replications (default 200)
+  --target-se <se>       adaptive stopping: replicate in batches until the
+                         P^M standard error reaches <se> (overrides --reps;
+                         deterministic for a fixed seed/threads pair)
+  --max-reps <count>     ceiling on adaptive replications (default 100000)
+  --tally-eps <eps>      certified ε-truncated inner tally: each
+                         per-realization P^M term is within eps/2 of the
+                         exact DP, at a fraction of the cost (default 0 =
+                         exact; try 1e-12)
   --seed <value>         RNG seed (default 1)
   --audit                also run the Lemma 3 / Lemma 5 DNH audits
   --threads <count>      replication worker threads (default 1;
@@ -109,6 +117,20 @@ Options parse_options(const std::vector<std::string>& args) {
         else if (flag == "--n") options.n = parse_size(next(), flag);
         else if (flag == "--alpha") options.alpha = parse_double(next(), flag);
         else if (flag == "--reps") options.replications = parse_size(next(), flag);
+        else if (flag == "--target-se") {
+            options.target_se = parse_double(next(), flag);
+            if (options.target_se < 0.0) throw SpecError("--target-se: must be >= 0");
+        }
+        else if (flag == "--max-reps") {
+            options.max_replications = parse_size(next(), flag);
+            if (options.max_replications == 0) throw SpecError("--max-reps: must be >= 1");
+        }
+        else if (flag == "--tally-eps") {
+            options.tally_eps = parse_double(next(), flag);
+            if (options.tally_eps < 0.0 || options.tally_eps >= 1.0) {
+                throw SpecError("--tally-eps: must be in [0, 1)");
+            }
+        }
         else if (flag == "--seed") options.seed = parse_size(next(), flag);
         else if (flag == "--audit") options.audit = true;
         else if (flag == "--threads") options.threads = parse_size(next(), flag);
@@ -156,6 +178,9 @@ int run(const Options& options, std::ostream& out) {
 
     election::EvalOptions eval;
     eval.replications = options.replications;
+    eval.target_std_error = options.target_se;
+    eval.max_replications = options.max_replications;
+    eval.tally_epsilon = options.tally_eps;
     eval.threads = options.threads == 0 ? support::ThreadPool::global().worker_count()
                                         : options.threads;
     eval.approximate_tally = options.approximate;
@@ -166,6 +191,8 @@ int run(const Options& options, std::ostream& out) {
     table.add_row({std::string("P^D (exact)"), report.pd});
     table.add_row({std::string("P^M (estimated)"), report.pm.value});
     table.add_row({std::string("P^M std error"), report.pm.std_error});
+    table.add_row({std::string("P^M replications"),
+                   static_cast<double>(report.pm.replications)});
     table.add_row({std::string("gain"), report.gain});
     table.add_row({std::string("gain CI lo"), report.gain_ci.lo});
     table.add_row({std::string("gain CI hi"), report.gain_ci.hi});
@@ -389,6 +416,8 @@ accepting, finish admitted work, flush metrics, exit 0.
                          target the same cached instance (default 16)
   --threads <count>      default eval threads for requests that name
                          none (default 0 = auto, one per hardware thread)
+  --tally-eps <eps>      default certified truncation ε applied to eval
+                         requests that name no tally_eps (default 0 = exact)
   --deadline-ms <ms>     default per-request deadline when a request
                          carries no deadline_ms (default 0 = none)
   --write-timeout-ms <ms>  bound on any single response write; a client
@@ -423,6 +452,12 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
             if (options.batch_max == 0) throw SpecError("--batch-max: must be >= 1");
         }
         else if (flag == "--threads") options.threads = parse_size(next(), flag);
+        else if (flag == "--tally-eps") {
+            options.tally_eps = parse_double(next(), flag);
+            if (options.tally_eps < 0.0 || options.tally_eps >= 1.0) {
+                throw SpecError("--tally-eps: must be in [0, 1)");
+            }
+        }
         else if (flag == "--deadline-ms") options.deadline_ms = parse_size(next(), flag);
         else if (flag == "--write-timeout-ms") options.write_timeout_ms = parse_size(next(), flag);
         else if (flag == "--metrics-out") options.metrics_out = next();
@@ -447,6 +482,7 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
     config.queue_capacity = options.queue_capacity;
     config.batch_max = options.batch_max;
     config.eval_threads = options.threads;
+    config.tally_epsilon = options.tally_eps;
     config.default_deadline = std::chrono::milliseconds(options.deadline_ms);
     config.write_timeout = std::chrono::milliseconds(options.write_timeout_ms);
     config.drain_on_signal = true;

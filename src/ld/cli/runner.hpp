@@ -25,6 +25,9 @@ struct Options {
     bool discard_cycles = false;   ///< CyclePolicy::Discard (noisy mechanisms)
     std::size_t threads = 1;       ///< replication workers (0 = auto: pool size)
     bool approximate = false;      ///< Lemma-4 normal-approximation tallies
+    double target_se = 0.0;        ///< --target-se: adaptive stopping (0 = fixed reps)
+    std::size_t max_replications = 100'000;  ///< --max-reps: adaptive ceiling
+    double tally_eps = 0.0;        ///< --tally-eps: certified truncated tally (0 = exact)
     std::optional<std::string> dot_path;  ///< write one realization as DOT
     std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)
     std::optional<std::string> save_path; ///< save the built instance
@@ -73,6 +76,7 @@ struct ServeOptions {
     std::size_t queue_capacity = 128;        ///< --queue-capacity
     std::size_t batch_max = 16;              ///< --batch-max
     std::size_t threads = 0;                 ///< --threads (0 = auto)
+    double tally_eps = 0.0;                  ///< --tally-eps: default ε for eval requests
     std::size_t deadline_ms = 0;             ///< --deadline-ms (0 = none)
     std::size_t write_timeout_ms = 5000;     ///< --write-timeout-ms (0 = block)
     std::optional<std::string> metrics_out;  ///< --metrics-out (flushed on drain)

@@ -88,6 +88,10 @@ class EstimateTimer {
 public:
     explicit EstimateTimer(std::size_t replications) : replications_(replications) {}
 
+    /// Adaptive mode only learns the replication count at the end; let the
+    /// caller correct the initial guess before the destructor credits it.
+    void set_replications(std::size_t n) noexcept { replications_ = n; }
+
     ~EstimateTimer() {
         static support::Counter& replications =
             support::MetricsRegistry::global().counter("engine.replications");
@@ -156,9 +160,14 @@ ReplicationStats run_replications(const mech::Mechanism& mechanism,
         const auto& outcome = ws.outcome;
         double pm_r;
         if (outcome.functional()) {
-            pm_r = options.approximate_tally
-                       ? approx_correct_probability(outcome, p, ws.tally)
-                       : exact_correct_probability(outcome, p, ws.tally);
+            if (options.approximate_tally) {
+                pm_r = approx_correct_probability(outcome, p, ws.tally);
+            } else if (options.tally_epsilon > 0.0) {
+                pm_r = truncated_correct_probability(outcome, p,
+                                                     options.tally_epsilon, ws.tally);
+            } else {
+                pm_r = exact_correct_probability(outcome, p, ws.tally);
+            }
             const auto& st = outcome.stats();
             acc.max_weight.add(static_cast<double>(st.max_weight));
             acc.sinks.add(static_cast<double>(st.voting_sink_count));
@@ -183,6 +192,81 @@ ReplicationStats run_replications(const mech::Mechanism& mechanism,
     return acc;
 }
 
+/// Adaptive replication loop: rounds of `options.adaptive_batch`
+/// replications, stopping once the merged P^M standard error reaches
+/// `options.target_std_error` (needs ≥ 2 reps — one sample has no SE) or
+/// `options.max_replications` is hit.  Determinism for fixed
+/// (seed, threads): worker streams are split once up front and persist
+/// across rounds, each round splits its batch base/extra across workers
+/// exactly like the fixed path, per-worker partials accumulate locally,
+/// and the stopping statistic is recomputed from a worker-ordered merge —
+/// nothing depends on scheduling.
+ReplicationStats run_adaptive_replications(const mech::Mechanism& mechanism,
+                                           const model::Instance& instance,
+                                           rng::Rng& rng, const EvalOptions& options,
+                                           std::size_t& replications_done) {
+    expects(options.adaptive_batch > 0, "estimate: adaptive_batch must be positive");
+    expects(options.max_replications > 0,
+            "estimate: max_replications must be positive");
+    static support::Counter& rounds_counter =
+        support::MetricsRegistry::global().counter("eval.adaptive_batches");
+    ReplicationEngine& engine = engine_for(options);
+    const std::size_t cap = options.max_replications;
+    const std::size_t batch = std::min(options.adaptive_batch, cap);
+    const std::size_t threads = std::min(options.threads, batch);
+
+    std::vector<rng::Rng> streams;
+    if (threads > 1) {
+        streams.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) streams.push_back(rng.split());
+    }
+    std::vector<ReplicationStats> partials(threads);
+    ReplicationStats merged;
+    std::size_t done = 0;
+    while (true) {
+        const std::size_t round = std::min(batch, cap - done);
+        if (threads == 1) {
+            partials[0].merge(run_replications(mechanism, instance, rng, options,
+                                               round, engine.local_workspace()));
+        } else {
+            const std::size_t base = round / threads;
+            const std::size_t extra = round % threads;
+            const auto chunk = [&](std::size_t t, std::size_t count) {
+                partials[t].merge(run_replications(mechanism, instance, streams[t],
+                                                   options, count,
+                                                   engine.local_workspace()));
+            };
+            if (options.use_thread_pool) {
+                support::TaskGroup group(engine.pool());
+                for (std::size_t t = 0; t < threads; ++t) {
+                    const std::size_t count = base + (t < extra ? 1 : 0);
+                    if (count > 0) group.submit([&chunk, t, count] { chunk(t, count); });
+                }
+                group.wait();
+            } else {
+                std::vector<std::thread> workers;
+                workers.reserve(threads);
+                for (std::size_t t = 0; t < threads; ++t) {
+                    const std::size_t count = base + (t < extra ? 1 : 0);
+                    if (count > 0) workers.emplace_back([&chunk, t, count] { chunk(t, count); });
+                }
+                for (auto& w : workers) w.join();
+            }
+        }
+        done += round;
+        rounds_counter.add(1);
+        merged = ReplicationStats{};
+        for (const auto& partial : partials) merged.merge(partial);
+        if (done >= cap) break;
+        if (merged.pm.count() >= 2 &&
+            merged.pm.standard_error() <= options.target_std_error) {
+            break;
+        }
+    }
+    replications_done = done;
+    return merged;
+}
+
 /// Run `options.replications` replications, fanning out to
 /// `options.threads` workers with independent jumped RNG streams on the
 /// engine's persistent pool (or, legacy path, on freshly spawned threads).
@@ -190,7 +274,14 @@ ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
                                       const model::Instance& instance, rng::Rng& rng,
                                       const EvalOptions& options) {
     validate_options(mechanism, instance, options);
-    const EstimateTimer timer(options.replications);
+    EstimateTimer timer(options.replications);
+    if (options.target_std_error > 0.0) {
+        std::size_t done = 0;
+        auto merged =
+            run_adaptive_replications(mechanism, instance, rng, options, done);
+        timer.set_replications(done);
+        return merged;
+    }
     ReplicationEngine& engine = engine_for(options);
     const std::size_t threads =
         std::min(options.threads, options.replications);

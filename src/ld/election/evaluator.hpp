@@ -35,8 +35,30 @@ class ReplicationEngine;
 
 /// Knobs for Monte-Carlo evaluation.
 struct EvalOptions {
-    /// Number of delegation-graph realizations.
+    /// Number of delegation-graph realizations (fixed mode; ignored when
+    /// `target_std_error` enables adaptive stopping).
     std::size_t replications = 200;
+    /// Adaptive stopping: when > 0, replications run in rounds of
+    /// `adaptive_batch` until the P^M standard error falls to this
+    /// target or `max_replications` is reached, whichever comes first.
+    /// The stopping rule is evaluated only at batch boundaries and the
+    /// per-round work split across workers mirrors the fixed path, so a
+    /// fixed (seed, threads) pair is bit-reproducible — the sequence of
+    /// batch sizes never depends on thread scheduling.
+    double target_std_error = 0.0;
+    /// Replications per adaptive round (the granularity of the stopping
+    /// check; also the unit the `eval.adaptive_batches` counter counts).
+    std::size_t adaptive_batch = 64;
+    /// Hard ceiling on adaptive replications (the target may be
+    /// unreachable, e.g. a zero-variance mechanism needs 2 but a noisy
+    /// one may never hit 1e-6).
+    std::size_t max_replications = 100'000;
+    /// ε for the certified truncated inner tally
+    /// (`truncated_correct_probability`): each per-realization P^M term
+    /// is within ε/2 of the exact DP, at ~O(#sinks·σ_W) instead of
+    /// O(#sinks·W) cost.  0 = exact DP.  Ignored when
+    /// `approximate_tally` is set (the normal route is cheaper still).
+    double tally_epsilon = 0.0;
     /// Vote-propagation samples per realization for multi-delegation
     /// outcomes (functional outcomes use the exact inner step instead).
     std::size_t inner_samples = 8;

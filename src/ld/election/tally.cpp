@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "prob/normal.hpp"
+#include "prob/truncated.hpp"
 #include "prob/weighted_bernoulli_sum.hpp"
 #include "support/expect.hpp"
+#include "support/metrics.hpp"
 
 namespace ld::election {
 
@@ -114,7 +116,23 @@ double exact_correct_probability(const DelegationOutcome& outcome,
     sink_profile_into(outcome, p, scratch.sink_weights, scratch.sink_probs);
     if (scratch.sink_weights.empty()) return 0.0;  // nobody voted
     return prob::weighted_majority_probability(scratch.sink_weights,
-                                               scratch.sink_probs, scratch.pmf);
+                                               scratch.sink_probs, scratch.dp);
+}
+
+double truncated_correct_probability(const DelegationOutcome& outcome,
+                                     const model::CompetencyVector& p,
+                                     double epsilon, TallyScratch& scratch) {
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    sink_profile_into(outcome, p, scratch.sink_weights, scratch.sink_probs);
+    if (scratch.sink_weights.empty()) return 0.0;  // nobody voted
+    const auto tally = prob::truncated_weighted_majority(
+        scratch.sink_weights, scratch.sink_probs, epsilon, scratch.dp);
+    // Static-local cache: registry lookup once, relaxed atomic store per
+    // tally thereafter (the replication loop calls this millions of times).
+    static support::Gauge& window_gauge =
+        support::MetricsRegistry::global().gauge("tally.window_width");
+    window_gauge.set(static_cast<std::int64_t>(tally.max_window));
+    return tally.tail;
 }
 
 double approx_correct_probability(const DelegationOutcome& outcome,
@@ -134,7 +152,7 @@ double approx_correct_probability(const DelegationOutcome& outcome,
     // single Bernoulli, not a normal).
     if (scratch.sink_weights.size() <= 64) {
         return prob::weighted_majority_probability(scratch.sink_weights,
-                                                   scratch.sink_probs, scratch.pmf);
+                                                   scratch.sink_probs, scratch.dp);
     }
     return approx_majority_from_profile(scratch.sink_weights, scratch.sink_probs);
 }

@@ -18,6 +18,7 @@
 
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/model/competency.hpp"
+#include "prob/convolve.hpp"
 #include "rng/rng.hpp"
 
 namespace ld::election {
@@ -29,7 +30,7 @@ namespace ld::election {
 struct TallyScratch {
     std::vector<std::uint64_t> sink_weights;
     std::vector<double> sink_probs;
-    std::vector<double> pmf;
+    prob::ConvolveScratch dp;
     std::vector<std::optional<bool>> votes;
 };
 
@@ -43,6 +44,16 @@ double exact_correct_probability(const delegation::DelegationOutcome& outcome,
 double exact_correct_probability(const delegation::DelegationOutcome& outcome,
                                  const model::CompetencyVector& p,
                                  TallyScratch& scratch);
+
+/// ε-truncated variant of `exact_correct_probability`: the windowed DP of
+/// `prob::truncated_weighted_majority`, whose result is within a
+/// *certified* ε/2 of the exact tally.  Cost drops from O(#sinks·W) to
+/// ~O(#sinks·σ_W) because the live window hugs the threshold.  Records
+/// the peak window width in the `tally.window_width` gauge.  ε = 0 keeps
+/// the windowed fast path with zero error.
+double truncated_correct_probability(const delegation::DelegationOutcome& outcome,
+                                     const model::CompetencyVector& p,
+                                     double epsilon, TallyScratch& scratch);
 
 /// Normal approximation of `exact_correct_probability`: P[S > W/2] for
 /// S ~ N(Σ w_i p_i, Σ w_i² p_i(1−p_i)) with continuity correction.

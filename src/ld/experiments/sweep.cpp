@@ -204,6 +204,26 @@ SweepSpec SweepSpec::from_json(const json::Value& doc) {
             } else if (key == "approximate") {
                 if (!value.is_bool()) spec_error("options.approximate", "expected bool");
                 spec.approximate = value.as_bool();
+            } else if (key == "target_se") {
+                spec.target_std_error = require_number(value, "options.target_se");
+                if (spec.target_std_error < 0) {
+                    spec_error("options.target_se", "must be >= 0");
+                }
+            } else if (key == "adaptive_batch") {
+                spec.adaptive_batch = require_count(value, "options.adaptive_batch");
+                if (spec.adaptive_batch == 0) {
+                    spec_error("options.adaptive_batch", "must be >= 1");
+                }
+            } else if (key == "max_reps") {
+                spec.max_replications = require_count(value, "options.max_reps");
+                if (spec.max_replications == 0) {
+                    spec_error("options.max_reps", "must be >= 1");
+                }
+            } else if (key == "tally_eps") {
+                spec.tally_epsilon = require_number(value, "options.tally_eps");
+                if (spec.tally_epsilon < 0 || spec.tally_epsilon >= 1) {
+                    spec_error("options.tally_eps", "must be in [0, 1)");
+                }
             } else {
                 spec_error("options." + key, "unknown option");
             }
@@ -233,7 +253,9 @@ std::uint64_t SweepSpec::fingerprint() const {
     const char sep = '\x1f';
     canon << "liquidd.sweep-spec.v1" << sep << name << sep << seed << sep
           << replications << sep << inner_samples << sep << discard_cycles << sep
-          << approximate << sep;
+          << approximate << sep << json::format_number(target_std_error) << sep
+          << adaptive_batch << sep << max_replications << sep
+          << json::format_number(tally_epsilon) << sep;
     for (std::size_t n : ns) canon << 'n' << n << sep;
     for (double a : alphas) canon << 'a' << json::format_number(a) << sep;
     for (const auto& g : graphs) canon << 'g' << g << sep;
@@ -312,6 +334,10 @@ SweepEngine::Row SweepEngine::run_cell(const SweepCell& cell) const {
 
     election::EvalOptions eval;
     eval.replications = spec_.replications;
+    eval.target_std_error = spec_.target_std_error;
+    eval.adaptive_batch = spec_.adaptive_batch;
+    eval.max_replications = spec_.max_replications;
+    eval.tally_epsilon = spec_.tally_epsilon;
     eval.inner_samples = spec_.inner_samples;
     eval.threads = resolved_threads_;
     eval.approximate_tally = spec_.approximate;
@@ -324,7 +350,9 @@ SweepEngine::Row SweepEngine::run_cell(const SweepCell& cell) const {
                cell.graph,
                cell.competency,
                cell.mechanism,
-               static_cast<long long>(spec_.replications),
+               // Actual replication count: equals spec_.replications in
+               // fixed mode, the adaptive stopping point otherwise.
+               static_cast<long long>(report.pm.replications),
                hex_seed(cell.seed),
                report.pd,
                report.pm.value,

@@ -56,6 +56,12 @@ struct SweepSpec {
     std::size_t threads = 1;                ///< replication workers (0 = auto)
     bool discard_cycles = false;            ///< CyclePolicy::Discard for all cells
     bool approximate = false;               ///< Lemma-4 normal-approximation tally
+    double target_std_error = 0.0;          ///< options.target_se: adaptive stopping
+                                            ///< (0 = fixed replication count)
+    std::size_t adaptive_batch = 64;        ///< options.adaptive_batch
+    std::size_t max_replications = 100'000; ///< options.max_reps: adaptive ceiling
+    double tally_epsilon = 0.0;             ///< options.tally_eps: certified
+                                            ///< ε-truncated tally (0 = exact)
     std::vector<std::size_t> ns;            ///< axis "n"
     std::vector<double> alphas;             ///< axis "alpha"
     std::vector<std::string> graphs;        ///< axis "graph"

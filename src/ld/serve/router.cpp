@@ -56,6 +56,12 @@ std::size_t optional_count(const json::Value& params, const std::string& key,
     return require_count(params, key);
 }
 
+double optional_number(const json::Value& params, const std::string& key,
+                       double fallback) {
+    if (!params.is_object() || !params.find(key)) return fallback;
+    return require_number(params, key);
+}
+
 bool optional_bool(const json::Value& params, const std::string& key, bool fallback) {
     if (!params.is_object() || !params.find(key)) return fallback;
     const json::Value& value = params.at(key);
@@ -167,6 +173,23 @@ json::Object Router::do_eval(const json::Value& params) {
     eval.replications = replications;
     eval.inner_samples = optional_count(params, "inner_samples", eval.inner_samples);
     eval.approximate_tally = optional_bool(params, "approximate", false);
+    // Adaptive stopping: a target standard error replaces the fixed
+    // replication count; the ceiling stays under the admission cap.
+    eval.target_std_error = optional_number(params, "target_se", 0.0);
+    if (eval.target_std_error < 0.0) bad_param("target_se", "must be >= 0");
+    eval.max_replications = optional_count(params, "max_replications",
+                                           std::min(eval.max_replications,
+                                                    config_.max_replications));
+    if (eval.max_replications == 0 ||
+        eval.max_replications > config_.max_replications) {
+        bad_param("max_replications",
+                  "must be in [1, " + std::to_string(config_.max_replications) + "]");
+    }
+    eval.tally_epsilon =
+        optional_number(params, "tally_eps", config_.default_tally_epsilon);
+    if (eval.tally_epsilon < 0.0 || eval.tally_epsilon >= 1.0) {
+        bad_param("tally_eps", "must be in [0, 1)");
+    }
     const bool discard_cycles = optional_bool(params, "discard_cycles", false);
     if (discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
     const std::size_t threads = optional_count(params, "threads", config_.eval_threads);

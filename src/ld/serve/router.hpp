@@ -35,7 +35,11 @@ struct RouterConfig {
     std::size_t eval_threads = 1;
     /// Admission sanity cap on per-request replications (bad clients
     /// should get an error, not a day-long eval hogging the dispatcher).
+    /// Also clamps the adaptive-mode ceiling (`max_replications` param).
     std::size_t max_replications = 1'000'000;
+    /// Default ε for the certified truncated inner tally when an eval
+    /// request names no `tally_eps` (0 = exact DP).
+    double default_tally_epsilon = 0.0;
 };
 
 class Router {

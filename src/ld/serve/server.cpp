@@ -55,8 +55,9 @@ void Server::ClientConn::send(const std::string& line) noexcept {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
-      router_(RouterConfig{config_.eval_threads, config_.max_replications}, cache_,
-              &status_) {
+      router_(RouterConfig{config_.eval_threads, config_.max_replications,
+                           config_.tally_epsilon},
+              cache_, &status_) {
     router_.set_shutdown_hook([this] { request_drain(); });
 }
 

@@ -1,0 +1,57 @@
+// The shared inner loop of every Poisson-binomial-style DP in this repo:
+// convolving a pmf with the two-point distribution {0 ↦ 1−p, w ↦ p}.
+//
+// The historical implementation iterated the pmf *downwards in place*
+// (`pmf[s+w] += pmf[s]·p; pmf[s] *= 1−p`), which carries a loop
+// dependence of distance w and defeats auto-vectorization for the
+// common w = 1 case.  This kernel instead ping-pongs between two
+// restrict-qualified buffers and walks forwards, so the hot interior is
+// the FMA-shaped stream `out[s] = in[s]·q + in[s−w]·p` — independent
+// lanes that GCC/Clang vectorize at -O2.  Per-entry arithmetic (values
+// *and* rounding order) is identical to the in-place loop, so results
+// are bit-compatible with the pre-rewrite kernels.
+//
+// Shared by the exact kernels (`PoissonBinomial`,
+// `WeightedBernoulliSum`) and the windowed ε-truncated kernels
+// (`prob/truncated.hpp`).
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace ld::prob {
+
+/// Ping-pong DP buffers for the two-point convolution.  One per worker;
+/// reused across tallies (and across replications when owned by a
+/// `TallyScratch`).
+struct ConvolveScratch {
+    std::vector<double> front;  ///< current pmf (input of the next step)
+    std::vector<double> back;   ///< output of the next step
+};
+
+namespace detail {
+
+/// One convolution step: given `in[0, n)` — the pmf of a partial sum —
+/// write the pmf after adding w·Bernoulli(p) into `out[0, n + w)`:
+///
+///   out[s] = in[s]·(1−p) + in[s−w]·p      (terms outside [0, n) are 0)
+///
+/// Requires w ≥ 1, n ≥ 1, and in/out non-overlapping (the __restrict
+/// qualification is a promise, not a check).
+inline void convolve_two_point(const double* __restrict in, double* __restrict out,
+                               std::size_t n, std::size_t w, double p) {
+    const double q = 1.0 - p;
+    const std::size_t head = std::min(w, n);
+    for (std::size_t s = 0; s < head; ++s) out[s] = in[s] * q;
+    // w > n only: the gap [n, w) is reachable by neither term.
+    for (std::size_t s = head; s < w; ++s) out[s] = 0.0;
+    // The vectorizable interior: two independent streams, one FMA each.
+    for (std::size_t s = w; s < n; ++s) out[s] = in[s] * q + in[s - w] * p;
+    for (std::size_t s = std::max(n, w); s < n + w; ++s) out[s] = in[s - w] * p;
+}
+
+}  // namespace detail
+
+}  // namespace ld::prob

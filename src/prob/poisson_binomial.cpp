@@ -3,27 +3,58 @@
 #include <algorithm>
 #include <cmath>
 
+#include "prob/convolve.hpp"
 #include "support/expect.hpp"
 
 namespace ld::prob {
 
 using support::expects;
 
+namespace {
+
+/// Kahan-compensated running sum: `acc.add(x)` loses no low-order mass to
+/// cancellation across the ~n additions of a prefix/suffix sweep.
+struct CompensatedSum {
+    double sum = 0.0;
+    double carry = 0.0;
+    void add(double x) noexcept {
+        const double y = x - carry;
+        const double t = sum + y;
+        carry = (t - sum) - y;
+        sum = t;
+    }
+};
+
+}  // namespace
+
 PoissonBinomial::PoissonBinomial(std::span<const double> probabilities) {
-    pmf_.assign(probabilities.size() + 1, 0.0);
-    pmf_[0] = 1.0;
-    std::size_t used = 0;
+    const std::size_t n = probabilities.size();
+    std::vector<double> front(n + 1), back(n + 1);
+    front[0] = 1.0;
+    std::size_t width = 1;
     for (double p : probabilities) {
         expects(p >= 0.0 && p <= 1.0, "PoissonBinomial: probability out of [0,1]");
-        // In-place convolution with {1-p, p}; iterate downwards so each
-        // entry is read before being overwritten.
-        for (std::size_t k = used + 1; k-- > 0;) {
-            pmf_[k + 1] += pmf_[k] * p;
-            pmf_[k] *= (1.0 - p);
-        }
-        ++used;
+        detail::convolve_two_point(front.data(), back.data(), width, 1, p);
+        front.swap(back);
+        ++width;
         mean_ += p;
         variance_ += p * (1.0 - p);
+    }
+    pmf_ = std::move(front);
+
+    // Compensated prefix/suffix sums make cdf() and tail_above() O(1).
+    cdf_.resize(n + 1);
+    CompensatedSum prefix;
+    for (std::size_t k = 0; k <= n; ++k) {
+        prefix.add(pmf_[k]);
+        cdf_[k] = prefix.sum;
+    }
+    suffix_.resize(n + 2);
+    suffix_[n + 1] = 0.0;
+    CompensatedSum tail;
+    for (std::size_t k = n + 1; k-- > 0;) {
+        tail.add(pmf_[k]);
+        suffix_[k] = tail.sum;
     }
 }
 
@@ -34,17 +65,15 @@ double PoissonBinomial::pmf(std::size_t k) const {
 
 double PoissonBinomial::cdf(std::size_t k) const {
     expects(k < pmf_.size(), "cdf: k out of range");
-    double acc = 0.0;
-    for (std::size_t i = 0; i <= k; ++i) acc += pmf_[i];
-    return std::min(acc, 1.0);
+    return std::min(cdf_[k], 1.0);
 }
 
 double PoissonBinomial::tail_above(double t) const {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < pmf_.size(); ++k) {
-        if (static_cast<double>(k) > t) acc += pmf_[k];
-    }
-    return std::min(acc, 1.0);
+    // P[X > t] = Σ_{k ≥ k0} pmf_[k] with k0 the smallest integer > t.
+    if (!(t >= 0.0)) return std::min(suffix_[0], 1.0);
+    const double k0 = std::floor(t) + 1.0;
+    if (k0 >= static_cast<double>(suffix_.size())) return 0.0;
+    return std::min(suffix_[static_cast<std::size_t>(k0)], 1.0);
 }
 
 double direct_majority_probability(std::span<const double> probabilities) {

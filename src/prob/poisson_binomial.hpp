@@ -11,12 +11,16 @@
 namespace ld::prob {
 
 /// Exact Poisson-binomial distribution over {0, …, n} computed by the
-/// standard O(n²) convolution DP.  Numerically stable for the n ≤ ~20k
-/// range used in exact evaluations; larger n should use the normal
-/// approximation (`ld::prob::normal_*`, justified by the paper's Lemma 4).
+/// standard O(n²) convolution DP (shared SIMD-friendly kernel in
+/// `prob/convolve.hpp`).  Numerically stable for the n ≤ ~20k range used
+/// in exact evaluations; larger n should use the normal approximation
+/// (`ld::prob::normal_*`, justified by the paper's Lemma 4) or the
+/// ε-truncated kernel (`ld::prob::TruncatedPoissonBinomial`).
 class PoissonBinomial {
 public:
-    /// Build from success probabilities, each in [0, 1].
+    /// Build from success probabilities, each in [0, 1].  Also
+    /// precomputes compensated (Kahan) prefix/suffix sums of the pmf, so
+    /// `cdf` and `tail_above` are O(1) per call.
     explicit PoissonBinomial(std::span<const double> probabilities);
 
     std::size_t trial_count() const noexcept { return pmf_.size() - 1; }
@@ -24,11 +28,12 @@ public:
     /// P[X = k].
     double pmf(std::size_t k) const;
 
-    /// P[X <= k].
+    /// P[X <= k].  O(1): reads the precomputed compensated prefix sum.
     double cdf(std::size_t k) const;
 
     /// P[X > t] for a real threshold t (votes strictly above t, matching
-    /// the paper's strict weighted-majority rule).
+    /// the paper's strict weighted-majority rule).  O(1): reads the
+    /// precomputed compensated suffix sum.
     double tail_above(double t) const;
 
     /// E[X] = Σ p_i.
@@ -43,10 +48,17 @@ public:
     double majority_probability() const { return tail_above(static_cast<double>(trial_count()) / 2.0); }
 
     /// Full pmf for inspection/testing.
+    std::span<const double> pmf_span() const noexcept { return pmf_; }
+
+    /// Deprecated name for `pmf_span()` — it returns the pmf, not the
+    /// input probabilities.
+    [[deprecated("renamed to pmf_span(): this returns the pmf, not the input probabilities")]]
     std::span<const double> probabilities() const noexcept { return pmf_; }
 
 private:
-    std::vector<double> pmf_;  // pmf_[k] = P[X = k]
+    std::vector<double> pmf_;     // pmf_[k] = P[X = k]
+    std::vector<double> cdf_;     // cdf_[k] = Σ_{i<=k} pmf_[i]  (Kahan)
+    std::vector<double> suffix_;  // suffix_[k] = Σ_{i>=k} pmf_[i] (Kahan); size n+2
     double mean_ = 0.0;
     double variance_ = 0.0;
 };

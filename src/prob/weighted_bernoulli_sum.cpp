@@ -10,11 +10,11 @@ using support::expects;
 
 namespace {
 
-/// Shared DP core: fills `pmf` with the law of Σ w_i · Bernoulli(p_i) and
-/// returns the total weight W.  `pmf` is resized to W + 1.
+/// Shared DP core: fills `scratch.front` with the law of
+/// Σ w_i · Bernoulli(p_i) over [0, W] and returns the total weight W.
 std::uint64_t convolve_weighted_sum(std::span<const std::uint64_t> weights,
                                     std::span<const double> probs,
-                                    std::vector<double>& pmf) {
+                                    ConvolveScratch& scratch) {
     expects(weights.size() == probs.size(),
             "WeightedBernoulliSum: weights/probs length mismatch");
     std::uint64_t total = 0;
@@ -23,22 +23,17 @@ std::uint64_t convolve_weighted_sum(std::span<const std::uint64_t> weights,
                 "WeightedBernoulliSum: probability out of [0,1]");
         total += weights[i];
     }
-    pmf.assign(static_cast<std::size_t>(total) + 1, 0.0);
-    pmf[0] = 1.0;
-    std::uint64_t used = 0;
+    scratch.front.resize(static_cast<std::size_t>(total) + 1);
+    scratch.back.resize(static_cast<std::size_t>(total) + 1);
+    scratch.front[0] = 1.0;
+    std::size_t width = 1;
     for (std::size_t i = 0; i < weights.size(); ++i) {
-        const std::uint64_t w = weights[i];
+        const auto w = static_cast<std::size_t>(weights[i]);
         if (w == 0) continue;
-        const double p = probs[i];
-        // Convolve with the two-point distribution {0 ↦ 1−p, w ↦ p},
-        // iterating downwards to avoid overwriting unread entries.
-        for (std::size_t s = static_cast<std::size_t>(used) + 1; s-- > 0;) {
-            const double mass = pmf[s];
-            if (mass == 0.0) continue;
-            pmf[s] = mass * (1.0 - p);
-            pmf[s + static_cast<std::size_t>(w)] += mass * p;
-        }
-        used += w;
+        detail::convolve_two_point(scratch.front.data(), scratch.back.data(),
+                                   width, w, probs[i]);
+        scratch.front.swap(scratch.back);
+        width += w;
     }
     return total;
 }
@@ -47,7 +42,9 @@ std::uint64_t convolve_weighted_sum(std::span<const std::uint64_t> weights,
 
 WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weights,
                                            std::span<const double> probs) {
-    total_weight_ = convolve_weighted_sum(weights, probs, pmf_);
+    ConvolveScratch scratch;
+    total_weight_ = convolve_weighted_sum(weights, probs, scratch);
+    pmf_ = std::move(scratch.front);
     for (std::size_t i = 0; i < weights.size(); ++i) {
         const auto w = static_cast<double>(weights[i]);
         const double p = probs[i];
@@ -58,12 +55,13 @@ WeightedBernoulliSum::WeightedBernoulliSum(std::span<const std::uint64_t> weight
 
 double weighted_majority_probability(std::span<const std::uint64_t> weights,
                                      std::span<const double> probs,
-                                     std::vector<double>& pmf_scratch) {
-    const std::uint64_t total = convolve_weighted_sum(weights, probs, pmf_scratch);
+                                     ConvolveScratch& scratch) {
+    const std::uint64_t total = convolve_weighted_sum(weights, probs, scratch);
     const double threshold = static_cast<double>(total) / 2.0;
+    const auto& pmf = scratch.front;
     double acc = 0.0;
-    for (std::size_t s = pmf_scratch.size(); s-- > 0;) {
-        if (static_cast<double>(s) > threshold) acc += pmf_scratch[s];
+    for (std::size_t s = static_cast<std::size_t>(total) + 1; s-- > 0;) {
+        if (static_cast<double>(s) > threshold) acc += pmf[s];
         else break;  // pmf indices below the threshold contribute nothing
     }
     return std::min(acc, 1.0);

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "prob/convolve.hpp"
+
 namespace ld::prob {
 
 /// Distribution of S = Σ w_i · Bernoulli(p_i) over {0, …, Σ w_i}.
@@ -52,11 +54,11 @@ private:
 };
 
 /// P[Σ w_i x_i > W/2] computed with the same DP as WeightedBernoulliSum
-/// but into a caller-owned pmf buffer — the zero-allocation inner step of
-/// the replication loop.  Bit-identical to
+/// but into caller-owned ping-pong buffers — the zero-allocation inner
+/// step of the replication loop.  Bit-identical to
 /// `WeightedBernoulliSum(weights, probs).majority_probability()`.
 double weighted_majority_probability(std::span<const std::uint64_t> weights,
                                      std::span<const double> probs,
-                                     std::vector<double>& pmf_scratch);
+                                     ConvolveScratch& scratch);
 
 }  // namespace ld::prob

@@ -1,15 +1,21 @@
 // `bench_diff` — the CI perf gate: compare two google-benchmark JSON
-// snapshots (e.g. the committed BENCH_1.json baseline vs a fresh
+// snapshots (e.g. the committed BENCH_2.json baseline vs a fresh
 // bench-smoke run), print a per-benchmark delta table, and exit nonzero
 // when any shared benchmark slowed down past the threshold.
 //
 //   bench_diff <baseline.json> <candidate.json>
 //              [--threshold <frac>]   fail when delta > frac (default 0.20)
 //              [--metric cpu_time|real_time]   compared field (default cpu_time)
+//              [--strict]   also fail on build-type mismatch between snapshots
+//
+// Snapshots record the producing build type (`context.liquidd_build_type`,
+// with google-benchmark's `library_build_type` as a legacy fallback);
+// comparing a debug snapshot against a release one produces meaningless
+// deltas, so a mismatch always warns and, under --strict, fails the gate.
 //
 // Benchmarks present in only one snapshot are listed as added/removed but
 // never fail the gate — renames must not break CI.  Exit codes: 0 ok,
-// 1 regression past threshold, 2 usage or parse error.
+// 1 regression (or strict-mode mismatch), 2 usage or parse error.
 
 #include <cstring>
 #include <iostream>
@@ -29,12 +35,13 @@ struct Args {
     std::string candidate;
     double threshold = 0.20;
     std::string metric = "cpu_time";
+    bool strict = false;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
     std::cerr << "bench_diff: " << message << "\n"
               << "usage: bench_diff <baseline.json> <candidate.json>"
-                 " [--threshold <frac>] [--metric cpu_time|real_time]\n";
+                 " [--threshold <frac>] [--metric cpu_time|real_time] [--strict]\n";
     std::exit(2);
 }
 
@@ -59,10 +66,13 @@ Args parse_args(int argc, char** argv) {
             if (args.metric != "cpu_time" && args.metric != "real_time") {
                 usage_error("--metric: expected cpu_time or real_time");
             }
+        } else if (flag == "--strict") {
+            args.strict = true;
         } else if (flag == "--help" || flag == "-h") {
             std::cout << "bench_diff — google-benchmark JSON regression gate\n"
                          "usage: bench_diff <baseline.json> <candidate.json>"
-                         " [--threshold <frac>] [--metric cpu_time|real_time]\n";
+                         " [--threshold <frac>] [--metric cpu_time|real_time]"
+                         " [--strict]\n";
             std::exit(0);
         } else if (!flag.empty() && flag[0] == '-') {
             usage_error("unknown flag '" + flag + "'");
@@ -84,20 +94,37 @@ double unit_to_ns(const std::string& unit) {
     throw json::Error("unknown time_unit '" + unit + "'");
 }
 
+/// One parsed snapshot: per-benchmark times plus the build type the
+/// binary was compiled with.
+struct Snapshot {
+    std::map<std::string, double> times;
+    std::string build_type;  // "" when the snapshot predates the field
+};
+
 /// name → time in ns for every per-iteration benchmark entry (aggregate
 /// rows like mean/median/stddev from --benchmark_repetitions are skipped).
-std::map<std::string, double> load_times(const std::string& path,
-                                         const std::string& metric) {
+Snapshot load_snapshot(const std::string& path, const std::string& metric) {
     const json::Value doc = json::parse_file(path);
-    std::map<std::string, double> times;
+    Snapshot snap;
+    if (const json::Value* context = doc.find("context")) {
+        // Prefer the repo's own stamp (`liquidd_build_type`, added by
+        // bench_perf_micro's main); `library_build_type` describes the
+        // installed google-benchmark .so, kept only as a legacy fallback
+        // for snapshots that predate the custom context.
+        if (const json::Value* build = context->find("liquidd_build_type")) {
+            snap.build_type = build->as_string();
+        } else if (const json::Value* build = context->find("library_build_type")) {
+            snap.build_type = build->as_string();
+        }
+    }
     for (const json::Value& entry : doc.at("benchmarks").as_array()) {
         if (const json::Value* run_type = entry.find("run_type")) {
             if (run_type->as_string() != "iteration") continue;
         }
         const double scale = unit_to_ns(entry.at("time_unit").as_string());
-        times[entry.at("name").as_string()] = entry.at(metric).as_number() * scale;
+        snap.times[entry.at("name").as_string()] = entry.at(metric).as_number() * scale;
     }
-    return times;
+    return snap;
 }
 
 std::string format_delta(double delta) {
@@ -110,21 +137,31 @@ std::string format_delta(double delta) {
 
 int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
-    std::map<std::string, double> base, cand;
+    Snapshot base, cand;
     try {
-        base = load_times(args.baseline, args.metric);
-        cand = load_times(args.candidate, args.metric);
+        base = load_snapshot(args.baseline, args.metric);
+        cand = load_snapshot(args.candidate, args.metric);
     } catch (const std::exception& e) {
         std::cerr << "bench_diff: " << e.what() << '\n';
         return 2;
     }
 
+    const bool build_mismatch = base.build_type != cand.build_type;
+    if (build_mismatch) {
+        std::cerr << "bench_diff: WARNING: build-type mismatch — baseline is '"
+                  << (base.build_type.empty() ? "unknown" : base.build_type)
+                  << "', candidate is '"
+                  << (cand.build_type.empty() ? "unknown" : cand.build_type)
+                  << "'; deltas between different build types are meaningless"
+                  << (args.strict ? "" : " (pass --strict to fail on this)") << "\n";
+    }
+
     ld::support::TablePrinter table(
         {"benchmark", "base_ms", "cand_ms", "delta", "status"}, 4);
     std::size_t compared = 0, regressions = 0, added = 0, removed = 0;
-    for (const auto& [name, base_ns] : base) {
-        const auto it = cand.find(name);
-        if (it == cand.end()) {
+    for (const auto& [name, base_ns] : base.times) {
+        const auto it = cand.times.find(name);
+        if (it == cand.times.end()) {
             ++removed;
             table.add_row({name, base_ns / 1e6, std::string("-"), std::string("-"),
                            std::string("removed")});
@@ -142,8 +179,8 @@ int main(int argc, char** argv) {
         }
         table.add_row({name, base_ns / 1e6, cand_ns / 1e6, format_delta(delta), status});
     }
-    for (const auto& [name, cand_ns] : cand) {
-        if (base.count(name)) continue;
+    for (const auto& [name, cand_ns] : cand.times) {
+        if (base.times.count(name)) continue;
         ++added;
         table.add_row({name, std::string("-"), cand_ns / 1e6, std::string("-"),
                        std::string("added")});
@@ -156,6 +193,10 @@ int main(int argc, char** argv) {
               << " removed\n";
     if (regressions > 0) {
         std::cout << "FAIL: candidate is slower than baseline past the threshold\n";
+        return 1;
+    }
+    if (args.strict && build_mismatch) {
+        std::cout << "FAIL: --strict build-type mismatch between snapshots\n";
         return 1;
     }
     return 0;
