@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "ld/delegation/realize.hpp"
@@ -18,9 +20,12 @@
 #include "ld/election/workspace.hpp"
 #include "ld/experiments/workloads.hpp"
 #include "ld/mech/approval_size_threshold.hpp"
+#include "prob/batch_tally.hpp"
+#include "prob/convolve.hpp"
 #include "prob/poisson_binomial.hpp"
 #include "prob/weighted_bernoulli_sum.hpp"
 #include "support/build_info.hpp"
+#include "support/cpu_features.hpp"
 
 namespace {
 
@@ -291,6 +296,85 @@ void BM_EstimatorNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimatorNaive);
 
+// Pin the dispatched kernels to one tier for the duration of a benchmark
+// run, restoring the previous tier afterwards so auto-tier benchmarks in
+// the same process are unaffected.
+class TierPin {
+public:
+    explicit TierPin(support::SimdTier tier) : prev_(prob::kernel_tier()) {
+        prob::set_kernel_tier(tier);
+    }
+    ~TierPin() { prob::set_kernel_tier(prev_); }
+    TierPin(const TierPin&) = delete;
+    TierPin& operator=(const TierPin&) = delete;
+
+private:
+    support::SimdTier prev_;
+};
+
+// Tentpole ablation: the raw two-point convolution step per tier.  The
+// w = 1 dense regime is the BM_PoissonBinomial inner loop — the interior
+// stream `out[s] = in[s]·q + in[s−1]·p` — isolated from the DP driver.
+void convolve_simd_bench(benchmark::State& state, support::SimdTier tier) {
+    TierPin pin(tier);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> in(n, 1.0 / static_cast<double>(n));
+    std::vector<double> out(n + 1, 0.0);
+    for (auto _ : state) {
+        prob::convolve_two_point(in.data(), out.data(), n, 1, 0.49);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<benchmark::IterationCount>(n));
+}
+
+// Batched SoA tally on the √n-budget profile: 8 lanes of the same outcome
+// under independent competency draws, advanced in lockstep.  Compare
+// items/s against 8 sequential BM_TallyExactBudget calls for the batching
+// speedup; results stay bit-identical to the sequential tally.
+void tally_batched_bench(benchmark::State& state, support::SimdTier tier) {
+    TierPin pin(tier);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(9);  // same stream family as BM_TallyExactBudget
+    const auto out = budget_outcome(n);
+    std::vector<model::CompetencyVector> comps;
+    comps.reserve(election::TallyBatch::kMaxLanes);
+    for (std::size_t k = 0; k < election::TallyBatch::kMaxLanes; ++k) {
+        comps.push_back(model::uniform_competencies(rng, n, 0.45, 0.65));
+    }
+    election::TallyBatch batch;
+    for (auto _ : state) {
+        batch.clear();
+        for (const auto& c : comps) election::stage_tally_lane(batch, out, c);
+        election::tally_staged(batch);
+        benchmark::DoNotOptimize(batch.result);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<benchmark::IterationCount>(election::TallyBatch::kMaxLanes));
+}
+
+// Register the per-tier benchmarks for tiers this host can execute, so an
+// absent ISA shows up in bench_diff as an added/removed benchmark rather
+// than a failure.  Scalar always registers — it is the cross-host anchor.
+void register_simd_benchmarks() {
+    using support::SimdTier;
+    for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+        if (!support::simd_tier_supported(tier)) continue;
+        const std::string name = support::simd_tier_name(tier);
+        benchmark::RegisterBenchmark(
+            ("BM_ConvolveSimd/" + name).c_str(),
+            [tier](benchmark::State& s) { convolve_simd_bench(s, tier); })
+            ->Arg(2000);
+        benchmark::RegisterBenchmark(
+            ("BM_TallyBatched/" + name).c_str(),
+            [tier](benchmark::State& s) { tally_batched_bench(s, tier); })
+            ->Arg(500)
+            ->Arg(2000);
+    }
+}
+
 }  // namespace
 
 // Custom main so every snapshot records which *library* build type
@@ -300,6 +384,7 @@ BENCHMARK(BM_EstimatorNaive);
 int main(int argc, char** argv) {
     benchmark::AddCustomContext("liquidd_build_type",
                                 ld::support::build_info().build_type);
+    register_simd_benchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

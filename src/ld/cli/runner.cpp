@@ -15,7 +15,9 @@
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
 #include "ld/serve/server.hpp"
+#include "prob/convolve.hpp"
 #include "support/build_info.hpp"
+#include "support/cpu_features.hpp"
 #include "support/metrics.hpp"
 #include "support/signal_drain.hpp"
 #include "support/table_printer.hpp"
@@ -42,6 +44,32 @@ std::size_t parse_size(const std::string& value, const std::string& flag) {
         throw SpecError(flag + ": expected a non-negative integer");
     }
     return static_cast<std::size_t>(parsed);
+}
+
+/// Apply a `--simd` value (run/sweep/serve all accept it).  "auto" keeps
+/// or resolves the widest supported tier; naming a tier the host cannot
+/// execute is a hard error — silently downgrading would make published
+/// numbers unattributable to a lane width.
+void apply_simd_override(const std::string& value) {
+    if (value == "auto") {
+        // Force first-use resolution now — LIQUIDD_SIMD if set and
+        // runnable (warning + fallback otherwise), else the widest
+        // supported tier — so --version / handshakes / manifests report
+        // the tier the run will actually use.  Pinning best_simd_tier()
+        // here instead would silently override a valid env request.
+        prob::kernel_tier();
+        return;
+    }
+    const auto tier = support::parse_simd_tier(value);
+    if (!tier.has_value()) {
+        throw SpecError("--simd: expected auto|scalar|avx2|avx512, got '" + value +
+                        "'");
+    }
+    if (!prob::set_kernel_tier(*tier)) {
+        throw SpecError("--simd: tier '" + value +
+                        "' is not supported on this host (best: " +
+                        support::simd_tier_name(support::best_simd_tier()) + ")");
+    }
 }
 
 }  // namespace
@@ -86,6 +114,10 @@ usage: liquidd [run] [flags]
                          (pool utilisation, replication throughput,
                          per-estimate latency histograms); set
                          LIQUIDD_METRICS=1 for a console table instead
+  --simd <tier>          pin the tally kernel tier: auto | scalar | avx2
+                         | avx512 (default auto = widest the host runs;
+                         every tier is bit-identical, so this is a pure
+                         performance/attribution knob; env: LIQUIDD_SIMD)
   --help                 show this text
 
 specs (see src/ld/cli/specs.hpp for the full grammar):
@@ -140,6 +172,7 @@ Options parse_options(const std::vector<std::string>& args) {
         else if (flag == "--discard-cycles") options.discard_cycles = true;
         else if (flag == "--dot") options.dot_path = next();
         else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--simd") options.simd = next();
         else if (flag == "--help" || flag == "-h") options.help = true;
         else throw SpecError("unknown flag '" + flag + "' (try --help)");
     }
@@ -151,6 +184,7 @@ int run(const Options& options, std::ostream& out) {
         out << usage();
         return 0;
     }
+    apply_simd_override(options.simd);
     rng::Rng rng(options.seed);
     const model::Instance instance = [&] {
         if (options.load_path.has_value()) return model::load_instance(*options.load_path);
@@ -282,6 +316,8 @@ manifest is rewritten atomically after every cell.
   --threads <count>   override the spec's replication workers (0 = auto)
   --max-cells <count> stop after this many new cells (interruption drill)
   --metrics-out <path> end-of-run metrics report as JSON
+  --simd <tier>       pin the tally kernel tier (auto|scalar|avx2|avx512;
+                      recorded in the manifest, bit-identical across tiers)
   --help              show this text
 
 Spec reference, worked examples, and the checkpoint/shard semantics:
@@ -315,6 +351,7 @@ SweepOptions parse_sweep_options(const std::vector<std::string>& args) {
         else if (flag == "--threads") options.threads = parse_size(next(), flag);
         else if (flag == "--max-cells") options.max_cells = parse_size(next(), flag);
         else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--simd") options.simd = next();
         else if (flag == "--help" || flag == "-h") options.help = true;
         else if (!flag.empty() && flag[0] == '-') {
             throw SpecError("unknown flag '" + flag + "' (try `liquidd sweep --help`)");
@@ -346,6 +383,7 @@ int run_sweep(const SweepOptions& options, std::ostream& out) {
         out << sweep_usage();
         return 0;
     }
+    apply_simd_override(options.simd);
     const auto spec = experiments::SweepSpec::load(options.spec_path);
 
     experiments::SweepOptions engine_options;
@@ -425,6 +463,8 @@ accepting, finish admitted work, flush metrics, exit 0.
                          (default 5000, 0 = block indefinitely)
   --metrics-out <path>   flush a liquidd.metrics.v1 report here as the
                          last drain step
+  --simd <tier>          pin the tally kernel tier (auto|scalar|avx2|avx512;
+                         reported in the handshake, bit-identical results)
   --help                 show this text
 
 Protocol reference, backpressure semantics, and a load-generator
@@ -461,6 +501,7 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
         else if (flag == "--deadline-ms") options.deadline_ms = parse_size(next(), flag);
         else if (flag == "--write-timeout-ms") options.write_timeout_ms = parse_size(next(), flag);
         else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--simd") options.simd = next();
         else if (flag == "--help" || flag == "-h") options.help = true;
         else throw SpecError("unknown flag '" + flag + "' (try `liquidd serve --help`)");
     }
@@ -475,6 +516,7 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
         out << serve_usage();
         return 0;
     }
+    apply_simd_override(options.simd);
 
     serve::ServerConfig config;
     if (options.unix_socket) config.unix_socket = *options.unix_socket;
@@ -509,6 +551,12 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
 int dispatch(const std::vector<std::string>& args, std::ostream& out) {
     if (!args.empty() && (args[0] == "--version" || args[0] == "-V")) {
         out << support::version_line() << "\n";
+        // Active kernel tier (resolving LIQUIDD_SIMD, exactly as a run
+        // would) plus the host's widest, so results are attributable to
+        // a lane width from the version string alone.
+        out << "simd: " << support::simd_tier_name(prob::kernel_tier())
+            << " (best supported: "
+            << support::simd_tier_name(support::best_simd_tier()) << ")\n";
         return 0;
     }
     if (!args.empty() && !args[0].empty() && args[0][0] != '-') {

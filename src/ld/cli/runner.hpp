@@ -32,6 +32,7 @@ struct Options {
     std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)
     std::optional<std::string> save_path; ///< save the built instance
     std::optional<std::string> metrics_out; ///< end-of-run metrics report (JSON)
+    std::string simd = "auto";     ///< --simd: pin the tally kernel tier
     bool help = false;
 };
 
@@ -55,6 +56,7 @@ struct SweepOptions {
     std::optional<std::string> output_path; ///< --out (default: <spec stem>.csv)
     std::optional<std::string> checkpoint_path;  ///< --ckpt
     std::optional<std::string> metrics_out; ///< --metrics-out (JSON report)
+    std::string simd = "auto";              ///< --simd: pin the tally kernel tier
     bool help = false;
 };
 
@@ -80,6 +82,7 @@ struct ServeOptions {
     std::size_t deadline_ms = 0;             ///< --deadline-ms (0 = none)
     std::size_t write_timeout_ms = 5000;     ///< --write-timeout-ms (0 = block)
     std::optional<std::string> metrics_out;  ///< --metrics-out (flushed on drain)
+    std::string simd = "auto";               ///< --simd: pin the tally kernel tier
     bool help = false;
 };
 

@@ -1,5 +1,7 @@
 #include "ld/election/evaluator.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <thread>
 
@@ -147,12 +149,74 @@ struct ReplicationStats {
     }
 };
 
+/// Batched exact route: realize up to TallyBatch::kMaxLanes outcomes,
+/// stage their sink profiles, and advance all lanes' tally DPs in
+/// lockstep (prob/batch_tally) instead of K sequential DPs.  Only legal
+/// for mechanisms whose outcomes are always functional
+/// (!multi_delegation(): tallies consume no RNG, so realization order
+/// and the RNG stream match the sequential loop exactly) — and the
+/// batched tally is bit-identical per lane, so every accumulated number
+/// equals the sequential route bit for bit.
+ReplicationStats run_replications_batched(const mech::Mechanism& mechanism,
+                                          const model::Instance& instance,
+                                          rng::Rng& rng, const EvalOptions& options,
+                                          std::size_t count,
+                                          ReplicationWorkspace& ws) {
+    ReplicationStats acc;
+    const auto& p = instance.competencies();
+    TallyBatch& batch = ws.tally_batch;
+    // Realized per-lane stats, copied out because `ws.outcome` is reused
+    // by the next lane's realization.
+    struct LaneStats {
+        double delegators, max_weight, sinks, longest;
+    };
+    std::array<LaneStats, TallyBatch::kMaxLanes> lane_stats;
+    std::size_t done = 0;
+    while (done < count) {
+        const std::size_t lanes = std::min(TallyBatch::kMaxLanes, count - done);
+        batch.clear();
+        for (std::size_t k = 0; k < lanes; ++k) {
+            realize_with(mechanism, instance, rng, options, ws);
+            expects(ws.outcome.functional(),
+                    "estimate: batched tally requires functional outcomes");
+            stage_tally_lane(batch, ws.outcome, p);
+            const auto& st = ws.outcome.stats();
+            lane_stats[k] = {static_cast<double>(st.delegator_count),
+                             static_cast<double>(st.max_weight),
+                             static_cast<double>(st.voting_sink_count),
+                             static_cast<double>(st.longest_path)};
+        }
+        tally_staged(batch);
+        // Accumulate in replication order (Welford updates are
+        // order-dependent), exactly as the sequential loop would.
+        for (std::size_t k = 0; k < lanes; ++k) {
+            acc.max_weight.add(lane_stats[k].max_weight);
+            acc.sinks.add(lane_stats[k].sinks);
+            acc.longest.add(lane_stats[k].longest);
+            acc.pm.add(batch.result[k]);
+            acc.delegators.add(lane_stats[k].delegators);
+        }
+        done += lanes;
+    }
+    return acc;
+}
+
 /// Run `count` replications sequentially with the given generator,
 /// recycling the worker's workspace between replications.
 ReplicationStats run_replications(const mech::Mechanism& mechanism,
                                   const model::Instance& instance, rng::Rng& rng,
                                   const EvalOptions& options, std::size_t count,
                                   ReplicationWorkspace& ws) {
+    // The exact functional route batches: K replications per instruction
+    // stream through the SoA lockstep kernels.  Approximate/truncated
+    // tallies and multi-delegation inner sampling stay sequential (the
+    // latter interleaves RNG draws with realization, which batching
+    // would reorder); their convolutions still go through the dispatched
+    // SIMD kernels.
+    if (!mechanism.multi_delegation() && !options.approximate_tally &&
+        options.tally_epsilon == 0.0 && count > 1) {
+        return run_replications_batched(mechanism, instance, rng, options, count, ws);
+    }
     ReplicationStats acc;
     const auto& p = instance.competencies();
     for (std::size_t r = 0; r < count; ++r) {

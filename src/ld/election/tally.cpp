@@ -109,6 +109,26 @@ double exact_correct_probability(const DelegationOutcome& outcome,
     return exact_correct_probability(outcome, p, scratch);
 }
 
+void stage_tally_lane(TallyBatch& batch, const DelegationOutcome& outcome,
+                      const model::CompetencyVector& p) {
+    expects(batch.lanes < TallyBatch::kMaxLanes, "tally batch: no free lane");
+    expects(outcome.voter_count() == p.size(), "tally: size mismatch");
+    sink_profile_into(outcome, p, batch.weights[batch.lanes],
+                      batch.probs[batch.lanes]);
+    ++batch.lanes;
+}
+
+void tally_staged(TallyBatch& batch) {
+    if (batch.lanes == 0) return;
+    std::array<prob::BatchTallyLane, TallyBatch::kMaxLanes> lanes;
+    for (std::size_t k = 0; k < batch.lanes; ++k) {
+        lanes[k] = {batch.weights[k], batch.probs[k]};
+    }
+    prob::batch_weighted_majority(
+        std::span<const prob::BatchTallyLane>(lanes.data(), batch.lanes),
+        batch.result, batch.scratch);
+}
+
 double exact_correct_probability(const DelegationOutcome& outcome,
                                  const model::CompetencyVector& p,
                                  TallyScratch& scratch) {

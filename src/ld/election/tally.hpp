@@ -12,12 +12,14 @@
 
 #pragma once
 
+#include <array>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/model/competency.hpp"
+#include "prob/batch_tally.hpp"
 #include "prob/convolve.hpp"
 #include "rng/rng.hpp"
 
@@ -33,6 +35,34 @@ struct TallyScratch {
     prob::ConvolveScratch dp;
     std::vector<std::optional<bool>> votes;
 };
+
+/// Staging area for batched exact tallies: up to kMaxLanes realized
+/// sink profiles, copied out of the (per-replication reused) outcome so
+/// all lanes coexist, plus the lockstep DP scratch.  One per replication
+/// worker, owned by its ReplicationWorkspace.
+struct TallyBatch {
+    static constexpr std::size_t kMaxLanes = prob::kBatchTallyLanes;
+    std::array<std::vector<std::uint64_t>, kMaxLanes> weights;
+    std::array<std::vector<double>, kMaxLanes> probs;
+    std::array<double, kMaxLanes> result{};  ///< filled by tally_staged
+    prob::BatchTallyScratch scratch;
+    std::size_t lanes = 0;  ///< staged lane count
+
+    void clear() noexcept { lanes = 0; }
+};
+
+/// Copy the realized outcome's sink profile into the next free lane of
+/// `batch`.  Requires a functional outcome and batch.lanes < kMaxLanes.
+void stage_tally_lane(TallyBatch& batch,
+                      const delegation::DelegationOutcome& outcome,
+                      const model::CompetencyVector& p);
+
+/// Tally every staged lane in SoA lockstep (prob::batch_weighted_majority)
+/// and write `batch.result[k]` for k < batch.lanes, in staging order.
+/// Each result is bit-identical to `exact_correct_probability` on the
+/// outcome that was staged into lane k — on every kernel tier and for
+/// every batch size.
+void tally_staged(TallyBatch& batch);
 
 /// Exact P[weighted majority correct | realized delegation graph].
 /// Requires a functional outcome.  If no votes are cast at all (everyone

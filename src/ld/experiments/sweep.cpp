@@ -12,7 +12,9 @@
 #include "ld/experiments/harness.hpp"  // stable_seed
 #include "ld/election/evaluator.hpp"
 #include "ld/model/instance.hpp"
+#include "prob/convolve.hpp"
 #include "support/build_info.hpp"
+#include "support/cpu_features.hpp"
 #include "support/csv_writer.hpp"
 #include "support/expect.hpp"
 #include "support/metrics.hpp"
@@ -370,6 +372,8 @@ void SweepEngine::write_checkpoint(const std::map<std::size_t, Row>& done) const
     json::Object manifest;
     manifest.emplace("schema", json::Value(std::string("liquidd.sweep.v1")));
     manifest.emplace("build", support::build_info_json());
+    manifest.emplace("simd", json::Value(std::string(support::simd_tier_name(
+                                 prob::kernel_tier()))));
     manifest.emplace("sweep", json::Value(spec_.name));
     manifest.emplace("spec_fingerprint", json::Value(hex_seed(spec_.fingerprint())));
     json::Object shard;

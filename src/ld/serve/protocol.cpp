@@ -1,6 +1,8 @@
 #include "ld/serve/protocol.hpp"
 
+#include "prob/convolve.hpp"
 #include "support/build_info.hpp"
+#include "support/cpu_features.hpp"
 
 namespace ld::serve {
 
@@ -96,6 +98,11 @@ std::string render_handshake() {
     handshake.emplace("schema", json::Value(std::string(kSchema)));
     handshake.emplace("server", json::Value(std::string("liquidd")));
     handshake.emplace("build", support::build_info_json());
+    // Active tally-kernel tier, so recorded eval results are attributable
+    // to a lane width (bit-identical across tiers, but attribution is
+    // part of the reproducibility story).
+    handshake.emplace(
+        "simd", json::Value(std::string(support::simd_tier_name(prob::kernel_tier()))));
     json::Array methods;
     for (const char* name :
          {"eval", "instance.load", "instance.info", "metrics", "health", "shutdown"}) {

@@ -386,6 +386,10 @@ void Server::execute_batch(std::vector<QueuedEval>& batch) {
     if (batch.size() > 1) {
         registry.counter("serve.batched_evals").add(batch.size());
     }
+    // Coalescing effectiveness: distribution of same-instance batch
+    // sizes the dispatcher actually formed (1 = no coalescing happened).
+    registry.histogram("dispatch.batch_size")
+        .record(static_cast<double>(batch.size()));
 
     // Identical requests are computed once; every further waiter gets the
     // shared outcome rendered against its own id.  This is the batching

@@ -1,0 +1,144 @@
+#include "prob/batch_tally.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+#include "support/fpu.hpp"
+
+namespace ld::prob {
+
+using support::expects;
+
+void batch_weighted_majority(std::span<const BatchTallyLane> lanes,
+                             std::span<double> out, BatchTallyScratch& scratch) {
+    constexpr std::size_t K = kBatchTallyLanes;
+    expects(!lanes.empty() && lanes.size() <= K,
+            "batch_weighted_majority: lane count out of [1, kBatchTallyLanes]");
+    expects(out.size() >= lanes.size(),
+            "batch_weighted_majority: output span too short");
+
+    // Per-lane totals (and input validation, mirroring the sequential DP).
+    std::uint64_t cap = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+        std::uint64_t total = 0;
+        if (k < lanes.size()) {
+            const BatchTallyLane& lane = lanes[k];
+            expects(lane.weights.size() == lane.probs.size(),
+                    "batch_weighted_majority: weights/probs length mismatch");
+            for (std::size_t i = 0; i < lane.weights.size(); ++i) {
+                expects(lane.probs[i] >= 0.0 && lane.probs[i] <= 1.0,
+                        "batch_weighted_majority: probability out of [0,1]");
+                total += lane.weights[i];
+            }
+        }
+        scratch.total[k] = total;
+        scratch.cursor[k] = 0;
+        scratch.width[k] = 1;
+        cap = std::max(cap, total);
+    }
+
+    const std::size_t rows = static_cast<std::size_t>(cap) + 1;
+    // Rows are fully written before they are read (every step writes
+    // rows [0, smax) and reads only rows live at the previous, smaller
+    // smax), so neither buffer needs zeroing — only row 0, the initial
+    // point mass, carries state.
+    scratch.front.resize(rows * K);
+    scratch.back.resize(rows * K);
+    for (std::size_t k = 0; k < K; ++k) scratch.front[k] = 1.0;
+
+    // Lockstep DP: each iteration feeds every lane its next non-zero
+    // term; exhausted lanes idle on w = 0 identity steps until the
+    // longest lane drains.  Subnormals are flushed exactly as in the
+    // sequential drivers (support/fpu.hpp), so batched results stay
+    // bit-identical to `weighted_majority_probability`.
+    const support::ScopedFlushDenormals ftz;
+    const detail::BatchStepFn step = detail::batch_step_kernel();
+    const detail::BatchFusedFn fused_step = detail::batch_fused_kernel();
+    const std::size_t fuse_depth = detail::batch_fused_depth();
+    for (;;) {
+        // Fused fast path: while every lane sits at the same width and
+        // every lane's next term is unit-weight, advance up to
+        // kMaxFusedSteps steps in one pass over the rows — the common
+        // shape for liquid-democracy tallies, where most sinks carry
+        // weight 1.  Unstaged lanes mirror lane 0, so partial batches
+        // qualify too.
+        bool same_width = true;
+        for (std::size_t k = 1; k < K; ++k)
+            same_width = same_width && scratch.width[k] == scratch.width[0];
+        std::size_t fused = 0;
+        while (same_width && fused < fuse_depth) {
+            bool all_unit = true;
+            for (std::size_t k = 0; k < lanes.size() && all_unit; ++k) {
+                const BatchTallyLane& lane = lanes[k];
+                std::size_t& cur = scratch.cursor[k];
+                while (cur < lane.weights.size() && lane.weights[cur] == 0) ++cur;
+                all_unit = cur < lane.weights.size() && lane.weights[cur] == 1;
+            }
+            if (!all_unit) break;
+            for (std::size_t k = 0; k < K; ++k) {
+                scratch.fused_p[fused * K + k] =
+                    k < lanes.size() ? lanes[k].probs[scratch.cursor[k]++]
+                                     : scratch.fused_p[fused * K];
+            }
+            ++fused;
+        }
+        if (fused > 0) {
+            fused_step(scratch.front.data(), scratch.back.data(),
+                       static_cast<std::size_t>(scratch.width[0]), fused,
+                       scratch.fused_p.data());
+            scratch.front.swap(scratch.back);
+            for (std::size_t k = 0; k < K; ++k)
+                scratch.width[k] += static_cast<std::int64_t>(fused);
+            continue;
+        }
+
+        bool any_active = false;
+        std::size_t smax = 0;
+        for (std::size_t k = 0; k < K; ++k) {
+            std::int64_t w = 0;
+            double p = 0.0;
+            if (k < lanes.size()) {
+                const BatchTallyLane& lane = lanes[k];
+                std::size_t& cur = scratch.cursor[k];
+                while (cur < lane.weights.size() && lane.weights[cur] == 0) ++cur;
+                if (cur < lane.weights.size()) {
+                    w = static_cast<std::int64_t>(lane.weights[cur]);
+                    p = lane.probs[cur];
+                    ++cur;
+                    any_active = true;
+                }
+            } else {
+                // Unstaged lane: mirror lane 0's step so a partial batch
+                // keeps the kernels' uniform fast path.  The mirrored
+                // lane computes a copy of lane 0's pmf that the tail sum
+                // below never reads.
+                w = scratch.step_w[0];
+                p = scratch.step_p[0];
+            }
+            scratch.step_w[k] = w;
+            scratch.step_p[k] = p;
+            smax = std::max(smax, static_cast<std::size_t>(scratch.width[k] + w));
+        }
+        if (!any_active) break;
+        step(scratch.front.data(), scratch.back.data(), smax,
+             scratch.width.data(), scratch.step_w.data(), scratch.step_p.data());
+        scratch.front.swap(scratch.back);
+        for (std::size_t k = 0; k < K; ++k) scratch.width[k] += scratch.step_w[k];
+    }
+
+    // Per-lane strict-majority tails, summed top-down in exactly the
+    // order of `weighted_majority_probability` so results stay
+    // bit-identical to the sequential tally.
+    for (std::size_t k = 0; k < lanes.size(); ++k) {
+        const std::uint64_t total = scratch.total[k];
+        const double threshold = static_cast<double>(total) / 2.0;
+        double acc = 0.0;
+        for (std::size_t s = static_cast<std::size_t>(total) + 1; s-- > 0;) {
+            if (static_cast<double>(s) > threshold) acc += scratch.front[s * K + k];
+            else break;
+        }
+        out[k] = std::min(acc, 1.0);
+    }
+}
+
+}  // namespace ld::prob

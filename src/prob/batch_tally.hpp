@@ -1,0 +1,62 @@
+// Batched struct-of-arrays weighted-majority tally: advance up to
+// kBatchLanes replications' DP vectors in lockstep — one instruction
+// stream, K independent pmfs.
+//
+// Layout: element (s, k) of lane k's pmf lives at `buf[s * kBatchLanes
+// + k]`, so one interleaved "row" holds the same pmf index of every
+// lane and maps onto one AVX-512 vector (or two AVX2 vectors).  Each
+// lockstep step convolves lane k's pmf with its next non-zero-weight
+// term {0 ↦ 1−p, w ↦ p}; lanes that run out of terms idle with w = 0
+// (an exact identity step) until the longest lane finishes.
+//
+// Bit-identity contract: lane k's result equals
+// `weighted_majority_probability(weights_k, probs_k, scratch)` bit for
+// bit, on every kernel tier and for every batch composition — batching
+// 8 tallies, 3 tallies, or running them one by one can never change a
+// published number.  See prob/convolve_simd.cpp for why the masked
+// lockstep arithmetic preserves this.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prob/convolve.hpp"
+
+namespace ld::prob {
+
+/// Lanes advanced per batched tally.  Re-exported from the kernel layer
+/// so callers size their staging buffers without reaching into detail.
+inline constexpr std::size_t kBatchTallyLanes = detail::kBatchLanes;
+
+/// One lane's tally input: sink weights and matching competencies.
+/// Spans must have equal length; zero weights are skipped exactly like
+/// the sequential DP.  Empty lanes (nobody voted) tally to 0.
+struct BatchTallyLane {
+    std::span<const std::uint64_t> weights;
+    std::span<const double> probs;
+};
+
+/// Reusable buffers for `batch_weighted_majority` — one per worker,
+/// alongside its `ConvolveScratch`.
+struct BatchTallyScratch {
+    std::vector<double> front;  ///< interleaved pmfs, stride kBatchTallyLanes
+    std::vector<double> back;
+    std::array<std::int64_t, kBatchTallyLanes> width{};   ///< live pmf rows per lane
+    std::array<std::int64_t, kBatchTallyLanes> step_w{};  ///< this step's weight per lane
+    std::array<double, kBatchTallyLanes> step_p{};
+    std::array<std::uint64_t, kBatchTallyLanes> total{};  ///< W_k = Σ weights
+    std::array<std::size_t, kBatchTallyLanes> cursor{};   ///< next term index per lane
+    /// Probabilities of a fused unit-weight run, `[f * lanes + k]`.
+    std::array<double, detail::kMaxFusedSteps * kBatchTallyLanes> fused_p{};
+};
+
+/// P[S_k > W_k / 2] for every lane, written to `out[k]` in lane order.
+/// Requires 1 ≤ lanes.size() ≤ kBatchTallyLanes and out.size() ≥
+/// lanes.size().  Probabilities must lie in [0, 1] (checked).
+void batch_weighted_majority(std::span<const BatchTallyLane> lanes,
+                             std::span<double> out, BatchTallyScratch& scratch);
+
+}  // namespace ld::prob

@@ -4,22 +4,33 @@
 // The historical implementation iterated the pmf *downwards in place*
 // (`pmf[s+w] += pmf[s]·p; pmf[s] *= 1−p`), which carries a loop
 // dependence of distance w and defeats auto-vectorization for the
-// common w = 1 case.  This kernel instead ping-pongs between two
-// restrict-qualified buffers and walks forwards, so the hot interior is
-// the FMA-shaped stream `out[s] = in[s]·q + in[s−w]·p` — independent
-// lanes that GCC/Clang vectorize at -O2.  Per-entry arithmetic (values
-// *and* rounding order) is identical to the in-place loop, so results
-// are bit-compatible with the pre-rewrite kernels.
+// common w = 1 case.  The scalar kernel below instead ping-pongs between
+// two restrict-qualified buffers and walks forwards, so the hot interior
+// is the stream `out[s] = in[s]·q + in[s−w]·p` — independent lanes.
+//
+// On top of the scalar reference sit explicit AVX2 / AVX-512
+// specializations (`prob/convolve_simd.cpp`), selected once at runtime
+// from CPU features (`support/cpu_features`) or pinned via `--simd` /
+// LIQUIDD_SIMD.  Every tier evaluates the *same* mul/mul/add expression
+// per element — no FMA contraction anywhere — so all tiers, and the
+// batched lockstep kernels built from them, are bit-identical to the
+// scalar loop.  The tier choice is a pure performance/attribution knob;
+// determinism contracts and the certified ε accounting of the truncated
+// kernels are unaffected.
 //
 // Shared by the exact kernels (`PoissonBinomial`,
-// `WeightedBernoulliSum`) and the windowed ε-truncated kernels
-// (`prob/truncated.hpp`).
+// `WeightedBernoulliSum`), the windowed ε-truncated kernels
+// (`prob/truncated.hpp`), and the batched SoA tally
+// (`prob/batch_tally.hpp`).
 
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "support/cpu_features.hpp"
 
 namespace ld::prob {
 
@@ -39,19 +50,93 @@ namespace detail {
 ///   out[s] = in[s]·(1−p) + in[s−w]·p      (terms outside [0, n) are 0)
 ///
 /// Requires w ≥ 1, n ≥ 1, and in/out non-overlapping (the __restrict
-/// qualification is a promise, not a check).
-inline void convolve_two_point(const double* __restrict in, double* __restrict out,
-                               std::size_t n, std::size_t w, double p) {
+/// qualification is a promise, not a check).  This is the portable
+/// reference all SIMD tiers must match bit-for-bit.
+inline void convolve_two_point_scalar(const double* __restrict in,
+                                      double* __restrict out,
+                                      std::size_t n, std::size_t w, double p) {
     const double q = 1.0 - p;
     const std::size_t head = std::min(w, n);
     for (std::size_t s = 0; s < head; ++s) out[s] = in[s] * q;
     // w > n only: the gap [n, w) is reachable by neither term.
     for (std::size_t s = head; s < w; ++s) out[s] = 0.0;
-    // The vectorizable interior: two independent streams, one FMA each.
+    // The vectorizable interior: two independent streams.
     for (std::size_t s = w; s < n; ++s) out[s] = in[s] * q + in[s - w] * p;
     for (std::size_t s = std::max(n, w); s < n + w; ++s) out[s] = in[s - w] * p;
 }
 
+/// Single-pmf convolution step, any tier.
+using ConvolveFn = void (*)(const double* __restrict in, double* __restrict out,
+                            std::size_t n, std::size_t w, double p);
+
+/// Number of interleaved pmf lanes advanced per batched step.  Fixed at
+/// compile time so element (s, k) lives at `[s * kBatchLanes + k]` and one
+/// AVX-512 vector (or two AVX2 vectors) covers a full row.
+inline constexpr std::size_t kBatchLanes = 8;
+
+/// One lockstep convolution step over kBatchLanes interleaved pmfs.
+/// Lane k convolves its current pmf `in[· * kBatchLanes + k]` of width
+/// n[k] with {0 ↦ 1−p[k], w[k] ↦ p[k]}, writing rows [0, smax).  A lane
+/// with w[k] == 0 performs an identity copy of its live entries (used to
+/// idle lanes that ran out of terms).  `smax` must cover every lane's
+/// output width (max over k of n[k] + w[k]).
+using BatchStepFn = void (*)(const double* __restrict in, double* __restrict out,
+                             std::size_t smax, const std::int64_t* n,
+                             const std::int64_t* w, const double* p);
+
+/// Reference batched step: per-lane scalar region loops with the exact
+/// arithmetic of `convolve_two_point_scalar` at stride kBatchLanes.
+void batch_step_scalar(const double* __restrict in, double* __restrict out,
+                       std::size_t smax, const std::int64_t* n,
+                       const std::int64_t* w, const double* p);
+
+/// Active batched-step kernel for the current tier.
+BatchStepFn batch_step_kernel();
+
+/// Upper bound on the number of consecutive unit-weight steps a fused
+/// pass advances at once (bounded by how many carried row registers fit;
+/// tiers with fewer vector registers fuse shallower — see
+/// `batch_fused_depth`).
+inline constexpr std::size_t kMaxFusedSteps = 8;
+
+/// Fused run of `steps` ∈ [1, kMaxFusedSteps] consecutive batched
+/// convolution steps where every lane has the same width `n0` and every
+/// step convolves every lane with a unit-weight term (w = 1).
+/// `p[f * kBatchLanes + k]` is lane k's probability at fused step f.
+/// Writes rows [0, n0 + steps).  The DP ping-pongs once for the whole
+/// run — one read and one write per row per `steps` convolution steps,
+/// which is what makes the batched tally compute-bound instead of
+/// L2-bandwidth-bound.  Each intermediate level evaluates the exact
+/// mul/mul/add of the scalar reference (terms outside a level's width
+/// contribute exactly +0.0), so fused results stay bit-identical.
+using BatchFusedFn = void (*)(const double* __restrict in, double* __restrict out,
+                              std::size_t n0, std::size_t steps, const double* p);
+
+/// Active fused unit-weight kernel for the current tier.
+BatchFusedFn batch_fused_kernel();
+
+/// Deepest fused run the active tier supports (≤ kMaxFusedSteps).
+std::size_t batch_fused_depth();
+
+/// Active single-pmf kernel for the current tier.  DP drivers hoist this
+/// out of their step loops so the per-step cost is one indirect call,
+/// not a dispatch lookup per convolution.
+ConvolveFn convolve_kernel();
+
 }  // namespace detail
+
+/// Runtime-dispatched two-point convolution step.  Same contract as
+/// `detail::convolve_two_point_scalar`; bit-identical on every tier.
+void convolve_two_point(const double* __restrict in, double* __restrict out,
+                        std::size_t n, std::size_t w, double p);
+
+/// Tier the dispatched kernels currently run at.  First use resolves the
+/// tier once: LIQUIDD_SIMD if set and valid, otherwise the widest tier
+/// the host supports.
+support::SimdTier kernel_tier();
+
+/// Pin the kernel tier (CLI `--simd`, tests).  Returns false — leaving
+/// the active tier unchanged — when the host cannot execute `tier`.
+bool set_kernel_tier(support::SimdTier tier);
 
 }  // namespace ld::prob

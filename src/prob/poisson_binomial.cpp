@@ -5,6 +5,7 @@
 
 #include "prob/convolve.hpp"
 #include "support/expect.hpp"
+#include "support/fpu.hpp"
 
 namespace ld::prob {
 
@@ -31,10 +32,14 @@ PoissonBinomial::PoissonBinomial(std::span<const double> probabilities) {
     const std::size_t n = probabilities.size();
     std::vector<double> front(n + 1), back(n + 1);
     front[0] = 1.0;
+    // Flush subnormals for the DP — see support/fpu.hpp.  Flushed mass
+    // < (n+1)·2⁻¹⁰²² total, far below the compensated-sum noise floor.
+    const support::ScopedFlushDenormals ftz;
+    const detail::ConvolveFn kern = detail::convolve_kernel();
     std::size_t width = 1;
     for (double p : probabilities) {
         expects(p >= 0.0 && p <= 1.0, "PoissonBinomial: probability out of [0,1]");
-        detail::convolve_two_point(front.data(), back.data(), width, 1, p);
+        kern(front.data(), back.data(), width, 1, p);
         front.swap(back);
         ++width;
         mean_ += p;

@@ -50,11 +50,6 @@ public:
     /// Full pmf for inspection/testing.
     std::span<const double> pmf_span() const noexcept { return pmf_; }
 
-    /// Deprecated name for `pmf_span()` — it returns the pmf, not the
-    /// input probabilities.
-    [[deprecated("renamed to pmf_span(): this returns the pmf, not the input probabilities")]]
-    std::span<const double> probabilities() const noexcept { return pmf_; }
-
 private:
     std::vector<double> pmf_;     // pmf_[k] = P[X = k]
     std::vector<double> cdf_;     // cdf_[k] = Σ_{i<=k} pmf_[i]  (Kahan)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/expect.hpp"
+#include "support/fpu.hpp"
 
 namespace ld::prob {
 
@@ -28,12 +29,17 @@ TruncatedPoissonBinomial::TruncatedPoissonBinomial(std::span<const double> proba
     std::size_t width = 1;  // live entries
     std::size_t done = 0;
     const auto m = static_cast<double>(trials_ == 0 ? 1 : trials_);
+    // Flush subnormals for the DP (support/fpu.hpp).  The flushed mass
+    // is < (n+1)·2⁻¹⁰²² in total — absorbed by the certified ε budget
+    // (and by double rounding noise when ε = 0).
+    const support::ScopedFlushDenormals ftz;
+    const detail::ConvolveFn kern = detail::convolve_kernel();
     for (double p : probabilities) {
         expects(p >= 0.0 && p <= 1.0,
                 "TruncatedPoissonBinomial: probability out of [0,1]");
         mean_ += p;
         variance_ += p * (1.0 - p);
-        detail::convolve_two_point(front.data() + base, back.data(), width, 1, p);
+        kern(front.data() + base, back.data(), width, 1, p);
         front.swap(back);
         base = 0;
         ++width;
@@ -93,6 +99,10 @@ TruncatedTally truncated_weighted_majority(std::span<const std::uint64_t> weight
     back.resize(static_cast<std::size_t>(total) + 1);
     front[0] = 1.0;
 
+    // Flush subnormals for the DP (support/fpu.hpp); flushed mass
+    // < (W+1)·2⁻¹⁰²² rides inside the certified error budget.
+    const support::ScopedFlushDenormals ftz;
+    const detail::ConvolveFn kern = detail::convolve_kernel();
     std::size_t base = 0;   // window = front[base, base + width)
     std::size_t width = 1;  // live entries
     std::uint64_t lo = 0;   // absolute value of front[base]
@@ -109,7 +119,7 @@ TruncatedTally truncated_weighted_majority(std::span<const std::uint64_t> weight
         const std::size_t w = static_cast<std::size_t>(weights[i]);
         if (w == 0) continue;
         const double p = probs[i];
-        detail::convolve_two_point(front.data() + base, back.data(), width, w, p);
+        kern(front.data() + base, back.data(), width, w, p);
         front.swap(back);
         base = 0;
         width += w;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/expect.hpp"
+#include "support/fpu.hpp"
 
 namespace ld::prob {
 
@@ -26,12 +27,17 @@ std::uint64_t convolve_weighted_sum(std::span<const std::uint64_t> weights,
     scratch.front.resize(static_cast<std::size_t>(total) + 1);
     scratch.back.resize(static_cast<std::size_t>(total) + 1);
     scratch.front[0] = 1.0;
+    // Flush subnormals for the DP: the spreading pmf front underflows
+    // fresh subnormals every step, and the per-op assists cost more than
+    // the convolution itself (support/fpu.hpp).  Total flushed mass
+    // < (W+1)·2⁻¹⁰²² — invisible at the majority threshold.
+    const support::ScopedFlushDenormals ftz;
+    const detail::ConvolveFn kern = detail::convolve_kernel();
     std::size_t width = 1;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         const auto w = static_cast<std::size_t>(weights[i]);
         if (w == 0) continue;
-        detail::convolve_two_point(scratch.front.data(), scratch.back.data(),
-                                   width, w, probs[i]);
+        kern(scratch.front.data(), scratch.back.data(), width, w, probs[i]);
         scratch.front.swap(scratch.back);
         width += w;
     }

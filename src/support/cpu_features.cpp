@@ -1,0 +1,97 @@
+#include "support/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LIQUIDD_CPU_X86_64 1
+#include <cpuid.h>
+#else
+#define LIQUIDD_CPU_X86_64 0
+#endif
+
+#include <cstdint>
+
+namespace ld::support {
+
+namespace {
+
+#if LIQUIDD_CPU_X86_64
+
+/// XCR0 via xgetbv.  Only legal once CPUID reports OSXSAVE, so callers
+/// must gate on that bit first.
+std::uint64_t read_xcr0() {
+    std::uint32_t eax = 0;
+    std::uint32_t edx = 0;
+    __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+    return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures detect() {
+    CpuFeatures features;
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return features;
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    if (!osxsave || !avx) return features;
+
+    const std::uint64_t xcr0 = read_xcr0();
+    constexpr std::uint64_t kYmmState = 0x6;    // XMM + YMM
+    constexpr std::uint64_t kZmmState = 0xe6;   // + opmask, ZMM_Hi256, Hi16_ZMM
+    if ((xcr0 & kYmmState) != kYmmState) return features;
+
+    unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+    if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) return features;
+    features.avx2 = (ebx7 & (1u << 5)) != 0;
+
+    const bool avx512f = (ebx7 & (1u << 16)) != 0;
+    const bool avx512dq = (ebx7 & (1u << 17)) != 0;
+    features.avx512 =
+        avx512f && avx512dq && (xcr0 & kZmmState) == kZmmState;
+    return features;
+}
+
+#else
+
+CpuFeatures detect() { return {}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+    static const CpuFeatures features = detect();
+    return features;
+}
+
+SimdTier best_simd_tier() {
+    const CpuFeatures& features = cpu_features();
+    if (features.avx512) return SimdTier::kAvx512;
+    if (features.avx2) return SimdTier::kAvx2;
+    return SimdTier::kScalar;
+}
+
+bool simd_tier_supported(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kScalar: return true;
+        case SimdTier::kAvx2: return cpu_features().avx2;
+        case SimdTier::kAvx512: return cpu_features().avx512;
+    }
+    return false;
+}
+
+const char* simd_tier_name(SimdTier tier) {
+    switch (tier) {
+        case SimdTier::kScalar: return "scalar";
+        case SimdTier::kAvx2: return "avx2";
+        case SimdTier::kAvx512: return "avx512";
+    }
+    return "unknown";
+}
+
+std::optional<SimdTier> parse_simd_tier(std::string_view text) {
+    if (text == "auto") return best_simd_tier();
+    if (text == "scalar") return SimdTier::kScalar;
+    if (text == "avx2") return SimdTier::kAvx2;
+    if (text == "avx512") return SimdTier::kAvx512;
+    return std::nullopt;
+}
+
+}  // namespace ld::support

@@ -1,0 +1,48 @@
+// Runtime CPU-feature detection for the SIMD tally kernels.  Detection
+// happens once (cpuid + xgetbv on x86-64, nothing elsewhere) and is the
+// input to the one-time kernel dispatch in `prob/convolve_simd.cpp`.
+//
+// A tier is only reported as supported when both the instruction set and
+// the OS-enabled register state (XCR0 bits for YMM/ZMM) are present, so
+// dispatching on `best_simd_tier()` can never fault.
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace ld::support {
+
+/// Kernel lane-width tiers, ordered so that numeric comparison means
+/// "at least as wide".  Gauge values (`tally.kernel`) use the enum value.
+enum class SimdTier : int {
+    kScalar = 0,  ///< portable C++ loop, always available
+    kAvx2 = 1,    ///< 256-bit doubles (4 lanes), masked gathers
+    kAvx512 = 2,  ///< 512-bit doubles (8 lanes), opmask registers
+};
+
+/// Tier-relevant summary of what this host + OS combination can run.
+struct CpuFeatures {
+    bool avx2 = false;    ///< AVX2 ISA and OS YMM state
+    bool avx512 = false;  ///< AVX-512 F+DQ ISA and OS ZMM/opmask state
+};
+
+/// Detected features, cached after the first call.
+const CpuFeatures& cpu_features();
+
+/// Widest tier this host can execute.
+SimdTier best_simd_tier();
+
+/// True when `tier` can execute on this host (kScalar always can).
+bool simd_tier_supported(SimdTier tier);
+
+/// Canonical lower-case name: "scalar" / "avx2" / "avx512".
+const char* simd_tier_name(SimdTier tier);
+
+/// Parse a `--simd` / LIQUIDD_SIMD value.  "auto" resolves to
+/// `best_simd_tier()`; "scalar", "avx2", "avx512" name tiers directly
+/// (whether or not the host supports them — callers decide how to fail).
+/// Anything else returns nullopt.
+std::optional<SimdTier> parse_simd_tier(std::string_view text);
+
+}  // namespace ld::support

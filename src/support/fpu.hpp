@@ -1,0 +1,51 @@
+// Scoped control of the x86 flush-to-zero / denormals-are-zero FP mode.
+//
+// The tally DPs spend most of their cycles at the spreading front of the
+// pmf, where each step underflows fresh subnormals out of the normal
+// range — and every subnormal multiply takes a ~100-cycle microcode
+// assist on current x86 cores, a 3–4× whole-tally slowdown.  Flushing
+// subnormals to zero removes the assists; the induced error is bounded
+// by (pmf length)·2⁻¹⁰²² ≈ 10⁻³⁰⁵ in total mass, far below both double
+// rounding noise at the majority threshold and any certified ε the
+// truncated kernels account for.
+//
+// MXCSR is per-thread state, so the guard is applied inside each DP
+// driver (one save/restore per tally, not per convolution step — MXCSR
+// writes serialize the pipeline).  Every kernel tier (scalar, AVX2,
+// AVX-512) runs under the same mode, so the cross-tier bit-identity
+// contract of `prob/convolve.hpp` is unaffected: all tiers flush the
+// same values.
+
+#pragma once
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <xmmintrin.h>
+#endif
+
+namespace ld::support {
+
+/// RAII: enable FTZ+DAZ for the current scope, restoring the caller's
+/// MXCSR on exit.  No-op on non-x86 targets.
+class ScopedFlushDenormals {
+public:
+#if defined(__x86_64__) || defined(_M_X64)
+    ScopedFlushDenormals() noexcept : saved_(_mm_getcsr()) {
+        // bit 15 = FTZ (flush subnormal results), bit 6 = DAZ (treat
+        // subnormal inputs as zero).
+        _mm_setcsr(saved_ | 0x8040u);
+    }
+    ~ScopedFlushDenormals() { _mm_setcsr(saved_); }
+#else
+    ScopedFlushDenormals() noexcept = default;
+    ~ScopedFlushDenormals() = default;
+#endif
+    ScopedFlushDenormals(const ScopedFlushDenormals&) = delete;
+    ScopedFlushDenormals& operator=(const ScopedFlushDenormals&) = delete;
+
+private:
+#if defined(__x86_64__) || defined(_M_X64)
+    unsigned int saved_;
+#endif
+};
+
+}  // namespace ld::support

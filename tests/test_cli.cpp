@@ -11,6 +11,8 @@
 #include "ld/mech/mechanism.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/model/competency_gen.hpp"
+#include "prob/convolve.hpp"
+#include "support/cpu_features.hpp"
 #include "support/expect.hpp"
 #include "support/json.hpp"
 #include <fstream>
@@ -171,6 +173,35 @@ TEST(OptionParsing, MetricsOutFlag) {
     ASSERT_TRUE(parsed.metrics_out.has_value());
     EXPECT_EQ(*parsed.metrics_out, "/tmp/m.json");
     EXPECT_THROW(cli::parse_options({"--metrics-out"}), SpecError);
+}
+
+TEST(OptionParsing, SimdFlag) {
+    EXPECT_EQ(cli::parse_options({}).simd, "auto");
+    EXPECT_EQ(cli::parse_options({"--simd", "scalar"}).simd, "scalar");
+    EXPECT_THROW(cli::parse_options({"--simd"}), SpecError);
+}
+
+TEST(Runner, SimdUnknownTierIsAHardError) {
+    cli::Options options;
+    options.n = 20;
+    options.replications = 5;
+    options.simd = "sse9";
+    std::ostringstream out;
+    EXPECT_THROW(cli::run(options, out), SpecError);
+}
+
+TEST(Runner, SimdScalarPinRunsAndRestores) {
+    // `scalar` is executable on every host, so pinning it must succeed;
+    // restore the auto tier afterwards so later tests see the default.
+    const ld::support::SimdTier before = ld::prob::kernel_tier();
+    cli::Options options;
+    options.n = 40;
+    options.replications = 20;
+    options.simd = "scalar";
+    std::ostringstream out;
+    EXPECT_EQ(cli::run(options, out), 0);
+    EXPECT_EQ(ld::prob::kernel_tier(), ld::support::SimdTier::kScalar);
+    ASSERT_TRUE(ld::prob::set_kernel_tier(before));
 }
 
 TEST(Runner, MetricsOutWritesParseableJson) {

@@ -26,7 +26,9 @@
 #include "ld/election/evaluator.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/serve/server.hpp"
+#include "prob/convolve.hpp"
 #include "support/build_info.hpp"
+#include "support/cpu_features.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "support/net.hpp"
@@ -663,9 +665,15 @@ TEST(ServeCli, DispatchKnowsEverySubcommand) {
 TEST(ServeCli, VersionPrintsBuildInfo) {
     std::ostringstream out;
     EXPECT_EQ(ld::cli::dispatch({"--version"}, out), 0);
-    EXPECT_EQ(out.str(), ld::support::version_line() + "\n");
+    // Line 1: build identity.  Line 2: active tally-kernel tier, so a
+    // version string alone attributes results to a lane width.
+    EXPECT_EQ(out.str().find(ld::support::version_line() + "\n"), 0u);
     EXPECT_NE(out.str().find(ld::support::build_info().git_describe),
               std::string::npos);
+    const std::string simd_line =
+        std::string("simd: ") +
+        ld::support::simd_tier_name(ld::prob::kernel_tier());
+    EXPECT_NE(out.str().find(simd_line), std::string::npos);
 }
 
 TEST(ServeCli, ServeOptionsValidate) {
