@@ -5,6 +5,8 @@
 #include <ostream>
 #include <string_view>
 
+#include <unistd.h>
+
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "ld/cli/specs.hpp"
@@ -15,6 +17,7 @@
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
 #include "ld/serve/server.hpp"
+#include "ld/serve/shard_router.hpp"
 #include "prob/convolve.hpp"
 #include "support/build_info.hpp"
 #include "support/cpu_features.hpp"
@@ -465,6 +468,19 @@ accepting, finish admitted work, flush metrics, exit 0.
                          last drain step
   --simd <tier>          pin the tally kernel tier (auto|scalar|avx2|avx512;
                          reported in the handshake, bit-identical results)
+  --route <b1,b2,...>    shard-router mode: forward requests to these
+                         backend liquidd servers (hashed by instance
+                         fingerprint) instead of evaluating locally.
+                         Each backend is unix:/path, tcp:PORT, a bare
+                         socket path, or a bare port
+  --health-interval-ms <ms>  router backend health-probe cadence
+                         (default 1000; a probe unanswered for 3
+                         intervals marks the backend down)
+  --ready-file <path>    write "ready\n" here once the listeners accept
+                         (works with a FIFO: `mkfifo` + read replaces
+                         connect-polling loops in supervisors/CI)
+  --ready-fd <fd>        write "ready\n" to this inherited fd and close
+                         it once the listeners accept
   --help                 show this text
 
 Protocol reference, backpressure semantics, and a load-generator
@@ -502,6 +518,41 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
         else if (flag == "--write-timeout-ms") options.write_timeout_ms = parse_size(next(), flag);
         else if (flag == "--metrics-out") options.metrics_out = next();
         else if (flag == "--simd") options.simd = next();
+        else if (flag == "--route") {
+            // Comma-separated backend list; validate each spec eagerly so
+            // a typo fails at the command line, not mid-serve.
+            const std::string& list = next();
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string item =
+                    list.substr(start, comma == std::string::npos ? std::string::npos
+                                                                  : comma - start);
+                if (!item.empty()) {
+                    try {
+                        serve::parse_backend_spec(item);
+                    } catch (const support::net::NetError& e) {
+                        throw SpecError(std::string("--route: ") + e.what());
+                    }
+                    options.route.push_back(item);
+                }
+                if (comma == std::string::npos) break;
+                start = comma + 1;
+            }
+            if (options.route.empty()) {
+                throw SpecError("--route: need at least one backend");
+            }
+        }
+        else if (flag == "--health-interval-ms") {
+            options.health_interval_ms = parse_size(next(), flag);
+            if (options.health_interval_ms == 0) {
+                throw SpecError("--health-interval-ms: must be >= 1");
+            }
+        }
+        else if (flag == "--ready-file") options.ready_file = next();
+        else if (flag == "--ready-fd") {
+            options.ready_fd = static_cast<int>(parse_size(next(), flag));
+        }
         else if (flag == "--help" || flag == "-h") options.help = true;
         else throw SpecError("unknown flag '" + flag + "' (try `liquidd serve --help`)");
     }
@@ -517,6 +568,42 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
         return 0;
     }
     apply_simd_override(options.simd);
+
+    if (!options.route.empty()) {
+        // Shard-router mode: no local evaluation — hash instance
+        // fingerprints across the named backend liquidds.
+        serve::ShardRouterConfig config;
+        if (options.unix_socket) config.unix_socket = *options.unix_socket;
+        if (options.tcp_port) config.tcp_port = static_cast<std::uint16_t>(*options.tcp_port);
+        for (const std::string& spec : options.route) {
+            config.backends.push_back(serve::parse_backend_spec(spec));
+        }
+        config.health_interval = std::chrono::milliseconds(options.health_interval_ms);
+        config.write_timeout = std::chrono::milliseconds(options.write_timeout_ms);
+        config.drain_on_signal = true;
+        if (options.metrics_out) config.metrics_out = *options.metrics_out;
+
+        support::SignalDrain drain_on_signal;  // SIGINT/SIGTERM -> graceful drain
+        serve::ShardRouter router(std::move(config));
+        router.start();
+
+        out << support::version_line() << "\n";
+        if (options.unix_socket) out << "listening on unix:" << *options.unix_socket << "\n";
+        if (options.tcp_port) {
+            out << "listening on tcp:127.0.0.1:" << router.tcp_port() << "\n";
+        }
+        out << "routing to " << options.route.size() << " backend(s)\n";
+        out << "serving (SIGTERM/SIGINT or a shutdown request drains)\n" << std::flush;
+        const int ready_keep = serve::signal_ready(
+            options.ready_file.value_or(""), options.ready_fd.value_or(-1));
+
+        const int code = router.wait();
+        if (ready_keep >= 0) ::close(ready_keep);
+        out << "drained cleanly";
+        if (options.metrics_out) out << "; metrics flushed to " << *options.metrics_out;
+        out << "\n";
+        return code;
+    }
 
     serve::ServerConfig config;
     if (options.unix_socket) config.unix_socket = *options.unix_socket;
@@ -540,8 +627,11 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
         out << "listening on tcp:127.0.0.1:" << server.tcp_port() << "\n";
     }
     out << "serving (SIGTERM/SIGINT or a shutdown request drains)\n" << std::flush;
+    const int ready_keep = serve::signal_ready(options.ready_file.value_or(""),
+                                               options.ready_fd.value_or(-1));
 
     const int code = server.wait();
+    if (ready_keep >= 0) ::close(ready_keep);
     out << "drained cleanly";
     if (options.metrics_out) out << "; metrics flushed to " << *options.metrics_out;
     out << "\n";

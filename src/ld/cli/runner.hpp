@@ -83,6 +83,13 @@ struct ServeOptions {
     std::size_t write_timeout_ms = 5000;     ///< --write-timeout-ms (0 = block)
     std::optional<std::string> metrics_out;  ///< --metrics-out (flushed on drain)
     std::string simd = "auto";               ///< --simd: pin the tally kernel tier
+    /// --route b1,b2,...: shard-router mode — forward requests to these
+    /// backend liquidds instead of evaluating locally.  Each entry is
+    /// "unix:/path", "tcp:PORT", a bare path, or a bare port.
+    std::vector<std::string> route;
+    std::size_t health_interval_ms = 1000;   ///< --health-interval-ms (router mode)
+    std::optional<std::string> ready_file;   ///< --ready-file: write "ready\n" once listening
+    std::optional<int> ready_fd;             ///< --ready-fd: write "ready\n" + close once listening
     bool help = false;
 };
 

@@ -1,15 +1,8 @@
 #include "ld/serve/server.hpp"
 
-#include <algorithm>
-#include <cerrno>
-#include <cstdio>
 #include <fstream>
 #include <unordered_map>
-
-#include <fcntl.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
+#include <utility>
 
 #include "support/metrics.hpp"
 #include "support/signal_drain.hpp"
@@ -38,21 +31,6 @@ std::string batch_key_of(const Request& request) {
 
 }  // namespace
 
-void Server::ClientConn::send(const std::string& line) noexcept {
-    if (dead.load(std::memory_order_relaxed)) return;
-    std::lock_guard<std::mutex> lock(write_mutex);
-    try {
-        support::net::write_line(socket, line, write_timeout_ms);
-    } catch (const support::net::NetError&) {
-        // Peer hung up, or stopped reading until the bounded write timed
-        // out.  Either way the client is unrecoverable: drop it so it
-        // cannot stall the dispatcher again, and shut the socket down so
-        // its reader thread unblocks and reaps the connection.
-        dead.store(true, std::memory_order_relaxed);
-        socket.shutdown_both();
-    }
-}
-
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       router_(RouterConfig{config_.eval_threads, config_.max_replications,
@@ -66,9 +44,6 @@ Server::~Server() {
         request_drain();
         wait();
     }
-    for (int fd : wake_pipe_) {
-        if (fd != -1) ::close(fd);
-    }
 }
 
 void Server::start() {
@@ -76,33 +51,29 @@ void Server::start() {
     if (config_.unix_socket.empty() && !config_.tcp_port.has_value()) {
         throw support::net::NetError("serve: no listener configured");
     }
-    if (::pipe(wake_pipe_) != 0) {
-        throw support::net::NetError("serve: cannot create wake pipe");
-    }
-    for (int fd : wake_pipe_) {
-        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
-        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-    }
 
-    if (!config_.unix_socket.empty()) {
-        unix_listener_ = support::net::Listener::unix_domain(config_.unix_socket);
+    FrontConfig front_config;
+    front_config.unix_socket = config_.unix_socket;
+    front_config.tcp_port = config_.tcp_port;
+    front_config.write_timeout = config_.write_timeout;
+    front_config.handshake = render_handshake();
+    front_config.connections_gauge = &status_.connections;
+    if (config_.drain_on_signal) {
+        front_config.signal_wake_fd = support::SignalDrain::wake_fd();
     }
-    if (config_.tcp_port.has_value()) {
-        tcp_listener_ = support::net::Listener::tcp_loopback(*config_.tcp_port);
-        tcp_port_ = tcp_listener_->port();
-    }
+    front_ = std::make_unique<EventFront>(
+        std::move(front_config),
+        [this](const std::shared_ptr<Conn>& conn, const std::string& line) {
+            handle_connection_line(conn, line);
+        },
+        [this] {
+            if (support::SignalDrain::requested()) request_drain();
+        });
 
+    front_->start();  // throws NetError if a bind fails; nothing to undo yet
+    tcp_port_ = front_->tcp_port();
     started_ = true;
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
-    if (unix_listener_) {
-        accept_threads_.emplace_back([this] { accept_loop(*unix_listener_); });
-    }
-    if (tcp_listener_) {
-        accept_threads_.emplace_back([this] { accept_loop(*tcp_listener_); });
-    }
-    if (config_.drain_on_signal) {
-        signal_watcher_ = std::thread([this] { watch_signals(); });
-    }
 }
 
 void Server::request_drain() {
@@ -112,10 +83,6 @@ void Server::request_drain() {
         drain_requested_ = true;
     }
     status_.draining.store(true, std::memory_order_relaxed);
-    if (wake_pipe_[1] != -1) {
-        const char byte = 1;
-        [[maybe_unused]] const auto rc = ::write(wake_pipe_[1], &byte, 1);
-    }
     drain_cv_.notify_all();
 }
 
@@ -131,131 +98,52 @@ int Server::wait() {
 }
 
 void Server::do_drain() {
-    // 1. Stop accepting: the wake pipe is already readable, so accept
-    //    loops fall out of poll; join them and close the listeners.
-    for (auto& thread : accept_threads_) {
-        if (thread.joinable()) thread.join();
-    }
-    accept_threads_.clear();
-    if (signal_watcher_.joinable()) signal_watcher_.join();
-    if (unix_listener_) unix_listener_->close();
-    if (tcp_listener_) tcp_listener_->close();
+    // 1. Stop accepting: listeners close, further connects are refused.
+    //    (front_ is null for an in-process Server that was never
+    //    start()ed — handle_line still drains through wait().)
+    if (front_) front_->stop_accepting();
 
-    // 2. Finish in-flight work: connection threads now reject new evals
-    //    (draining flag), so the queue only shrinks; wait for the
-    //    dispatcher to empty it, then stop the dispatcher.
-    {
-        std::unique_lock<std::mutex> lock(queue_mutex_);
-        idle_cv_.wait(lock, [this] { return queue_.empty() && !dispatcher_busy_; });
-        stop_dispatcher_ = true;
+    // 2. Finish in-flight work.  The draining flag makes every new eval
+    //    a `shutting_down` rejection, so the queue only shrinks.  Settle
+    //    the event loop so each request line that was readable when the
+    //    drain began has been admitted or rejected, wait for the
+    //    dispatcher to empty the queue, and iterate: settling can
+    //    surface a last round of already-sent requests.
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            idle_cv_.wait(lock, [this] { return queue_.empty() && !dispatcher_busy_; });
+        }
+        if (front_) front_->settle_inputs();
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.empty() && !dispatcher_busy_) {
+            stop_dispatcher_ = true;
+            break;
+        }
     }
     queue_cv_.notify_all();
     if (dispatcher_.joinable()) dispatcher_.join();
 
-    // 3. Close connections: shut the read side so reader threads
-    //    unblock and finish any inline request (their responses still
-    //    flush — bounded by write_timeout), then wait for every
-    //    detached reader to reap itself.  Copy, don't swap: exiting
-    //    readers remove themselves from conns_ concurrently.
-    std::vector<std::shared_ptr<ClientConn>> conns;
-    {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
-        conns = conns_;
-    }
-    for (const auto& conn : conns) {
-        if (conn->socket.valid()) ::shutdown(conn->socket.fd(), SHUT_RD);
-    }
-    conns.clear();  // sockets close when the last shared_ptr drops
-    {
-        std::unique_lock<std::mutex> lock(conns_mutex_);
-        conns_cv_.wait(lock, [this] { return active_readers_ == 0; });
-        conns_.clear();
+    // 3. Deliver every buffered response (bounded — stalled peers are
+    //    swept by the loop tick meanwhile), then close all connections
+    //    (clients see EOF) and stop the loop.
+    const auto flush_bound = config_.write_timeout.count() > 0
+                                 ? config_.write_timeout + std::chrono::milliseconds(1'000)
+                                 : std::chrono::milliseconds(10'000);
+    if (front_) {
+        front_->flush_all(flush_bound);
+        front_->close_all();
+        front_->shutdown();
     }
 
     // 4. Flush metrics.
+    refresh_loop_gauges();
     auto& registry = support::MetricsRegistry::global();
     registry.counter("serve.drains").add(1);
     if (!config_.metrics_out.empty()) {
         std::ofstream out(config_.metrics_out);
         if (out) support::write_metrics_json(out, registry.snapshot());
     }
-}
-
-void Server::accept_loop(support::net::Listener& listener) {
-    while (!draining()) {
-        std::optional<support::net::Socket> client;
-        try {
-            client = listener.accept(wake_pipe_[0]);
-        } catch (const support::net::NetError& e) {
-            // A failed accept must degrade, never terminate the server.
-            std::fprintf(stderr, "liquidd serve: accept failed: %s\n", e.what());
-            support::MetricsRegistry::global().counter("serve.accept_errors").add(1);
-            pollfd wake{wake_pipe_[0], POLLIN, 0};
-            ::poll(&wake, 1, 100);
-            continue;
-        }
-        if (!client.has_value()) break;  // woken for drain
-        auto conn = std::make_shared<ClientConn>();
-        conn->socket = std::move(*client);
-        conn->write_timeout_ms =
-            config_.write_timeout.count() > 0
-                ? static_cast<int>(config_.write_timeout.count())
-                : -1;
-        {
-            std::lock_guard<std::mutex> lock(conns_mutex_);
-            if (draining()) {
-                conn->socket.close();
-                break;
-            }
-            conns_.push_back(conn);
-            ++active_readers_;
-        }
-        status_.connections.fetch_add(1, std::memory_order_relaxed);
-        support::MetricsRegistry::global().counter("serve.connections").add(1);
-        // Detached: the thread reaps itself via finish_connection, and
-        // do_drain waits on active_readers_ instead of joining handles.
-        std::thread([this, conn] { connection_loop(conn); }).detach();
-    }
-}
-
-void Server::watch_signals() {
-    pollfd fds[2] = {{support::SignalDrain::wake_fd(), POLLIN, 0},
-                     {wake_pipe_[0], POLLIN, 0}};
-    while (true) {
-        const int ready = ::poll(fds, 2, -1);
-        if (ready < 0 && errno == EINTR) continue;
-        break;  // signal arrived, drain requested, or poll failed
-    }
-    if (support::SignalDrain::requested()) request_drain();
-}
-
-void Server::connection_loop(std::shared_ptr<ClientConn> conn) {
-    try {
-        conn->send(render_handshake());
-        support::net::LineReader reader(conn->socket);
-        std::string line;
-        while (reader.read_line(line)) {
-            handle_connection_line(conn, line);
-        }
-    } catch (const support::net::NetError&) {
-        // Connection dropped mid-read; treat as EOF.
-    }
-    finish_connection(conn);
-}
-
-void Server::finish_connection(const std::shared_ptr<ClientConn>& conn) {
-    // The socket is NOT closed here: queued evals may still hold the
-    // conn and flush responses to a peer that shut down only its write
-    // side.  The fd closes with the last shared_ptr, which is also what
-    // makes fd reuse safe — no send can ever race a close.
-    status_.connections.fetch_sub(1, std::memory_order_relaxed);
-    // Decrement-and-notify under the mutex, and touch no member after:
-    // once active_readers_ hits 0 a draining Server may be destroyed
-    // out from under this (detached) thread.
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
-    --active_readers_;
-    conns_cv_.notify_all();
 }
 
 Request Server::parse_with_default_deadline(const std::string& line) {
@@ -274,7 +162,15 @@ void Server::set_queue_depth_locked() {
     support::MetricsRegistry::global().gauge("serve.queue_depth").set(depth);
 }
 
-void Server::handle_connection_line(const std::shared_ptr<ClientConn>& conn,
+void Server::refresh_loop_gauges() {
+    if (!front_) return;
+    auto& registry = support::MetricsRegistry::global();
+    registry.gauge("loop.fds").set(static_cast<std::int64_t>(front_->loop_fd_count()));
+    registry.gauge("loop.conns")
+        .set(static_cast<std::int64_t>(front_->connection_count()));
+}
+
+void Server::handle_connection_line(const std::shared_ptr<Conn>& conn,
                                     const std::string& line) {
     auto& registry = support::MetricsRegistry::global();
     Request request;
@@ -286,31 +182,43 @@ void Server::handle_connection_line(const std::shared_ptr<ClientConn>& conn,
         return;
     }
 
-    if (request.method != "eval") {
-        // Cheap control-plane methods execute inline on the connection
-        // thread: health and shutdown must answer even when the eval
-        // queue is saturated.
+    const bool is_eval = request.method == "eval";
+    const bool is_load = request.method == "instance.load";
+    if (!is_eval && !is_load) {
+        // Cheap control-plane methods execute inline on the loop thread:
+        // health and shutdown must answer even when the eval queue is
+        // saturated.
+        if (request.method == "metrics") refresh_loop_gauges();
         conn->send(router_.handle(request));
         return;
     }
 
-    if (draining()) {
+    if (is_eval && draining()) {
         conn->send(render_error(request.id, ErrorCode::ShuttingDown,
                                 "server is draining"));
         return;
     }
     bool shutting_down = false;
     bool overloaded = false;
+    bool run_inline = false;
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         // Authoritative drain check: the fast-path check above races
         // with do_drain, which observes an empty queue and sets
-        // stop_dispatcher_ under this mutex.  An eval enqueued after
-        // that point would never be dispatched — so re-check here and
-        // reject instead of silently dropping it.
+        // stop_dispatcher_ under this mutex.  A request enqueued after
+        // that point would never be dispatched — so re-check here;
+        // evals are rejected, instance.load falls back to running
+        // inline (it is valid during a drain, matching the old
+        // connection-thread behavior).
         if (stop_dispatcher_ || draining()) {
-            shutting_down = true;
-        } else if (!try_admit_locked()) {
+            if (is_eval) {
+                shutting_down = true;
+            } else {
+                run_inline = true;
+            }
+        } else if (is_eval && !try_admit_locked()) {
+            // The admission bound applies to evals only: instance.load
+            // is control plane and must never be `overloaded`.
             overloaded = true;
         } else {
             QueuedEval queued;
@@ -318,14 +226,19 @@ void Server::handle_connection_line(const std::shared_ptr<ClientConn>& conn,
             queued.dedup_key = dedup_key_of(request);
             queued.request = std::move(request);
             queued.conn = conn;
+            conn->add_inflight();
             queue_.push_back(std::move(queued));
             set_queue_depth_locked();
-            registry.counter("serve.admitted").add(1);
+            if (is_eval) registry.counter("serve.admitted").add(1);
         }
     }
     if (shutting_down) {
         conn->send(render_error(request.id, ErrorCode::ShuttingDown,
                                 "server is draining"));
+        return;
+    }
+    if (run_inline) {
+        conn->send(router_.handle(request));
         return;
     }
     if (overloaded) {
@@ -397,11 +310,13 @@ void Server::execute_batch(std::vector<QueuedEval>& batch) {
     // share one replication sweep on the pool.
     std::unordered_map<std::string, Router::Outcome> computed;
     for (QueuedEval& item : batch) {
+        const bool is_eval = item.request.method == "eval";
         const auto now = std::chrono::steady_clock::now();
-        if (item.request.expired(now)) {
+        if (is_eval && item.request.expired(now)) {
             registry.counter("serve.rejected_deadline").add(1);
             item.conn->send(render_error(item.request.id, ErrorCode::DeadlineExceeded,
                                          "deadline expired in the queue"));
+            item.conn->finish_inflight();
             continue;
         }
         const auto found = computed.find(item.dedup_key);
@@ -411,13 +326,16 @@ void Server::execute_batch(std::vector<QueuedEval>& batch) {
             shared ? found->second
                    : computed.emplace(item.dedup_key, router_.execute(item.request))
                          .first->second;
-        if (outcome.ok && item.request.expired(std::chrono::steady_clock::now())) {
+        if (is_eval && outcome.ok &&
+            item.request.expired(std::chrono::steady_clock::now())) {
             registry.counter("serve.rejected_deadline").add(1);
             item.conn->send(render_error(item.request.id, ErrorCode::DeadlineExceeded,
                                          "deadline expired during execution"));
+            item.conn->finish_inflight();
             continue;
         }
         item.conn->send(Router::render(item.request.id, outcome));
+        item.conn->finish_inflight();
     }
 }
 
@@ -450,6 +368,7 @@ std::string Server::handle_line(const std::string& line) {
         }
         registry.counter("serve.admitted").add(1);
     }
+    if (request.method == "metrics") refresh_loop_gauges();
     return router_.handle(request);
 }
 

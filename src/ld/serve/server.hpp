@@ -1,34 +1,35 @@
 // The `liquidd serve` long-running evaluation server.
 //
-// Threading model (all threads owned by Server):
+// Threading model (down from ~one thread per connection to two):
 //
-//   accept thread(s)   one per listener (Unix socket and/or TCP
-//                      loopback); poll {listen fd, wake pipe}, spawn a
-//                      connection thread per client.
-//   connection threads read request lines.  Cheap methods
-//                      (instance.load/info, metrics, health, shutdown)
-//                      execute inline; `eval` goes through admission
-//                      into the bounded queue — or is rejected with
-//                      `overloaded` when the queue is full, which is the
-//                      whole backpressure story: the server never
-//                      buffers more than queue_capacity evals.  The
-//                      threads are detached and self-reaping: on client
-//                      disconnect each removes its connection from the
-//                      live set and decrements active_readers_, so churn
-//                      never accumulates fds or thread handles.  All
-//                      response writes are bounded by write_timeout; a
-//                      peer that stops reading is dropped, never allowed
-//                      to wedge the dispatcher or a drain.
+//   event-loop thread  owned by the EventFront: accepts clients, frames
+//                      request lines, flushes responses.  Cheap methods
+//                      (instance.info, metrics, health, shutdown)
+//                      execute inline on this thread; `eval` goes
+//                      through admission into the bounded queue — or is
+//                      rejected with `overloaded` when the queue is
+//                      full, which is the whole backpressure story: the
+//                      server never buffers more than queue_capacity
+//                      evals.  `instance.load` also hops to the
+//                      dispatcher (bypassing the admission bound — it
+//                      is control plane, never `overloaded`) so a large
+//                      instance realization cannot stall the loop.
+//                      Response writes are buffered per connection and
+//                      policed by write_timeout: a peer that stops
+//                      reading is dropped, never allowed to wedge the
+//                      dispatcher or a drain.
 //   dispatcher thread  pops evals, coalesces up to batch_max requests
 //                      that target the same cached instance into one
 //                      micro-batch (identical requests are computed once
 //                      and fanned back to every waiter), and runs them
 //                      on the shared ReplicationEngine/ThreadPool.
 //
-// Graceful drain (SIGTERM/SIGINT via support::SignalDrain, the
-// `shutdown` RPC, or request_drain()): stop accepting, reject new evals
-// with `shutting_down`, finish every admitted request, flush metrics,
-// close connections.  wait() performs the teardown and returns 0.
+// Graceful drain (SIGTERM/SIGINT via support::SignalDrain — its wake fd
+// is watched by the event loop —, the `shutdown` RPC, or
+// request_drain()): stop accepting, reject new evals with
+// `shutting_down`, finish every admitted request, flush every response,
+// flush metrics, close connections.  wait() performs the teardown and
+// returns 0.
 
 #pragma once
 
@@ -44,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "ld/serve/event_front.hpp"
 #include "ld/serve/instance_cache.hpp"
 #include "ld/serve/protocol.hpp"
 #include "ld/serve/router.hpp"
@@ -74,10 +76,10 @@ struct ServerConfig {
     /// Default per-request deadline applied when a request carries no
     /// deadline_ms (0 = none).
     std::chrono::milliseconds default_deadline{0};
-    /// Bound on any single response write.  A client whose socket buffer
-    /// stays full this long (it stopped reading) is dropped, so it can
-    /// never head-of-line-block the dispatcher or hang a drain
-    /// (0 = block indefinitely).
+    /// Bound on how long a response may sit unflushed because the
+    /// client's socket buffer stays full (it stopped reading): such a
+    /// peer is dropped, so it can never head-of-line-block the
+    /// dispatcher or hang a drain (0 = buffer indefinitely).
     std::chrono::milliseconds write_timeout{5'000};
     /// Watch support::SignalDrain's wake pipe and drain on SIGINT/SIGTERM
     /// (the caller installs the handler; see cli::run_serve).
@@ -97,8 +99,9 @@ public:
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
 
-    /// Bind listeners and spawn the accept/dispatcher threads.  Throws
-    /// support::net::NetError when a bind fails.
+    /// Bind listeners and spawn the event-loop/dispatcher threads.
+    /// Throws support::net::NetError when a bind fails.  On return the
+    /// listeners are accepting.
     void start();
 
     /// Block until a drain is requested, then tear down: finish admitted
@@ -126,38 +129,21 @@ public:
     const ServerConfig& config() const noexcept { return config_; }
 
 private:
-    struct ClientConn {
-        support::net::Socket socket;
-        std::mutex write_mutex;
-        int write_timeout_ms = -1;
-        /// Set once a write timed out or failed: the peer is gone (or
-        /// not reading); later sends are skipped.
-        std::atomic<bool> dead{false};
-
-        /// Serialised, bounded, best-effort line write.  On failure or
-        /// timeout the connection is shut down (unblocking its reader)
-        /// and marked dead.
-        void send(const std::string& line) noexcept;
-    };
-
     struct QueuedEval {
         Request request;
-        std::shared_ptr<ClientConn> conn;
+        std::shared_ptr<Conn> conn;
         std::string batch_key;  ///< instance fingerprint ("" = never batched)
         std::string dedup_key;  ///< full params identity
     };
 
-    void accept_loop(support::net::Listener& listener);
-    void watch_signals();
-    void connection_loop(std::shared_ptr<ClientConn> conn);
-    void finish_connection(const std::shared_ptr<ClientConn>& conn);
-    void handle_connection_line(const std::shared_ptr<ClientConn>& conn,
+    void handle_connection_line(const std::shared_ptr<Conn>& conn,
                                 const std::string& line);
     void dispatcher_loop();
     void execute_batch(std::vector<QueuedEval>& batch);
     Request parse_with_default_deadline(const std::string& line);
     bool try_admit_locked() const;  ///< queue_mutex_ held
     void set_queue_depth_locked();  ///< queue_mutex_ held
+    void refresh_loop_gauges();
     void do_drain();
 
     ServerConfig config_;
@@ -165,13 +151,9 @@ private:
     ServeStatus status_;
     Router router_;
 
-    std::optional<support::net::Listener> unix_listener_;
-    std::optional<support::net::Listener> tcp_listener_;
+    std::unique_ptr<EventFront> front_;
     std::uint16_t tcp_port_ = 0;
-    int wake_pipe_[2] = {-1, -1};  ///< request_drain → accept/watcher wakeup
 
-    std::vector<std::thread> accept_threads_;
-    std::thread signal_watcher_;
     std::thread dispatcher_;
 
     std::mutex queue_mutex_;
@@ -180,11 +162,6 @@ private:
     std::deque<QueuedEval> queue_;
     bool dispatcher_busy_ = false;
     bool stop_dispatcher_ = false;
-
-    std::mutex conns_mutex_;
-    std::condition_variable conns_cv_;  ///< drain waits for readers to exit
-    std::vector<std::shared_ptr<ClientConn>> conns_;  ///< live connections only
-    std::size_t active_readers_ = 0;  ///< detached reader threads still running
 
     std::mutex drain_mutex_;
     std::condition_variable drain_cv_;

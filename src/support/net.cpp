@@ -7,6 +7,7 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -95,6 +96,27 @@ std::size_t Socket::read_some(char* data, std::size_t size) {
         if (n >= 0) return static_cast<std::size_t>(n);
         if (errno == EINTR) continue;
         fail("recv");
+    }
+}
+
+std::optional<std::size_t> Socket::read_nonblocking(char* data, std::size_t size) {
+    while (true) {
+        const ssize_t n = ::recv(fd_, data, size, MSG_DONTWAIT);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+        fail("recv");
+    }
+}
+
+std::size_t Socket::write_nonblocking(std::string_view data) {
+    while (true) {
+        const ssize_t n =
+            ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        fail("send");
     }
 }
 
@@ -284,6 +306,26 @@ std::optional<Socket> Listener::accept(int wake_fd) {
     return std::nullopt;
 }
 
+std::optional<Socket> Listener::try_accept(bool* exhausted) {
+    if (exhausted) *exhausted = false;
+    while (fd_ >= 0) {
+        const int client =
+            ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (client >= 0) return Socket(client);
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+            // Out of descriptors/buffers: the pending connection stays
+            // queued, so a level-triggered poller would spin on it —
+            // report the condition and let the caller back off.
+            if (exhausted) *exhausted = true;
+            return std::nullopt;
+        }
+        fail("accept");
+    }
+    return std::nullopt;
+}
+
 void Listener::close() noexcept {
     if (fd_ >= 0) {
         ::close(fd_);
@@ -296,6 +338,13 @@ void Listener::close() noexcept {
 }
 
 // Clients ------------------------------------------------------------------
+
+void set_nonblocking(int fd, bool on) {
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0) fail("fcntl(F_GETFL)");
+    const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (next != flags && ::fcntl(fd, F_SETFL, next) != 0) fail("fcntl(F_SETFL)");
+}
 
 Socket connect_unix(const std::string& path) {
     const sockaddr_un address = unix_address(path);

@@ -1,8 +1,9 @@
 // Minimal POSIX socket helpers for the serve layer and its clients:
-// Unix-domain and TCP-loopback listeners, blocking stream sockets, and
-// newline-delimited line framing.  Deliberately tiny — no TLS, no
-// non-loopback TCP, no async I/O — because the serve transport is a
-// local IPC boundary, not a network service.
+// Unix-domain and TCP-loopback listeners, stream sockets (blocking and
+// nonblocking primitives), and newline-delimited line framing.  The
+// epoll reactor lives next door in support/event_loop.hpp; this header
+// stays deliberately tiny — no TLS, no non-loopback TCP — because the
+// serve transport is a local IPC boundary, not a network service.
 //
 // Everything throws NetError (with errno text) on failure; Socket and
 // Listener are move-only RAII owners of their file descriptors.
@@ -40,6 +41,16 @@ public:
 
     /// Read up to `size` bytes; returns 0 on orderly EOF.  Retries EINTR.
     std::size_t read_some(char* data, std::size_t size);
+
+    /// Nonblocking read for event-loop use: bytes read, 0 on orderly
+    /// EOF, or nullopt when nothing is readable right now (EAGAIN).
+    /// Uses MSG_DONTWAIT, so it is safe on blocking sockets too.
+    std::optional<std::size_t> read_nonblocking(char* data, std::size_t size);
+
+    /// Nonblocking write: how many bytes the kernel accepted (0 when
+    /// the socket buffer is full).  Throws NetError on a hard failure
+    /// (peer gone, reset).
+    std::size_t write_nonblocking(std::string_view data);
 
     /// Write all of `data`, looping over partial writes.  Throws on a
     /// closed peer (EPIPE is an error, not a signal — callers pass
@@ -114,6 +125,13 @@ public:
     /// briefly and retries rather than throwing.
     std::optional<Socket> accept(int wake_fd = -1);
 
+    /// Nonblocking accept for event-loop use: the next pending client
+    /// (created O_NONBLOCK), or nullopt when none is pending — which
+    /// includes descriptor exhaustion (`exhausted`, when non-null, is
+    /// set so the caller can back off instead of spinning on the
+    /// still-pending connection).  Throws NetError on hard failures.
+    std::optional<Socket> try_accept(bool* exhausted = nullptr);
+
     void close() noexcept;
 
 private:
@@ -124,6 +142,9 @@ private:
     std::string path_;  ///< unix path to unlink on close ("" for TCP)
     std::uint16_t port_ = 0;
 };
+
+/// Set or clear O_NONBLOCK on any descriptor.
+void set_nonblocking(int fd, bool on = true);
 
 /// Connect to a Unix-domain server socket.
 Socket connect_unix(const std::string& path);

@@ -1,0 +1,356 @@
+// Tests for the epoll event loop and the serve layer's event-driven
+// front: loop task posting and fd dispatch, tick callbacks, the
+// self-removal hazard (a callback that unregisters its own fd), request
+// frames fragmented across many epoll wakeups, hundreds of idle
+// connections held open through a graceful drain, the half-close
+// (shutdown(SHUT_WR)) vs full-close taxonomy, and the --ready-file /
+// --ready-fd readiness signals.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ld/serve/event_front.hpp"
+#include "ld/serve/server.hpp"
+#include "support/event_loop.hpp"
+#include "support/json.hpp"
+#include "support/net.hpp"
+
+namespace {
+
+namespace serve = ld::serve;
+namespace net = ld::support::net;
+namespace json = ld::support::json;
+
+std::string socket_path(const std::string& tag) {
+    return ::testing::TempDir() + "/ld_el_" + tag + ".sock";
+}
+
+// EventLoop ----------------------------------------------------------------
+
+TEST(EventLoop, PostedTasksRunOnTheLoopThreadInOrder) {
+    net::EventLoop loop;
+    std::vector<int> order;
+    std::atomic<bool> on_loop{false};
+    std::thread runner([&] { loop.run(); });
+    loop.post([&] {
+        order.push_back(1);
+        on_loop.store(loop.on_loop_thread());
+    });
+    loop.post([&] { order.push_back(2); });
+    loop.post([&] { loop.stop(); });
+    runner.join();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_TRUE(on_loop.load());
+    EXPECT_FALSE(loop.on_loop_thread());
+}
+
+TEST(EventLoop, FdCallbackFiresOnReadableAndStopsAfterRemove) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    net::EventLoop loop;
+    std::atomic<int> fires{0};
+    loop.add_fd(fds[0], net::kEventRead, [&](std::uint32_t events) {
+        EXPECT_TRUE(events & net::kEventRead);
+        char buffer[8];
+        [[maybe_unused]] const auto rc = ::read(fds[0], buffer, sizeof buffer);
+        if (fires.fetch_add(1) + 1 == 2) loop.stop();
+    });
+    EXPECT_TRUE(loop.watches(fds[0]));
+
+    std::thread runner([&] { loop.run(); });
+    ASSERT_EQ(::write(fds[1], "a", 1), 1);
+    while (fires.load() < 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(::write(fds[1], "b", 1), 1);
+    runner.join();
+    EXPECT_EQ(fires.load(), 2);
+
+    loop.remove_fd(fds[0]);
+    EXPECT_FALSE(loop.watches(fds[0]));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(EventLoop, CallbackMayRemoveItsOwnRegistration) {
+    // A connection closing itself runs exactly this shape: the callback
+    // erases the registration that owns the std::function currently
+    // executing.  The loop must dispatch through a copy.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    net::EventLoop loop;
+    std::atomic<int> fires{0};
+    // The large capture makes a use-after-free visibly corrupt under
+    // ASan/valgrind rather than silently reading stale bytes.
+    const std::string canary(256, 'x');
+    loop.add_fd(fds[0], net::kEventRead, [&, canary](std::uint32_t) {
+        loop.remove_fd(fds[0]);
+        EXPECT_EQ(canary.size(), 256u);
+        EXPECT_EQ(canary[0], 'x');
+        fires.fetch_add(1);
+        loop.stop();
+    });
+    std::thread runner([&] { loop.run(); });
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    runner.join();
+    EXPECT_EQ(fires.load(), 1);
+    EXPECT_FALSE(loop.watches(fds[0]));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(EventLoop, TickFiresRepeatedly) {
+    net::EventLoop loop;
+    std::atomic<int> ticks{0};
+    loop.set_tick(std::chrono::milliseconds(5), [&] {
+        if (ticks.fetch_add(1) + 1 >= 3) loop.stop();
+    });
+    std::thread runner([&] { loop.run(); });
+    runner.join();
+    EXPECT_GE(ticks.load(), 3);
+}
+
+TEST(EventLoop, FdCountTracksRegistrations) {
+    net::EventLoop loop;
+    const std::size_t base = loop.fd_count();  // the internal wake fd
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    loop.add_fd(fds[0], net::kEventRead, [](std::uint32_t) {});
+    EXPECT_EQ(loop.fd_count(), base + 1);
+    loop.remove_fd(fds[0]);
+    EXPECT_EQ(loop.fd_count(), base);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// Readiness signaling ------------------------------------------------------
+
+TEST(ServeReadiness, ReadyFileReceivesTheReadyLine) {
+    const std::string path = ::testing::TempDir() + "/ld_el_ready.txt";
+    ::unlink(path.c_str());
+    const int keep = serve::signal_ready(path, -1);
+    ASSERT_GE(keep, 0);
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "ready");
+    ::close(keep);
+    ::unlink(path.c_str());
+}
+
+TEST(ServeReadiness, ReadyFdReceivesTheReadyLineAndEof) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    EXPECT_EQ(serve::signal_ready("", fds[1]), -1);
+    char buffer[16] = {};
+    ASSERT_EQ(::read(fds[0], buffer, sizeof buffer), 6);
+    EXPECT_STREQ(buffer, "ready\n");
+    // signal_ready closed the write end: the reader sees EOF.
+    EXPECT_EQ(::read(fds[0], buffer, sizeof buffer), 0);
+    ::close(fds[0]);
+}
+
+// EventFront through a live Server ----------------------------------------
+
+/// Every request here is cheap control plane, so tests stay fast.
+std::string health_request(int id) {
+    return std::string("{\"id\": ") + std::to_string(id) +
+           ", \"method\": \"health\"}";
+}
+
+TEST(ServeEventLoop, FragmentedFramesAcrossWakeupsParseCorrectly) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("frag");
+    serve::Server server(std::move(config));
+    server.start();
+
+    net::Socket client = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(client);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));  // handshake
+
+    // One request dribbled out byte-clusters at a time: each write lands
+    // in its own epoll wakeup, so the front must carry the partial line
+    // across read passes.
+    const std::string request = health_request(1) + "\n";
+    for (std::size_t i = 0; i < request.size(); i += 3) {
+        const std::string chunk = request.substr(i, 3);
+        ASSERT_EQ(::send(client.fd(), chunk.data(), chunk.size(), 0),
+                  static_cast<ssize_t>(chunk.size()));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(reader.read_line(line));
+    const json::Value first = json::parse(line);
+    EXPECT_TRUE(first.at("ok").as_bool());
+    EXPECT_EQ(first.at("id").as_number(), 1.0);
+
+    // Two complete requests plus a partial third in ONE write: the read
+    // pass must dispatch both and hold the tail until its newline lands.
+    const std::string burst =
+        health_request(2) + "\n" + health_request(3) + "\n" + "{\"id\": 4, ";
+    ASSERT_EQ(::send(client.fd(), burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_EQ(json::parse(line).at("id").as_number(), 2.0);
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_EQ(json::parse(line).at("id").as_number(), 3.0);
+
+    const std::string tail = "\"method\": \"health\"}\n";
+    ASSERT_EQ(::send(client.fd(), tail.data(), tail.size(), 0),
+              static_cast<ssize_t>(tail.size()));
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_EQ(json::parse(line).at("id").as_number(), 4.0);
+
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeEventLoop, HalfClosedPeerStillReceivesItsResponses) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("halfclose");
+    serve::Server server(std::move(config));
+    server.start();
+
+    net::Socket client = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(client);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));  // handshake
+
+    const std::string request = health_request(1) + "\n";
+    ASSERT_EQ(::send(client.fd(), request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    // Half-close: we are done sending, but the response pipe stays open.
+    ASSERT_EQ(::shutdown(client.fd(), SHUT_WR), 0);
+
+    ASSERT_TRUE(reader.read_line(line));
+    const json::Value response = json::parse(line);
+    EXPECT_TRUE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("id").as_number(), 1.0);
+    // After the last response the server closes its side: clean EOF,
+    // not a hang.
+    EXPECT_FALSE(reader.read_line(line));
+
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+/// Connection count as the server reports it (health.result.connections).
+std::size_t reported_connections(net::Socket& probe, net::LineReader& reader,
+                                 int* next_id) {
+    const std::string request = health_request((*next_id)++) + "\n";
+    EXPECT_EQ(::send(probe.fd(), request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string line;
+    EXPECT_TRUE(reader.read_line(line));
+    return static_cast<std::size_t>(
+        json::parse(line).at("result").at("connections").as_number());
+}
+
+TEST(ServeEventLoop, FullCloseReapsConnections) {
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("reap");
+    serve::Server server(std::move(config));
+    server.start();
+
+    net::Socket probe = net::connect_unix(server.config().unix_socket);
+    net::LineReader probe_reader(probe);
+    std::string line;
+    ASSERT_TRUE(probe_reader.read_line(line));
+    int next_id = 1;
+
+    {
+        std::vector<net::Socket> extras;
+        for (int i = 0; i < 8; ++i) {
+            extras.push_back(net::connect_unix(server.config().unix_socket));
+        }
+        // Level-triggered epoll delivers the accepts promptly; poll the
+        // health gauge rather than racing it.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (reported_connections(probe, probe_reader, &next_id) < 9) {
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }  // all 8 extras close: full hangup per connection
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (reported_connections(probe, probe_reader, &next_id) > 1) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(reported_connections(probe, probe_reader, &next_id), 1u);
+
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServeEventLoop, HundredsOfIdleConnectionsSurviveUntilDrain) {
+    // The point of the epoll front: an idle connection costs one fd, so
+    // holding hundreds open is cheap and a drain must sweep them all.
+    // Size the flock to the fd budget (soft RLIMIT_NOFILE, raised toward
+    // 4096 when the hard limit allows).
+    rlimit limit{};
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+    if (limit.rlim_cur < 4096 &&
+        (limit.rlim_max == RLIM_INFINITY || limit.rlim_max >= 4096)) {
+        rlimit raised = limit;
+        raised.rlim_cur = 4096;
+        if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+            limit.rlim_cur = raised.rlim_cur;
+        }
+    }
+    // Client fds + server fds both come out of this process's budget;
+    // keep a wide margin for gtest/runtime descriptors.
+    const std::size_t flock_size =
+        std::min<std::size_t>(1000, (limit.rlim_cur - 64) / 2);
+    ASSERT_GE(flock_size, 100u) << "fd limit too low to exercise the flock";
+
+    serve::ServerConfig config;
+    config.unix_socket = socket_path("flock");
+    serve::Server server(std::move(config));
+    server.start();
+
+    std::vector<net::Socket> flock;
+    flock.reserve(flock_size);
+    for (std::size_t i = 0; i < flock_size; ++i) {
+        flock.push_back(net::connect_unix(server.config().unix_socket));
+    }
+
+    // The flock is completely idle (handshakes unread).  A separate
+    // active client must still get service instantly.
+    net::Socket active = net::connect_unix(server.config().unix_socket);
+    net::LineReader reader(active);
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));
+    int next_id = 1;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (reported_connections(active, reader, &next_id) < flock_size + 1) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // Drain with the whole flock still connected: every socket must see
+    // EOF (handshake first — the flock never read it).
+    server.request_drain();
+    EXPECT_EQ(server.wait(), 0);
+    for (net::Socket& member : flock) {
+        net::LineReader member_reader(member);
+        while (member_reader.read_line(line)) {
+        }  // drain the handshake, then EOF — must not hang
+    }
+}
+
+}  // namespace

@@ -2,9 +2,9 @@
 //
 // Reads a JSON-lines file of liquidd.rpc.v1 request templates (ids are
 // assigned here, sequentially), connects over a Unix-domain socket or
-// TCP loopback, and replays the file at a target rate with a pipelined
-// writer/reader pair: the writer paces sends against the wall clock, the
-// reader matches responses back to send timestamps.  The summary reports
+// TCP loopback, and replays the file at a target rate with pipelined
+// writer/reader pairs: writers pace sends against the wall clock, the
+// readers match responses back to send timestamps.  The summary reports
 // achieved throughput, latency percentiles, and a per-error-code
 // breakdown — `overloaded` counts here are the admission controller
 // working, not a failure.
@@ -12,10 +12,23 @@
 //   liquidd_loadgen --socket /tmp/liquidd.sock --requests reqs.jsonl \
 //       --qps 200 --repeat 10
 //
+// `--connections N` opens N concurrent sockets; request i is owned by
+// connection i mod N, but all sends pace against one global schedule
+// (request i goes out at start + i/qps regardless of which connection
+// carries it), so the server sees the target aggregate rate spread over
+// N live connections.  Ids stay globally unique and latencies are
+// merged before the percentile report.
+//
 // `--preload '<instance.load params>'` loads an instance first and
 // substitutes its fingerprint for the string "@instance" in templates,
 // so request files can exercise the micro-batched cached-eval path
-// without knowing fingerprints up front.  Walkthrough: docs/SERVING.md.
+// without knowing fingerprints up front.
+//
+// `--slo-p99-ms <t>` and `--min-qps <q>` turn the summary into a CI
+// gate: after a complete replay the observed p99 latency and achieved
+// throughput are checked against the bounds and the exit status is 1 on
+// any breach, with a printed verdict per bound.  Walkthrough:
+// docs/SERVING.md.
 
 #include <algorithm>
 #include <chrono>
@@ -23,8 +36,10 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,33 +57,41 @@ struct Options {
     std::string unix_socket;
     int tcp_port = -1;
     std::string requests_path;
-    double qps = 0.0;          ///< 0 = as fast as the socket allows
+    double qps = 0.0;          ///< 0 = as fast as the sockets allow
     std::size_t repeat = 1;    ///< replay the file this many times
+    std::size_t connections = 1;  ///< concurrent sockets
     std::string preload;       ///< instance.load params JSON ("" = none)
     bool fail_on_error = false;  ///< exit 1 if any response has ok=false
+    double slo_p99_ms = 0.0;   ///< 0 = no latency gate
+    double min_qps = 0.0;      ///< 0 = no throughput gate
     bool help = false;
 };
 
 constexpr const char* kUsage = R"(liquidd_loadgen — QPS replay client for `liquidd serve`
 
 usage: liquidd_loadgen (--socket <path> | --tcp <port>) --requests <file.jsonl>
-                       [--qps <rate>] [--repeat <n>] [--preload <params-json>]
-                       [--fail-on-error]
+                       [--qps <rate>] [--repeat <n>] [--connections <n>]
+                       [--preload <params-json>] [--fail-on-error]
+                       [--slo-p99-ms <ms>] [--min-qps <rate>]
 
   --socket <path>      connect to a Unix-domain server socket
   --tcp <port>         connect to 127.0.0.1:<port>
   --requests <file>    JSON-lines request templates (ids assigned here)
-  --qps <rate>         target send rate (default 0 = unpaced)
+  --qps <rate>         target aggregate send rate (default 0 = unpaced)
   --repeat <n>         replay the file n times (default 1)
+  --connections <n>    spread the replay over n concurrent sockets
+                       (default 1; pacing stays global)
   --preload <params>   instance.load with these params first; the returned
                        fingerprint replaces "@instance" in templates
   --fail-on-error      exit 1 when any response has ok=false (CI smoke)
+  --slo-p99-ms <ms>    exit 1 when observed p99 latency exceeds this bound
+  --min-qps <rate>     exit 1 when achieved throughput falls below this
   --help               show this text
 
 Exit status: 0 on a complete replay (every request answered, every
-response well-formed); 1 on transport failure, malformed responses,
-missing responses, or --fail-on-error with error responses; 2 on usage
-errors.
+response well-formed, every SLO bound met); 1 on transport failure,
+malformed responses, missing responses, --fail-on-error with error
+responses, or an SLO breach; 2 on usage errors.
 )";
 
 [[noreturn]] void usage_error(const std::string& what) {
@@ -90,8 +113,11 @@ Options parse_args(int argc, char** argv) {
         else if (flag == "--requests") options.requests_path = next();
         else if (flag == "--qps") options.qps = std::stod(next());
         else if (flag == "--repeat") options.repeat = std::stoul(next());
+        else if (flag == "--connections") options.connections = std::stoul(next());
         else if (flag == "--preload") options.preload = next();
         else if (flag == "--fail-on-error") options.fail_on_error = true;
+        else if (flag == "--slo-p99-ms") options.slo_p99_ms = std::stod(next());
+        else if (flag == "--min-qps") options.min_qps = std::stod(next());
         else if (flag == "--help" || flag == "-h") options.help = true;
         else usage_error("unknown flag '" + flag + "'");
     }
@@ -102,6 +128,9 @@ Options parse_args(int argc, char** argv) {
     if (options.tcp_port > 65535) usage_error("--tcp: port must be <= 65535");
     if (options.requests_path.empty()) usage_error("need --requests <file.jsonl>");
     if (options.repeat == 0) usage_error("--repeat: must be >= 1");
+    if (options.connections == 0) usage_error("--connections: must be >= 1");
+    if (options.slo_p99_ms < 0) usage_error("--slo-p99-ms: must be >= 0");
+    if (options.min_qps < 0) usage_error("--min-qps: must be >= 0");
     return options;
 }
 
@@ -176,6 +205,32 @@ double percentile(const std::vector<double>& sorted, double p) {
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// One socket plus its line reader; the constructor checks the
+/// liquidd.rpc.v1 handshake.
+struct Connection {
+    net::Socket socket;
+    net::LineReader reader;
+
+    explicit Connection(net::Socket s) : socket(std::move(s)), reader(socket) {
+        std::string line;
+        if (!reader.read_line(line)) {
+            throw std::runtime_error("server closed before the handshake");
+        }
+        const json::Value handshake = json::parse(line);
+        if (handshake.at("schema").as_string() != "liquidd.rpc.v1") {
+            throw std::runtime_error("unexpected schema '" +
+                                     handshake.at("schema").as_string() + "'");
+        }
+    }
+};
+
+std::unique_ptr<Connection> open_connection(const Options& options) {
+    return std::make_unique<Connection>(
+        options.unix_socket.empty()
+            ? net::connect_tcp_loopback(static_cast<std::uint16_t>(options.tcp_port))
+            : net::connect_unix(options.unix_socket));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,35 +242,25 @@ int main(int argc, char** argv) {
 
     try {
         const auto templates = load_templates(options.requests_path);
-        net::Socket socket = options.unix_socket.empty()
-                                 ? net::connect_tcp_loopback(
-                                       static_cast<std::uint16_t>(options.tcp_port))
-                                 : net::connect_unix(options.unix_socket);
-        net::LineReader reader(socket);
 
-        std::string line;
-        if (!reader.read_line(line)) {
-            std::cerr << "liquidd_loadgen: server closed before the handshake\n";
-            return 1;
+        std::vector<std::unique_ptr<Connection>> conns;
+        conns.reserve(options.connections);
+        for (std::size_t c = 0; c < options.connections; ++c) {
+            conns.push_back(open_connection(options));
         }
-        const json::Value handshake = json::parse(line);
-        if (handshake.at("schema").as_string() != "liquidd.rpc.v1") {
-            std::cerr << "liquidd_loadgen: unexpected schema '"
-                      << handshake.at("schema").as_string() << "'\n";
-            return 1;
-        }
-        std::cout << "connected: " << line << "\n";
+        std::cout << "connected: " << options.connections << " connection(s)\n";
 
-        // Optional instance preload, before the clock starts: its
-        // fingerprint patches "@instance" placeholders in the templates.
+        // Optional instance preload over connection 0, before the clock
+        // starts: its fingerprint patches "@instance" placeholders.
         std::string fingerprint;
         if (!options.preload.empty()) {
             json::Object load;
             load.emplace("id", json::Value(0.0));
             load.emplace("method", json::Value(std::string("instance.load")));
             load.emplace("params", json::parse(options.preload));
-            net::write_line(socket, json::dump(json::Value(std::move(load))));
-            if (!reader.read_line(line)) {
+            net::write_line(conns[0]->socket, json::dump(json::Value(std::move(load))));
+            std::string line;
+            if (!conns[0]->reader.read_line(line)) {
                 std::cerr << "liquidd_loadgen: no response to --preload\n";
                 return 1;
             }
@@ -236,48 +281,73 @@ int main(int argc, char** argv) {
         std::size_t malformed = 0;
         std::mutex mutex;  // guards sent_at reads vs writes, and the tallies
 
-        const Clock::time_point start = Clock::now();
-        std::thread collector([&] {
-            std::string response_line;
-            for (std::size_t received = 0; received < total; ++received) {
-                if (!reader.read_line(response_line)) break;
-                const Clock::time_point now = Clock::now();
-                std::lock_guard<std::mutex> lock(mutex);
-                try {
-                    const json::Value response = json::parse(response_line);
-                    const std::size_t id =
-                        static_cast<std::size_t>(response.at("id").as_number());
-                    if (id < 1 || id > total) throw json::Error("id out of range");
-                    latencies_ms.push_back(
-                        std::chrono::duration<double, std::milli>(now - sent_at[id - 1])
-                            .count());
-                    if (response.at("ok").as_bool()) {
-                        ++outcomes["ok"];
-                    } else {
-                        ++outcomes[response.at("error").at("code").as_string()];
-                    }
-                } catch (const json::Error&) {
-                    ++malformed;
-                }
-            }
-        });
+        // Request i is owned by connection i mod N, so per-connection
+        // response counts are known up front and every id stays unique.
+        const auto owned_count = [&](std::size_t c) {
+            return total / options.connections +
+                   (c < total % options.connections ? 1 : 0);
+        };
 
         const auto period =
             options.qps > 0
                 ? std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(1.0 / options.qps))
                 : Clock::duration::zero();
-        for (std::size_t i = 0; i < total; ++i) {
-            if (period.count() > 0) std::this_thread::sleep_until(start + period * i);
-            const std::string request =
-                render_request(templates[i % templates.size()], i + 1, fingerprint);
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                sent_at[i] = Clock::now();
-            }
-            net::write_line(socket, request);
+        const Clock::time_point start = Clock::now();
+
+        std::vector<std::thread> collectors;
+        std::vector<std::thread> writers;
+        collectors.reserve(options.connections);
+        writers.reserve(options.connections);
+        for (std::size_t c = 0; c < options.connections; ++c) {
+            collectors.emplace_back([&, c] {
+                Connection& conn = *conns[c];
+                std::string response_line;
+                const std::size_t expected = owned_count(c);
+                for (std::size_t received = 0; received < expected; ++received) {
+                    if (!conn.reader.read_line(response_line)) break;
+                    const Clock::time_point now = Clock::now();
+                    std::lock_guard<std::mutex> lock(mutex);
+                    try {
+                        const json::Value response = json::parse(response_line);
+                        const std::size_t id =
+                            static_cast<std::size_t>(response.at("id").as_number());
+                        if (id < 1 || id > total) throw json::Error("id out of range");
+                        latencies_ms.push_back(
+                            std::chrono::duration<double, std::milli>(
+                                now - sent_at[id - 1])
+                                .count());
+                        if (response.at("ok").as_bool()) {
+                            ++outcomes["ok"];
+                        } else {
+                            ++outcomes[response.at("error").at("code").as_string()];
+                        }
+                    } catch (const json::Error&) {
+                        ++malformed;
+                    }
+                }
+            });
+            writers.emplace_back([&, c] {
+                Connection& conn = *conns[c];
+                for (std::size_t i = c; i < total; i += options.connections) {
+                    // Pace against the *global* schedule: request i goes
+                    // out at start + period*i no matter which connection
+                    // carries it.
+                    if (period.count() > 0) {
+                        std::this_thread::sleep_until(start + period * i);
+                    }
+                    const std::string request = render_request(
+                        templates[i % templates.size()], i + 1, fingerprint);
+                    {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        sent_at[i] = Clock::now();
+                    }
+                    net::write_line(conn.socket, request);
+                }
+            });
         }
-        collector.join();
+        for (auto& writer : writers) writer.join();
+        for (auto& collector : collectors) collector.join();
         const double elapsed =
             std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -290,14 +360,15 @@ int main(int argc, char** argv) {
             breakdown << "  " << code << ": " << count;
         }
         std::sort(latencies_ms.begin(), latencies_ms.end());
+        const double achieved_qps = elapsed > 0 ? answered / elapsed : 0.0;
+        const double p99 = percentile(latencies_ms, 0.99);
 
         std::cout << "loadgen: " << answered << "/" << total << " answered in "
-                  << elapsed << " s (" << (elapsed > 0 ? answered / elapsed : 0.0)
-                  << " req/s)\n"
+                  << elapsed << " s (" << achieved_qps << " req/s, "
+                  << options.connections << " connection(s))\n"
                   << breakdown.str() << "\n"
                   << "  latency ms: p50 " << percentile(latencies_ms, 0.50) << "  p90 "
-                  << percentile(latencies_ms, 0.90) << "  p99 "
-                  << percentile(latencies_ms, 0.99) << "  max "
+                  << percentile(latencies_ms, 0.90) << "  p99 " << p99 << "  max "
                   << (latencies_ms.empty() ? 0.0 : latencies_ms.back()) << "\n";
 
         if (malformed > 0) {
@@ -312,6 +383,27 @@ int main(int argc, char** argv) {
         if (options.fail_on_error && errors > 0) {
             std::cerr << "liquidd_loadgen: " << errors
                       << " error response(s) with --fail-on-error\n";
+            return 1;
+        }
+
+        // SLO gates run only after a complete replay, so a breach is a
+        // latency/throughput verdict, never a masked transport failure.
+        bool slo_failed = false;
+        if (options.slo_p99_ms > 0) {
+            const bool ok = p99 <= options.slo_p99_ms;
+            std::cout << "slo p99: " << (ok ? "OK" : "FAIL") << " (observed " << p99
+                      << " ms, bound " << options.slo_p99_ms << " ms)\n";
+            slo_failed = slo_failed || !ok;
+        }
+        if (options.min_qps > 0) {
+            const bool ok = achieved_qps >= options.min_qps;
+            std::cout << "slo qps: " << (ok ? "OK" : "FAIL") << " (achieved "
+                      << achieved_qps << " req/s, bound " << options.min_qps
+                      << " req/s)\n";
+            slo_failed = slo_failed || !ok;
+        }
+        if (slo_failed) {
+            std::cerr << "liquidd_loadgen: SLO breach\n";
             return 1;
         }
         return 0;
