@@ -265,6 +265,32 @@ void BM_EstimateGainAdaptive(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateGainAdaptive);
 
+// Certified stopping: the anytime-valid confidence sequence decides
+// "gain >= gamma" instead of chasing a fixed SE target.  Costs one
+// boundary evaluation per batch plus per-index seeding; the counters
+// record where it stopped and how many looks it spent.
+void BM_EstimateGainCertified(benchmark::State& state) {
+    rng::Rng rng(8);
+    const auto inst = experiments::complete_pc_instance(rng, 201, 0.05, 0.01, 0.3);
+    const mech::ApprovalSizeThreshold m(1);
+    election::EvalOptions opts;
+    opts.certify.gamma = 0.05;
+    opts.certify.delta = 0.01;
+    opts.adaptive_batch = 50;
+    opts.max_replications = 2000;
+    opts.tally_epsilon = 1e-12;
+    std::size_t last_reps = 0, last_looks = 0;
+    for (auto _ : state) {
+        const auto report = election::estimate_gain(m, inst, rng, opts);
+        last_reps = report.pm.replications;
+        if (report.pm.certified) last_looks = report.pm.certified->looks;
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["replications"] = static_cast<double>(last_reps);
+    state.counters["looks"] = static_cast<double>(last_looks);
+}
+BENCHMARK(BM_EstimateGainCertified);
+
 // Workspace reuse: realize_into through one ReplicationWorkspace (the
 // steady-state inner loop) vs the allocating realize() above.
 void BM_RealizeDelegationWorkspace(benchmark::State& state) {

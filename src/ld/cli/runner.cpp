@@ -19,7 +19,9 @@
 #include "ld/serve/server.hpp"
 #include "ld/serve/shard_router.hpp"
 #include "prob/convolve.hpp"
+#include "stats/confidence_sequence.hpp"
 #include "support/build_info.hpp"
+#include "support/expect.hpp"
 #include "support/cpu_features.hpp"
 #include "support/metrics.hpp"
 #include "support/signal_drain.hpp"
@@ -103,6 +105,16 @@ usage: liquidd [run] [flags]
                          per-realization P^M term is within eps/2 of the
                          exact DP, at a fraction of the cost (default 0 =
                          exact; try 1e-12)
+  --certify <gamma> <delta>
+                         certified anytime-valid stopping: replicate until
+                         a confidence sequence decides "gain >= gamma"
+                         either way with statistical error <= delta, or
+                         --max-reps is exhausted (overrides --reps and
+                         --target-se; the reported interval also folds in
+                         the eps/2 tally bound — docs/STATISTICS.md; the
+                         stop point is bit-identical across thread counts)
+  --cs-boundary <name>   certify boundary: empirical_bernstein (default,
+                         variance-adaptive) | hoeffding (variance-free)
   --seed <value>         RNG seed (default 1)
   --audit                also run the Lemma 3 / Lemma 5 DNH audits
   --threads <count>      replication worker threads (default 1;
@@ -166,6 +178,21 @@ Options parse_options(const std::vector<std::string>& args) {
                 throw SpecError("--tally-eps: must be in [0, 1)");
             }
         }
+        else if (flag == "--certify") {
+            options.certify_gamma = parse_double(next(), "--certify <gamma>");
+            options.certify_delta = parse_double(next(), "--certify <delta>");
+            if (options.certify_delta <= 0.0 || options.certify_delta >= 1.0) {
+                throw SpecError("--certify: delta must be in (0, 1)");
+            }
+        }
+        else if (flag == "--cs-boundary") {
+            options.cs_boundary = next();
+            try {
+                stats::parse_cs_boundary(options.cs_boundary);
+            } catch (const support::ContractViolation& e) {
+                throw SpecError(std::string("--cs-boundary: ") + e.what());
+            }
+        }
         else if (flag == "--seed") options.seed = parse_size(next(), flag);
         else if (flag == "--audit") options.audit = true;
         else if (flag == "--threads") options.threads = parse_size(next(), flag);
@@ -222,6 +249,11 @@ int run(const Options& options, std::ostream& out) {
                                         : options.threads;
     eval.approximate_tally = options.approximate;
     if (options.discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
+    if (options.certify_delta > 0.0) {
+        eval.certify.gamma = options.certify_gamma;
+        eval.certify.delta = options.certify_delta;
+        eval.certify.boundary = stats::parse_cs_boundary(options.cs_boundary);
+    }
     const auto report = election::estimate_gain(*mechanism, instance, rng, eval);
 
     support::TablePrinter table({"metric", "value"}, 5);
@@ -237,7 +269,40 @@ int run(const Options& options, std::ostream& out) {
     table.add_row({std::string("mean voting sinks"), report.mean_sinks});
     table.add_row({std::string("mean max weight"), report.mean_max_weight});
     table.add_row({std::string("mean longest path"), report.mean_longest_path});
+    if (report.pm.certified && report.certified_gain) {
+        const auto& cert = *report.pm.certified;
+        table.add_row({std::string("certified gain lo"), report.certified_gain->lo});
+        table.add_row({std::string("certified gain hi"), report.certified_gain->hi});
+        table.add_row({std::string("certified delta"), cert.delta});
+        table.add_row({std::string("certified looks"),
+                       static_cast<double>(cert.looks)});
+    }
     table.print(out);
+
+    if (report.pm.certified && report.certified_gain) {
+        // The certificate in words: what was decided, at what error, and
+        // where the loop stopped.  "inconclusive" keeps the interval —
+        // it is valid at δ even when the threshold was not cleared.
+        const auto& cert = *report.pm.certified;
+        out << "\ncertified verdict: ";
+        switch (cert.stop) {
+            case stats::CertStop::DecidedAbove:
+                out << "gain >= " << options.certify_gamma;
+                break;
+            case stats::CertStop::DecidedBelow:
+                out << "gain < " << options.certify_gamma;
+                break;
+            case stats::CertStop::BudgetExhausted:
+                out << "inconclusive (budget exhausted at " << cert.replications
+                    << " replications)";
+                break;
+        }
+        out << " [statistical error <= " << cert.delta
+            << ", tally error <= " << cert.numerical_error
+            << " folded into the interval; stopped after " << cert.replications
+            << " replications, " << cert.looks << " looks, boundary "
+            << stats::cs_boundary_name(eval.certify.boundary) << "]\n";
+    }
 
     if (options.audit) {
         const auto l3 = dnh::audit_lemma3(instance, *mechanism, rng, 0.1);
@@ -269,8 +334,11 @@ int run(const Options& options, std::ostream& out) {
         std::vector<std::string> labels;
         labels.reserve(instance.voter_count());
         for (graph::Vertex v = 0; v < instance.voter_count(); ++v) {
-            labels.push_back("v" + std::to_string(v) + " p=" +
-                             std::to_string(instance.competency(v)).substr(0, 5));
+            std::string label = "v";
+            label += std::to_string(v);
+            label += " p=";
+            label += std::to_string(instance.competency(v)).substr(0, 5);
+            labels.push_back(std::move(label));
         }
         graph::write_dot(dot, outcome.as_digraph(), labels, "delegation");
         out << "\nwrote one delegation realization to " << *options.dot_path << "\n";

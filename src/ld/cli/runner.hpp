@@ -28,6 +28,9 @@ struct Options {
     double target_se = 0.0;        ///< --target-se: adaptive stopping (0 = fixed reps)
     std::size_t max_replications = 100'000;  ///< --max-reps: adaptive ceiling
     double tally_eps = 0.0;        ///< --tally-eps: certified truncated tally (0 = exact)
+    double certify_gamma = 0.0;    ///< --certify <gamma> <delta>: gain threshold
+    double certify_delta = 0.0;    ///< --certify: error budget (0 = off)
+    std::string cs_boundary = "empirical_bernstein";  ///< --cs-boundary
     std::optional<std::string> dot_path;  ///< write one realization as DOT
     std::optional<std::string> load_path; ///< load instance (overrides graph/competencies/n/alpha)
     std::optional<std::string> save_path; ///< save the built instance

@@ -29,17 +29,60 @@ std::vector<SweepPoint> sweep_gain(const InstanceFamily& family,
         pt.pm = report.pm.value;
         pt.mean_delegators = report.mean_delegators;
         pt.mean_max_weight = report.mean_max_weight;
+        if (report.certified_gain && report.pm.certified) {
+            pt.certified = true;
+            pt.cert_gain_lo = report.certified_gain->lo;
+            pt.cert_gain_hi = report.certified_gain->hi;
+            pt.cert_stop = report.pm.certified->stop;
+        }
         sweep.push_back(pt);
     }
     return sweep;
 }
+
+namespace {
+
+/// Fold the judged points' certificates into a verdict label.  The claim
+/// each point certifies is "gain ≥ γ" at per-point error δ; the verdict
+/// over k judged points holds at family-wise error k·δ (union bound).
+void certify_verdict(DesideratumVerdict& verdict, std::size_t first_judged,
+                     double per_point_delta, const char* pass_label) {
+    std::size_t decided_above = 0, decided_below = 0, judged = 0;
+    for (std::size_t i = first_judged; i < verdict.sweep.size(); ++i) {
+        const auto& pt = verdict.sweep[i];
+        if (!pt.certified) return;  // certification not requested
+        ++judged;
+        if (pt.cert_stop == stats::CertStop::DecidedAbove) ++decided_above;
+        if (pt.cert_stop == stats::CertStop::DecidedBelow) ++decided_below;
+    }
+    if (judged == 0) return;
+    verdict.certified_delta = per_point_delta * static_cast<double>(judged);
+    if (decided_below > 0) {
+        // At least one judged point certifiably fails the claim: the
+        // desideratum is refuted at the family-wise level.
+        verdict.certification = "certified_violation";
+        verdict.satisfied = false;
+    } else if (decided_above == judged) {
+        verdict.certification = pass_label;
+        verdict.satisfied = true;
+    } else {
+        verdict.certification = "inconclusive(budget_exhausted)";
+    }
+}
+
+}  // namespace
 
 DesideratumVerdict check_dnh(const InstanceFamily& family,
                              const mech::Mechanism& mechanism,
                              const std::vector<std::size_t>& sizes, rng::Rng& rng,
                              const VerdictOptions& options) {
     DesideratumVerdict verdict;
-    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, options.eval);
+    // Certified mode decides each point against the DNH claim itself:
+    // "gain ≥ −tolerance" — the caller's certify.gamma is overridden so
+    // the confidence sequence stops as soon as *this* claim is settled.
+    election::EvalOptions eval = options.eval;
+    if (eval.certify.enabled()) eval.certify.gamma = -options.dnh_tolerance;
+    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, eval);
     verdict.worst_gain = std::numeric_limits<double>::infinity();
     for (const auto& pt : verdict.sweep) {
         verdict.worst_gain = std::min(verdict.worst_gain, pt.gain);
@@ -51,9 +94,14 @@ DesideratumVerdict check_dnh(const InstanceFamily& family,
         tail_worst = std::min(tail_worst, verdict.sweep[i].gain);
     }
     verdict.satisfied = tail_worst >= -options.dnh_tolerance;
+    certify_verdict(verdict, half, eval.certify.delta, "certified_dnh");
     std::ostringstream os;
     os << "DNH: worst tail gain " << tail_worst << " vs tolerance -"
        << options.dnh_tolerance << " => " << (verdict.satisfied ? "PASS" : "FAIL");
+    if (!verdict.certification.empty()) {
+        os << " [" << verdict.certification << ", family-wise delta "
+           << verdict.certified_delta << "]";
+    }
     verdict.detail = os.str();
     return verdict;
 }
@@ -63,7 +111,10 @@ DesideratumVerdict check_spg(const InstanceFamily& family,
                              const std::vector<std::size_t>& sizes, rng::Rng& rng,
                              const VerdictOptions& options) {
     DesideratumVerdict verdict;
-    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, options.eval);
+    // Certified mode decides "gain ≥ floor" at every judged size.
+    election::EvalOptions eval = options.eval;
+    if (eval.certify.enabled()) eval.certify.gamma = options.spg_gamma_floor;
+    verdict.sweep = sweep_gain(family, mechanism, sizes, rng, eval);
     expects(options.spg_burn_in < verdict.sweep.size(),
             "check_spg: burn-in swallows the whole sweep");
     verdict.worst_gain = std::numeric_limits<double>::infinity();
@@ -74,9 +125,26 @@ DesideratumVerdict check_spg(const InstanceFamily& family,
     }
     verdict.gamma = gamma;
     verdict.satisfied = gamma > options.spg_gamma_floor;
+    certify_verdict(verdict, options.spg_burn_in, eval.certify.delta,
+                    "certified_spg");
+    if (verdict.certification == "certified_spg") {
+        // A certified uniform gain: every judged point's anytime-valid
+        // lower endpoint, minimised — the γ the verdict actually certifies.
+        double certified_gamma = std::numeric_limits<double>::infinity();
+        for (std::size_t i = options.spg_burn_in; i < verdict.sweep.size(); ++i) {
+            certified_gamma =
+                std::min(certified_gamma, verdict.sweep[i].cert_gain_lo);
+        }
+        verdict.gamma = certified_gamma;
+    }
     std::ostringstream os;
-    os << "SPG: certified gamma " << gamma << " (floor " << options.spg_gamma_floor
-       << ") => " << (verdict.satisfied ? "PASS" : "FAIL");
+    os << "SPG: certified gamma " << verdict.gamma << " (floor "
+       << options.spg_gamma_floor << ") => "
+       << (verdict.satisfied ? "PASS" : "FAIL");
+    if (!verdict.certification.empty()) {
+        os << " [" << verdict.certification << ", family-wise delta "
+           << verdict.certified_delta << "]";
+    }
     verdict.detail = os.str();
     return verdict;
 }

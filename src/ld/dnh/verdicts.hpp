@@ -37,6 +37,12 @@ struct SweepPoint {
     double pm = 0.0;
     double mean_delegators = 0.0;
     double mean_max_weight = 0.0;
+    /// Certified-mode fields (eval.certify enabled): the anytime-valid
+    /// gain interval and how the point's replication loop stopped.
+    bool certified = false;
+    double cert_gain_lo = 0.0;
+    double cert_gain_hi = 0.0;
+    stats::CertStop cert_stop = stats::CertStop::BudgetExhausted;
 };
 
 /// Verdict over a size sweep.
@@ -46,6 +52,16 @@ struct DesideratumVerdict {
     double gamma = 0.0;            ///< for SPG: the certified uniform gain
     std::vector<SweepPoint> sweep; ///< all measured points
     std::string detail;            ///< human-readable reasoning
+    /// Certified-mode verdict label: "certified_dnh" / "certified_spg"
+    /// when every judged point's confidence sequence decided in favour,
+    /// "certified_violation" when some judged point decided against, and
+    /// "inconclusive(budget_exhausted)" when a point hit its replication
+    /// cap undecided.  Empty when certification was not requested.
+    std::string certification;
+    /// Family-wise statistical error of the certified verdict: the
+    /// per-point δ summed over judged points (union bound) — see
+    /// docs/STATISTICS.md §6.
+    double certified_delta = 0.0;
 };
 
 /// Options shared by the checks.

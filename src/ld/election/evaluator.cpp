@@ -76,6 +76,13 @@ void validate_options(const mech::Mechanism& mechanism, const model::Instance& i
     expects(!mechanism.multi_delegation() || options.inner_samples > 0,
             "estimate: inner_samples must be positive for multi-delegation "
             "mechanisms (their P^M has no exact inner step)");
+    if (options.certify.enabled()) {
+        expects(options.certify.delta < 1.0, "certify: delta must lie in (0, 1)");
+        expects(std::isfinite(options.certify.gamma), "certify: gamma must be finite");
+        expects(!options.approximate_tally,
+                "certify: the Lemma-4 normal tally has no certified error "
+                "bound; use the exact or truncated (tally_epsilon) route");
+    }
 }
 
 ReplicationEngine& engine_for(const EvalOptions& options) {
@@ -331,6 +338,227 @@ ReplicationStats run_adaptive_replications(const mech::Mechanism& mechanism,
     return merged;
 }
 
+/// Seed of the i-th replication of a certified run.  The same SplitMix64
+/// remix the sweep engine uses for per-cell seeds: one master value
+/// (drawn once from the caller's stream) fans out to decorrelated
+/// per-index seeds, so replication i's samples depend only on
+/// (master, i) — never on which worker ran it or how many workers exist.
+std::uint64_t certified_replication_seed(std::uint64_t master, std::size_t index) {
+    rng::SplitMix64 mix(master ^ (0x9e3779b97f4a7c15ULL *
+                                  (static_cast<std::uint64_t>(index) + 1)));
+    return mix.next();
+}
+
+/// One certified replication's outputs, buffered per index so the caller
+/// can fold them in replication order regardless of which worker
+/// produced them.
+struct CertSample {
+    double pm = 0.0;
+    double delegators = 0.0;
+    double max_weight = 0.0;
+    double sinks = 0.0;
+    double longest = 0.0;
+    bool functional = false;
+};
+
+/// Run certified replications for indices [first, first + count), each
+/// from its own derived RNG, writing results into out[0..count).  The
+/// exact functional route still batches through the SoA tally kernels —
+/// legal here because each lane's realization consumes only its own
+/// per-index stream, so lane order cannot leak into the samples.
+void run_certified_chunk(const mech::Mechanism& mechanism,
+                         const model::Instance& instance, const EvalOptions& options,
+                         std::uint64_t master, std::size_t first, std::size_t count,
+                         ReplicationWorkspace& ws, CertSample* out) {
+    const auto& p = instance.competencies();
+    const auto record_shape = [](CertSample& s, const auto& st, bool functional) {
+        s.delegators = static_cast<double>(st.delegator_count);
+        s.max_weight = static_cast<double>(st.max_weight);
+        s.sinks = static_cast<double>(st.voting_sink_count);
+        s.longest = static_cast<double>(st.longest_path);
+        s.functional = functional;
+    };
+    if (!mechanism.multi_delegation() && !options.approximate_tally &&
+        options.tally_epsilon == 0.0 && count > 1) {
+        TallyBatch& batch = ws.tally_batch;
+        std::size_t done = 0;
+        while (done < count) {
+            const std::size_t lanes = std::min(TallyBatch::kMaxLanes, count - done);
+            batch.clear();
+            for (std::size_t k = 0; k < lanes; ++k) {
+                rng::Rng rep_rng(certified_replication_seed(master, first + done + k));
+                realize_with(mechanism, instance, rep_rng, options, ws);
+                expects(ws.outcome.functional(),
+                        "estimate: batched tally requires functional outcomes");
+                stage_tally_lane(batch, ws.outcome, p);
+                record_shape(out[done + k], ws.outcome.stats(), true);
+            }
+            tally_staged(batch);
+            for (std::size_t k = 0; k < lanes; ++k) out[done + k].pm = batch.result[k];
+            done += lanes;
+        }
+        return;
+    }
+    for (std::size_t r = 0; r < count; ++r) {
+        rng::Rng rep_rng(certified_replication_seed(master, first + r));
+        realize_with(mechanism, instance, rep_rng, options, ws);
+        const auto& outcome = ws.outcome;
+        CertSample& s = out[r];
+        if (outcome.functional()) {
+            s.pm = options.tally_epsilon > 0.0
+                       ? truncated_correct_probability(outcome, p,
+                                                       options.tally_epsilon, ws.tally)
+                       : exact_correct_probability(outcome, p, ws.tally);
+            record_shape(s, outcome.stats(), true);
+        } else {
+            ws.topo_order = outcome.as_digraph().topological_order();
+            std::size_t correct = 0;
+            for (std::size_t i = 0; i < options.inner_samples; ++i) {
+                if (sample_outcome_correct(outcome, p, rep_rng, ws.topo_order,
+                                           ws.tally)) {
+                    ++correct;
+                }
+            }
+            s.pm = static_cast<double>(correct) /
+                   static_cast<double>(options.inner_samples);
+            record_shape(s, outcome.stats(), false);
+            s.functional = false;
+        }
+    }
+}
+
+struct CertifiedRun {
+    ReplicationStats stats;             ///< folded in replication-index order
+    stats::CertifiedEstimate certificate;
+};
+
+/// Certified anytime-valid replication loop: rounds of `adaptive_batch`
+/// replications, a confidence-sequence look after each round, stopping
+/// when the certified interval (statistical half-width + the ε/2
+/// truncated-tally bound) clears `threshold` on either side or
+/// `max_replications` is exhausted.
+///
+/// Determinism contract (stronger than run_adaptive_replications): every
+/// replication draws from a seed derived from (master, index) alone, and
+/// all folding — Welford accumulators and the confidence sequence — walks
+/// the round buffer in index order.  The stop point, certificate, and
+/// every report field are therefore bit-identical across *different*
+/// thread counts for a fixed seed, not merely for fixed (seed, threads).
+CertifiedRun run_certified_replications(const mech::Mechanism& mechanism,
+                                        const model::Instance& instance,
+                                        rng::Rng& rng, const EvalOptions& options,
+                                        double threshold) {
+    const CertifySpec& spec = options.certify;
+    expects(options.adaptive_batch > 0, "estimate: adaptive_batch must be positive");
+    expects(options.max_replications > 0,
+            "estimate: max_replications must be positive");
+    static support::Counter& looks_counter =
+        support::MetricsRegistry::global().counter("cert.boundary_evals");
+    static support::Gauge& stop_gauge =
+        support::MetricsRegistry::global().gauge("cert.stop_reason");
+    static support::Gauge& width_gauge =
+        support::MetricsRegistry::global().gauge("cert.final_half_width_ppm");
+
+    ReplicationEngine& engine = engine_for(options);
+    const std::uint64_t master = rng.next();
+    const std::size_t cap = options.max_replications;
+    const std::size_t batch = std::min(options.adaptive_batch, cap);
+    // Each truncated-tally sample is within ε/2 of its exact value, so the
+    // sample mean is within ε/2 of the exact-tally sample mean; widening
+    // the statistical interval by ε/2 per side covers it (exact DP: 0).
+    const double num_err = options.tally_epsilon / 2.0;
+
+    stats::ConfidenceSequence cs(spec.boundary, spec.delta);
+    CertifiedRun run;
+    run.certificate.delta = spec.delta;
+    run.certificate.numerical_error = num_err;
+    std::vector<CertSample> round(batch);
+
+    std::size_t done = 0;
+    while (true) {
+        const std::size_t round_n = std::min(batch, cap - done);
+        const std::size_t threads = std::min(options.threads, round_n);
+        if (threads <= 1) {
+            run_certified_chunk(mechanism, instance, options, master, done, round_n,
+                                engine.local_workspace(), round.data());
+        } else {
+            const std::size_t base = round_n / threads;
+            const std::size_t extra = round_n % threads;
+            const auto chunk = [&](std::size_t offset, std::size_t count) {
+                run_certified_chunk(mechanism, instance, options, master,
+                                    done + offset, count, engine.local_workspace(),
+                                    round.data() + offset);
+            };
+            if (options.use_thread_pool) {
+                support::TaskGroup group(engine.pool());
+                std::size_t offset = 0;
+                for (std::size_t t = 0; t < threads; ++t) {
+                    const std::size_t count = base + (t < extra ? 1 : 0);
+                    if (count > 0) {
+                        group.submit([&chunk, offset, count] { chunk(offset, count); });
+                    }
+                    offset += count;
+                }
+                group.wait();
+            } else {
+                std::vector<std::thread> workers;
+                workers.reserve(threads);
+                std::size_t offset = 0;
+                for (std::size_t t = 0; t < threads; ++t) {
+                    const std::size_t count = base + (t < extra ? 1 : 0);
+                    if (count > 0) {
+                        workers.emplace_back(
+                            [&chunk, offset, count] { chunk(offset, count); });
+                    }
+                    offset += count;
+                }
+                for (auto& w : workers) w.join();
+            }
+        }
+        for (std::size_t k = 0; k < round_n; ++k) {
+            const CertSample& s = round[k];
+            // Truncated-tally midpoints can poke ε/2 past [0, 1]; clamping
+            // moves a sample by at most its own numerical error, which the
+            // ε/2 widening below already budgets for.
+            const double pm = std::clamp(s.pm, 0.0, 1.0);
+            cs.add(pm);
+            run.stats.pm.add(pm);
+            run.stats.delegators.add(s.delegators);
+            if (s.functional) {
+                run.stats.max_weight.add(s.max_weight);
+                run.stats.sinks.add(s.sinks);
+                run.stats.longest.add(s.longest);
+            }
+        }
+        done += round_n;
+        // The empirical-Bernstein half-width divides by t − 1; defer the
+        // first look until two observations exist (batch == cap == 1).
+        const bool can_look = spec.boundary != stats::CsBoundary::EmpiricalBernstein ||
+                              cs.count() >= 2;
+        if (can_look) {
+            const stats::Interval iv = cs.look();
+            looks_counter.add(1);
+            run.certificate.lo = std::clamp(iv.lo - num_err, 0.0, 1.0);
+            run.certificate.hi = std::clamp(iv.hi + num_err, 0.0, 1.0);
+            if (run.certificate.lo >= threshold) {
+                run.certificate.stop = stats::CertStop::DecidedAbove;
+                break;
+            }
+            if (run.certificate.hi < threshold) {
+                run.certificate.stop = stats::CertStop::DecidedBelow;
+                break;
+            }
+        }
+        if (done >= cap) break;
+    }
+    run.certificate.replications = done;
+    run.certificate.looks = cs.looks();
+    stop_gauge.set(static_cast<std::int64_t>(run.certificate.stop));
+    width_gauge.set(static_cast<std::int64_t>(
+        std::llround(run.certificate.half_width() * 1e6)));
+    return run;
+}
+
 /// Run `options.replications` replications, fanning out to
 /// `options.threads` workers with independent jumped RNG streams on the
 /// engine's persistent pool (or, legacy path, on freshly spawned threads).
@@ -392,6 +620,17 @@ ReplicationStats run_all_replications(const mech::Mechanism& mechanism,
 Estimate estimate_correct_probability(const mech::Mechanism& mechanism,
                                       const model::Instance& instance, rng::Rng& rng,
                                       const EvalOptions& options) {
+    if (options.certify.enabled()) {
+        validate_options(mechanism, instance, options);
+        EstimateTimer timer(0);
+        // No gain baseline here: the certificate decides P^M ≥ γ directly.
+        const auto run = run_certified_replications(mechanism, instance, rng,
+                                                    options, options.certify.gamma);
+        timer.set_replications(run.certificate.replications);
+        Estimate e = finish(run.stats.pm, options.confidence);
+        e.certified = run.certificate;
+        return e;
+    }
     const auto acc = run_all_replications(mechanism, instance, rng, options);
     return finish(acc.pm, options.confidence);
 }
@@ -418,8 +657,25 @@ GainReport estimate_gain(const mech::Mechanism& mechanism,
     report.pd = options.approximate_tally
                     ? approx_direct_probability(instance, options.initial_weights)
                     : exact_direct_probability_weighted(instance, options.initial_weights);
-    const auto acc = run_all_replications(mechanism, instance, rng, options);
-    report.pm = finish(acc.pm, options.confidence);
+    ReplicationStats acc;
+    if (options.certify.enabled()) {
+        validate_options(mechanism, instance, options);
+        EstimateTimer timer(0);
+        // Decide "gain ≥ γ" on the P^M scale: P^D is exact, so the claim
+        // is equivalent to P^M ≥ P^D + γ.
+        const auto run = run_certified_replications(mechanism, instance, rng,
+                                                    options,
+                                                    report.pd + options.certify.gamma);
+        timer.set_replications(run.certificate.replications);
+        acc = run.stats;
+        report.pm = finish(acc.pm, options.confidence);
+        report.pm.certified = run.certificate;
+        report.certified_gain = stats::Interval{run.certificate.lo - report.pd,
+                                                run.certificate.hi - report.pd};
+    } else {
+        acc = run_all_replications(mechanism, instance, rng, options);
+        report.pm = finish(acc.pm, options.confidence);
+    }
     report.gain = report.pm.value - report.pd;
     report.gain_ci = {report.pm.ci.lo - report.pd, report.pm.ci.hi - report.pd};
     report.mean_delegators = acc.delegators.mean();

@@ -22,16 +22,43 @@
 #include <span>
 #include <vector>
 
+#include <optional>
+
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/mech/mechanism.hpp"
 #include "ld/model/instance.hpp"
 #include "rng/rng.hpp"
 #include "stats/confidence.hpp"
+#include "stats/confidence_sequence.hpp"
 #include "stats/running_stats.hpp"
 
 namespace ld::election {
 
 class ReplicationEngine;
+
+/// Certification spec for `--certify γ δ`: run replications until an
+/// anytime-valid confidence sequence on the estimated mean decides the
+/// claim "gain ≥ γ" (for estimate_gain; "P^M ≥ γ" for
+/// estimate_correct_probability) with statistical error ≤ δ, or the
+/// replication cap is exhausted.  The certified interval folds in the
+/// ε/2 truncated-tally numerical bound, so the reported [lo, hi] covers
+/// both error sources (docs/STATISTICS.md).
+///
+/// Determinism is *stronger* than the adaptive-SE path: the certified
+/// loop derives one SplitMix64 seed per replication index and folds
+/// samples in index order, so the stop point and interval are
+/// bit-identical across thread counts, not just for fixed
+/// (seed, threads).
+struct CertifySpec {
+    /// Gain (resp. P^M) threshold the certificate decides against.
+    double gamma = 0.0;
+    /// Total statistical error budget in (0, 1); 0 disables certification.
+    double delta = 0.0;
+    /// Anytime-valid half-width formula (docs/STATISTICS.md §3).
+    stats::CsBoundary boundary = stats::CsBoundary::EmpiricalBernstein;
+
+    bool enabled() const noexcept { return delta > 0.0; }
+};
 
 /// Knobs for Monte-Carlo evaluation.
 struct EvalOptions {
@@ -88,6 +115,13 @@ struct EvalOptions {
     /// the engine's pool — the legacy execution path, kept as a
     /// determinism reference (results are bit-identical either way).
     bool use_thread_pool = true;
+    /// Certified anytime-valid stopping (`--certify γ δ`).  When enabled,
+    /// overrides both fixed `replications` and `target_std_error`:
+    /// replications run in rounds of `adaptive_batch` up to
+    /// `max_replications`, and stopping is decided by the confidence
+    /// sequence.  Incompatible with `approximate_tally` (its bias has no
+    /// certified bound).
+    CertifySpec certify{};
 };
 
 /// A Monte-Carlo estimate with its uncertainty.
@@ -96,6 +130,10 @@ struct Estimate {
     double std_error = 0.0;
     stats::Interval ci{};
     std::size_t replications = 0;
+    /// Present when the run was certified (`CertifySpec::enabled()`): the
+    /// anytime-valid interval on the estimated mean with the numerical
+    /// tally error folded in, plus stop metadata.
+    std::optional<stats::CertifiedEstimate> certified{};
 };
 
 /// gain(M, G) = P^M − P^D with Monte-Carlo uncertainty (the P^D term is
@@ -110,6 +148,10 @@ struct GainReport {
     double mean_max_weight = 0.0;   ///< E[max sink weight]
     double mean_sinks = 0.0;        ///< E[#voting sinks]
     double mean_longest_path = 0.0; ///< E[longest delegation path]
+    /// Certified gain interval (pm.certified shifted by the exact P^D):
+    /// present iff `pm.certified` is.  `pm.certified->stop` says whether
+    /// the claim "gain ≥ γ" was decided.
+    std::optional<stats::Interval> certified_gain{};
 };
 
 /// Law-of-total-variance decomposition of the correct-vote count S under a

@@ -226,6 +226,23 @@ SweepSpec SweepSpec::from_json(const json::Value& doc) {
                 if (spec.tally_epsilon < 0 || spec.tally_epsilon >= 1) {
                     spec_error("options.tally_eps", "must be in [0, 1)");
                 }
+            } else if (key == "certify_gamma") {
+                spec.certify_gamma = require_number(value, "options.certify_gamma");
+            } else if (key == "certify_delta") {
+                spec.certify_delta = require_number(value, "options.certify_delta");
+                if (spec.certify_delta < 0 || spec.certify_delta >= 1) {
+                    spec_error("options.certify_delta", "must be in [0, 1)");
+                }
+            } else if (key == "certify_boundary") {
+                if (!value.is_string()) {
+                    spec_error("options.certify_boundary", "expected string");
+                }
+                spec.certify_boundary = value.as_string();
+                try {
+                    stats::parse_cs_boundary(spec.certify_boundary);
+                } catch (const support::ContractViolation& e) {
+                    spec_error("options.certify_boundary", e.what());
+                }
             } else {
                 spec_error("options." + key, "unknown option");
             }
@@ -257,7 +274,9 @@ std::uint64_t SweepSpec::fingerprint() const {
           << replications << sep << inner_samples << sep << discard_cycles << sep
           << approximate << sep << json::format_number(target_std_error) << sep
           << adaptive_batch << sep << max_replications << sep
-          << json::format_number(tally_epsilon) << sep;
+          << json::format_number(tally_epsilon) << sep
+          << json::format_number(certify_gamma) << sep
+          << json::format_number(certify_delta) << sep << certify_boundary << sep;
     for (std::size_t n : ns) canon << 'n' << n << sep;
     for (double a : alphas) canon << 'a' << json::format_number(a) << sep;
     for (const auto& g : graphs) canon << 'g' << g << sep;
@@ -287,12 +306,15 @@ SweepEngine::SweepEngine(SweepSpec spec, SweepOptions options)
 }
 
 const std::vector<std::string>& SweepEngine::row_headers() {
+    // New columns go at the end: downstream tooling (and the progress log)
+    // indexes rows by position.
     static const std::vector<std::string> headers = {
         "cell",         "n",       "alpha",      "graph",
         "competencies", "mechanism", "replications", "seed",
         "pd",           "pm",      "pm_stderr",  "gain",
         "gain_ci_lo",   "gain_ci_hi", "mean_delegators", "mean_sinks",
-        "mean_max_weight", "mean_longest_path"};
+        "mean_max_weight", "mean_longest_path",
+        "cert_gain_lo", "cert_gain_hi", "cert_stop"};
     return headers;
 }
 
@@ -344,7 +366,22 @@ SweepEngine::Row SweepEngine::run_cell(const SweepCell& cell) const {
     eval.threads = resolved_threads_;
     eval.approximate_tally = spec_.approximate;
     if (spec_.discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
+    if (spec_.certify_delta > 0.0) {
+        eval.certify.gamma = spec_.certify_gamma;
+        eval.certify.delta = spec_.certify_delta;
+        eval.certify.boundary = stats::parse_cs_boundary(spec_.certify_boundary);
+    }
     const auto report = election::estimate_gain(*mechanism, instance, rng, eval);
+
+    // Certified columns: empty strings when certification is off, so
+    // fixed/adaptive sweeps keep byte-stable rows.
+    support::Cell cert_lo{std::string()}, cert_hi{std::string()},
+        cert_stop{std::string()};
+    if (report.certified_gain && report.pm.certified) {
+        cert_lo = report.certified_gain->lo;
+        cert_hi = report.certified_gain->hi;
+        cert_stop = std::string(stats::cert_stop_name(report.pm.certified->stop));
+    }
 
     return Row{static_cast<long long>(cell.index),
                static_cast<long long>(cell.n),
@@ -365,7 +402,10 @@ SweepEngine::Row SweepEngine::run_cell(const SweepCell& cell) const {
                report.mean_delegators,
                report.mean_sinks,
                report.mean_max_weight,
-               report.mean_longest_path};
+               report.mean_longest_path,
+               cert_lo,
+               cert_hi,
+               cert_stop};
 }
 
 void SweepEngine::write_checkpoint(const std::map<std::size_t, Row>& done) const {

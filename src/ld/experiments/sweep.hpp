@@ -62,6 +62,10 @@ struct SweepSpec {
     std::size_t max_replications = 100'000; ///< options.max_reps: adaptive ceiling
     double tally_epsilon = 0.0;             ///< options.tally_eps: certified
                                             ///< ε-truncated tally (0 = exact)
+    double certify_gamma = 0.0;             ///< options.certify_gamma: gain threshold
+    double certify_delta = 0.0;             ///< options.certify_delta: error budget
+                                            ///< (> 0 enables certified stopping)
+    std::string certify_boundary = "empirical_bernstein";  ///< options.certify_boundary
     std::vector<std::size_t> ns;            ///< axis "n"
     std::vector<double> alphas;             ///< axis "alpha"
     std::vector<std::string> graphs;        ///< axis "graph"

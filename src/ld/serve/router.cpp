@@ -5,6 +5,8 @@
 #include "ld/cli/specs.hpp"
 #include "ld/delegation/delegation_graph.hpp"
 #include "ld/election/evaluator.hpp"
+#include "stats/confidence_sequence.hpp"
+#include "support/expect.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -62,6 +64,12 @@ double optional_number(const json::Value& params, const std::string& key,
     return require_number(params, key);
 }
 
+std::string optional_string(const json::Value& params, const std::string& key,
+                            const std::string& fallback) {
+    if (!params.is_object() || !params.find(key)) return fallback;
+    return require_string(params, key);
+}
+
 bool optional_bool(const json::Value& params, const std::string& key, bool fallback) {
     if (!params.is_object() || !params.find(key)) return fallback;
     const json::Value& value = params.at(key);
@@ -83,6 +91,17 @@ json::Object report_to_json(const election::GainReport& report) {
     result.emplace("mean_longest_path", json::Value(report.mean_longest_path));
     result.emplace("replications",
                    json::Value(static_cast<double>(report.pm.replications)));
+    if (report.pm.certified && report.certified_gain) {
+        const auto& cert = *report.pm.certified;
+        result.emplace("cert_gain_lo", json::Value(report.certified_gain->lo));
+        result.emplace("cert_gain_hi", json::Value(report.certified_gain->hi));
+        result.emplace("cert_pm_lo", json::Value(cert.lo));
+        result.emplace("cert_pm_hi", json::Value(cert.hi));
+        result.emplace("cert_delta", json::Value(cert.delta));
+        result.emplace("cert_stop",
+                       json::Value(std::string(stats::cert_stop_name(cert.stop))));
+        result.emplace("cert_looks", json::Value(static_cast<double>(cert.looks)));
+    }
     return result;
 }
 
@@ -189,6 +208,26 @@ json::Object Router::do_eval(const json::Value& params) {
         optional_number(params, "tally_eps", config_.default_tally_epsilon);
     if (eval.tally_epsilon < 0.0 || eval.tally_epsilon >= 1.0) {
         bad_param("tally_eps", "must be in [0, 1)");
+    }
+    // Certified anytime-valid stopping (≡ CLI `--certify γ δ`): a
+    // confidence sequence decides "gain ≥ certify_gamma" at error
+    // certify_delta; results carry cert_* fields (docs/STATISTICS.md).
+    eval.certify.delta = optional_number(params, "certify_delta", 0.0);
+    if (eval.certify.delta < 0.0 || eval.certify.delta >= 1.0) {
+        bad_param("certify_delta", "must be in [0, 1)");
+    }
+    if (eval.certify.enabled()) {
+        eval.certify.gamma = optional_number(params, "certify_gamma", 0.0);
+        try {
+            eval.certify.boundary = stats::parse_cs_boundary(optional_string(
+                params, "certify_boundary", "empirical_bernstein"));
+        } catch (const support::ContractViolation& e) {
+            bad_param("certify_boundary", e.what());
+        }
+        if (eval.approximate_tally) {
+            bad_param("certify_delta",
+                      "certification is incompatible with approximate tallies");
+        }
     }
     const bool discard_cycles = optional_bool(params, "discard_cycles", false);
     if (discard_cycles) eval.cycle_policy = delegation::CyclePolicy::Discard;
