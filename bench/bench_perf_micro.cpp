@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/factory.hpp"
 #include "graph/generators.hpp"
 #include "ld/delegation/realize.hpp"
 #include "ld/model/competency_gen.hpp"
@@ -66,6 +67,40 @@ void BM_GenerateBarabasi(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_GenerateBarabasi)->Arg(1000)->Arg(10000);
+
+// Streaming facade throughput (docs/GENERATORS.md): full pipeline —
+// config -> streaming cells -> chunked CSR -> Graph.  Items/s counts
+// realized (deduplicated) edges, so families are comparable despite
+// with-replacement draws.
+template <gen::Family F>
+void BM_GenerateStreaming(benchmark::State& state) {
+    gen::GeneratorConfig config;
+    config.family = F;
+    config.n = static_cast<std::size_t>(state.range(0));
+    config.seed = 17;
+    config.threads = 1;
+    if constexpr (F == gen::Family::Gnp) config.p = 16.0 / static_cast<double>(config.n);
+    if constexpr (F == gen::Family::BarabasiAlbert) config.degree = 8;
+    if constexpr (F == gen::Family::Rmat) config.edges = config.n * 8;
+    config.validate();
+    std::size_t edges = 0;
+    for (auto _ : state) {
+        const graph::Graph g = gen::generate_graph(config);
+        edges = g.edge_count();
+        benchmark::DoNotOptimize(edges);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(edges) * state.iterations());
+}
+BENCHMARK(BM_GenerateStreaming<gen::Family::Gnp>)
+    ->Name("BM_GenerateStreamingGnp")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateStreaming<gen::Family::BarabasiAlbert>)
+    ->Name("BM_GenerateStreamingBa")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateStreaming<gen::Family::ChungLu>)
+    ->Name("BM_GenerateStreamingChungLu")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateStreaming<gen::Family::Hyperbolic>)
+    ->Name("BM_GenerateStreamingHyperbolic")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateStreaming<gen::Family::Rmat>)
+    ->Name("BM_GenerateStreamingRmat")->Arg(10000)->Arg(100000);
 
 void BM_RealizeDelegation(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,93 @@
+// Chunked CSR emission: turns a streaming generator's edge chunks into an
+// immutable graph::Graph without ever materialising a GraphBuilder edge
+// list.  Two deterministic passes over the cell stream — count degrees,
+// then scatter into the final CSR arrays — followed by a per-vertex
+// sort + dedup + compact.  Peak memory is the final CSR plus one chunk
+// buffer per worker (and a counts/cursor array), instead of the builder's
+// full edge vector + CSR copy; an optional byte budget caps the pipeline.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "graph/graph.hpp"
+
+namespace ld::gen {
+
+/// Observability for one build (mirrored into the gen.* metrics by
+/// generate_graph).
+struct BuildStats {
+    std::uint64_t edges_emitted = 0;  ///< sink-accepted edges (scatter pass)
+    std::uint64_t chunks = 0;         ///< sink chunks (scatter pass)
+    std::uint64_t unique_edges = 0;   ///< edges after dedup (== graph.edge_count())
+    std::size_t peak_bytes = 0;       ///< estimated pipeline high-water mark
+};
+
+/// Resolve the effective memory budget: the config's value, else the
+/// LIQUIDD_GEN_BUDGET_MB environment variable, else 0 (unlimited).
+std::size_t effective_memory_budget(const GeneratorConfig& config);
+
+/// Run the two-pass pipeline over `generator` (its configured shard) and
+/// return the finished graph.  Throws support::ContractViolation when the
+/// estimated or measured footprint exceeds the memory budget.
+graph::Graph build_chunked_csr(StreamingGenerator& generator,
+                               BuildStats* stats = nullptr);
+
+/// Sink that counts per-vertex degrees (duplicates included) — pass 1.
+class DegreeCountSink final : public EdgeSink {
+public:
+    explicit DegreeCountSink(std::size_t n) : counts_(n) {}
+
+    void accept(std::span<const graph::Edge> chunk) override {
+        for (const graph::Edge& e : chunk) {
+            counts_[e.u].fetch_add(1, std::memory_order_relaxed);
+            counts_[e.v].fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    std::span<const std::atomic<std::uint32_t>> counts() const noexcept {
+        return counts_;
+    }
+
+private:
+    std::vector<std::atomic<std::uint32_t>> counts_;
+};
+
+/// Sink that scatters half-edges into a pre-sized CSR array — pass 2.
+/// Slot claims go through per-vertex atomic cursors, so concurrent chunks
+/// never collide; the slot order they produce is interleaving-dependent,
+/// which the final per-vertex sort erases.
+class ScatterSink final : public EdgeSink {
+public:
+    ScatterSink(std::span<const std::size_t> offsets, std::span<graph::Vertex> slots);
+
+    void accept(std::span<const graph::Edge> chunk) override {
+        for (const graph::Edge& e : chunk) {
+            slots_[cursors_[e.u].fetch_add(1, std::memory_order_relaxed)] = e.v;
+            slots_[cursors_[e.v].fetch_add(1, std::memory_order_relaxed)] = e.u;
+        }
+    }
+
+private:
+    std::vector<std::atomic<std::size_t>> cursors_;
+    std::span<graph::Vertex> slots_;
+};
+
+/// Sink that collects raw chunks into one vector (tests, edge dumps of
+/// tiny graphs).  Thread-safe via a mutex; not for large n.
+class CollectSink final : public EdgeSink {
+public:
+    void accept(std::span<const graph::Edge> chunk) override;
+    const std::vector<graph::Edge>& edges() const noexcept { return edges_; }
+
+private:
+    std::mutex mutex_;
+    std::vector<graph::Edge> edges_;
+};
+
+}  // namespace ld::gen

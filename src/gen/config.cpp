@@ -1,0 +1,132 @@
+#include "gen/config.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "support/expect.hpp"
+
+namespace ld::gen {
+
+using support::expects;
+
+std::string_view family_name(Family family) noexcept {
+    switch (family) {
+        case Family::Complete: return "complete";
+        case Family::Star: return "star";
+        case Family::Gnp: return "gnp";
+        case Family::Gnm: return "gnm";
+        case Family::DOut: return "dout";
+        case Family::DRegular: return "dregular";
+        case Family::BarabasiAlbert: return "ba";
+        case Family::WattsStrogatz: return "ws";
+        case Family::ChungLu: return "chunglu";
+        case Family::Hyperbolic: return "hyperbolic";
+        case Family::Rmat: return "rmat";
+    }
+    return "unknown";
+}
+
+Family parse_family(std::string_view name) {
+    for (Family family :
+         {Family::Complete, Family::Star, Family::Gnp, Family::Gnm, Family::DOut,
+          Family::DRegular, Family::BarabasiAlbert, Family::WattsStrogatz,
+          Family::ChungLu, Family::Hyperbolic, Family::Rmat}) {
+        if (name == family_name(family)) return family;
+    }
+    expects(false, "parse_family: unknown family '" + std::string(name) + "'");
+    return Family::Gnp;  // unreachable
+}
+
+void GeneratorConfig::validate() const {
+    expects(n >= 1, "gen: n must be >= 1");
+    expects(n <= std::numeric_limits<graph::Vertex>::max(),
+            "gen: n exceeds the vertex id range");
+    expects(chunk_edges >= 1, "gen: chunk_edges must be >= 1");
+    expects(shard.count >= 1, "gen: shard count must be >= 1");
+    expects(shard.index < shard.count, "gen: shard index must be < shard count");
+    switch (family) {
+        case Family::Complete:
+        case Family::Star:
+            break;
+        case Family::Gnp:
+            expects(p >= 0.0 && p <= 1.0, "gen: gnp p out of [0,1]");
+            break;
+        case Family::Gnm:
+        case Family::Rmat:
+            expects(edges >= 1, "gen: need edges >= 1");
+            if (family == Family::Rmat) {
+                expects(rmat_a > 0.0 && rmat_b >= 0.0 && rmat_c >= 0.0 &&
+                            rmat_a + rmat_b + rmat_c < 1.0,
+                        "gen: rmat probabilities must be positive with a+b+c < 1");
+            }
+            break;
+        case Family::DOut:
+        case Family::DRegular:
+            expects(degree >= 1 && degree < n, "gen: need 1 <= d < n");
+            if (family == Family::DRegular) {
+                expects(n % 2 == 0 || degree % 2 == 0, "gen: dregular needs n*d even");
+            }
+            break;
+        case Family::BarabasiAlbert:
+            expects(degree >= 1 && degree < n, "gen: ba needs 1 <= m < n");
+            break;
+        case Family::WattsStrogatz:
+            expects(degree >= 2 && degree % 2 == 0 && degree < n,
+                    "gen: ws needs even 2 <= k < n");
+            expects(beta >= 0.0 && beta <= 1.0, "gen: ws beta out of [0,1]");
+            break;
+        case Family::ChungLu:
+        case Family::Hyperbolic:
+            expects(gamma > 2.0, "gen: power-law exponent must be > 2");
+            expects(avg_degree > 0.0, "gen: avg_degree must be > 0");
+            expects(max_weight >= 0.0, "gen: max_weight must be >= 0");
+            break;
+    }
+}
+
+std::string GeneratorConfig::describe() const {
+    std::ostringstream os;
+    os << family_name(family) << " n=" << n << " seed=" << seed;
+    switch (family) {
+        case Family::Gnp: os << " p=" << p; break;
+        case Family::Gnm: os << " m=" << edges; break;
+        case Family::Rmat:
+            os << " m=" << edges << " abc=" << rmat_a << ',' << rmat_b << ','
+               << rmat_c;
+            break;
+        case Family::DOut:
+        case Family::DRegular:
+        case Family::BarabasiAlbert: os << " d=" << degree; break;
+        case Family::WattsStrogatz: os << " k=" << degree << " beta=" << beta; break;
+        case Family::ChungLu:
+        case Family::Hyperbolic:
+            os << " gamma=" << gamma << " avgdeg=" << avg_degree;
+            if (max_weight > 0.0) os << " maxw=" << max_weight;
+            break;
+        default: break;
+    }
+    if (shard.count > 1) os << " shard=" << shard.index << '/' << shard.count;
+    return os.str();
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t graph_seed, std::size_t cell_index) {
+    rng::SplitMix64 base(graph_seed);
+    rng::SplitMix64 cell(base.next() ^
+                         (0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(cell_index) + 1)));
+    return cell.next();
+}
+
+std::uint64_t hash_draw(std::uint64_t seed, std::uint64_t tag,
+                        std::uint64_t index) noexcept {
+    // One SplitMix64 step over a mixed word: statistically strong enough
+    // for positions/weights and the BA copy-resolution, and O(1) random
+    // access — no stream state to replay.
+    rng::SplitMix64 mix(seed ^ (tag * 0xbf58476d1ce4e5b9ULL) ^
+                        (index * 0x94d049bb133111ebULL));
+    return mix.next();
+}
+
+}  // namespace ld::gen

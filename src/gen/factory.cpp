@@ -1,0 +1,60 @@
+#include "gen/factory.hpp"
+
+#include <string>
+
+#include "gen/families.hpp"
+#include "support/expect.hpp"
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
+
+namespace ld::gen {
+
+std::unique_ptr<StreamingGenerator> Factory::create(GeneratorConfig config) {
+    switch (config.family) {
+        case Family::Complete:
+            return std::make_unique<CompleteGen>(std::move(config));
+        case Family::Star:
+            return std::make_unique<StarGen>(std::move(config));
+        case Family::Gnp:
+            return std::make_unique<GnpGen>(std::move(config));
+        case Family::Gnm:
+            return std::make_unique<GnmGen>(std::move(config));
+        case Family::DOut:
+            return std::make_unique<DOutGen>(std::move(config));
+        case Family::DRegular:
+            return std::make_unique<DRegularGen>(std::move(config));
+        case Family::BarabasiAlbert:
+            return std::make_unique<BarabasiAlbertGen>(std::move(config));
+        case Family::WattsStrogatz:
+            return std::make_unique<WattsStrogatzGen>(std::move(config));
+        case Family::ChungLu:
+            return std::make_unique<ChungLuGen>(std::move(config));
+        case Family::Hyperbolic:
+            return std::make_unique<HyperbolicGen>(std::move(config));
+        case Family::Rmat:
+            return std::make_unique<RmatGen>(std::move(config));
+    }
+    support::expects(false, "gen: unknown family");
+    return nullptr;  // unreachable
+}
+
+graph::Graph generate_graph(const GeneratorConfig& config, BuildStats* stats) {
+    auto& registry = support::MetricsRegistry::global();
+    auto& latency = registry.histogram(
+        "gen." + std::string(family_name(config.family)) + ".generate_seconds");
+
+    const support::Stopwatch timer;
+    auto generator = Factory::create(config);
+    BuildStats local;
+    graph::Graph graph = build_chunked_csr(*generator, &local);
+    latency.record(timer.elapsed_seconds());
+
+    registry.counter("gen.edges_emitted").add(local.edges_emitted);
+    registry.counter("gen.chunks").add(local.chunks);
+    registry.gauge("gen.csr_peak_bytes")
+        .set(static_cast<std::int64_t>(local.peak_bytes));
+    if (stats != nullptr) *stats = local;
+    return graph;
+}
+
+}  // namespace ld::gen

@@ -1,0 +1,31 @@
+// The facade: one call turns a GeneratorConfig into a streaming generator
+// or straight into a finished graph, KaGen-style.  All callers (CLI graph
+// specs, sweep realisation, serve's instance.load, benches, tests) go
+// through here; nobody names a family class directly.
+
+#pragma once
+
+#include <memory>
+
+#include "gen/chunked_csr.hpp"
+#include "gen/config.hpp"
+#include "gen/generator.hpp"
+#include "graph/graph.hpp"
+
+namespace ld::gen {
+
+class Factory {
+public:
+    /// Instantiate the streaming generator for `config.family`.  Validates
+    /// the config (throws support::ContractViolation on bad parameters).
+    static std::unique_ptr<StreamingGenerator> create(GeneratorConfig config);
+};
+
+/// Convenience: create + build_chunked_csr + gen.* metrics in one call —
+/// the path `liquidd run/gen` and Instance realisation use.  Records
+/// gen.edges_emitted, gen.chunks, gen.csr_peak_bytes, and the per-family
+/// gen.<family>.generate_seconds histogram in the global registry.
+graph::Graph generate_graph(const GeneratorConfig& config,
+                            BuildStats* stats = nullptr);
+
+}  // namespace ld::gen

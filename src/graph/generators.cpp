@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <unordered_set>
@@ -12,6 +13,17 @@
 namespace ld::graph {
 
 using support::expects;
+
+namespace {
+
+/// Vertex ids are 32-bit; a size that cannot index them would silently
+/// wrap in the id arithmetic below.
+void check_vertex_range(std::size_t n, const std::string& context) {
+    expects(n <= static_cast<std::size_t>(std::numeric_limits<Vertex>::max()) + 1,
+            context + ": size exceeds the 32-bit vertex id range");
+}
+
+}  // namespace
 
 Graph make_complete(std::size_t n) {
     GraphBuilder b(n);
@@ -43,6 +55,10 @@ Graph make_cycle(std::size_t n) {
 }
 
 Graph make_grid(std::size_t rows, std::size_t cols) {
+    expects(rows >= 1 && cols >= 1, "make_grid: rows and cols must be >= 1");
+    expects(rows <= std::numeric_limits<std::size_t>::max() / cols,
+            "make_grid: rows * cols overflows");
+    check_vertex_range(rows * cols, "make_grid");
     GraphBuilder b(rows * cols);
     const auto id = [cols](std::size_t r, std::size_t c) {
         return static_cast<Vertex>(r * cols + c);
@@ -78,7 +94,8 @@ Graph make_erdos_renyi_gnp(rng::Rng& rng, std::size_t n, double p) {
 }
 
 Graph make_erdos_renyi_gnm(rng::Rng& rng, std::size_t n, std::size_t m) {
-    const std::size_t max_edges = n * (n - 1) / 2;
+    check_vertex_range(n, "make_erdos_renyi_gnm");  // n*(n-1) then fits 64 bits
+    const std::size_t max_edges = n == 0 ? 0 : n * (n - 1) / 2;
     expects(m <= max_edges, "make_erdos_renyi_gnm: too many edges requested");
     GraphBuilder b(n);
     std::set<Edge> chosen;
@@ -116,6 +133,9 @@ std::vector<std::pair<Vertex, Vertex>> pair_half_edges(rng::Rng& rng, std::size_
 
 Graph make_random_d_regular(rng::Rng& rng, std::size_t n, std::size_t d) {
     expects(d < n, "make_random_d_regular: d must be < n");
+    check_vertex_range(n, "make_random_d_regular");
+    expects(d == 0 || n <= std::numeric_limits<std::size_t>::max() / d,
+            "make_random_d_regular: n * d overflows");
     expects((n * d) % 2 == 0, "make_random_d_regular: n*d must be even");
     if (d == 0) return Graph::empty(n);
 
@@ -204,7 +224,11 @@ Graph make_d_out(rng::Rng& rng, std::size_t n, std::size_t d) {
 Graph make_bounded_degree(rng::Rng& rng, std::size_t n, std::size_t max_deg,
                           std::size_t target_edges) {
     expects(max_deg >= 1, "make_bounded_degree: max_deg must be >= 1");
-    expects(target_edges * 2 <= n * max_deg, "make_bounded_degree: target infeasible");
+    check_vertex_range(n, "make_bounded_degree");
+    // 128-bit compare: either product can overflow 64 bits on its own.
+    expects(static_cast<unsigned __int128>(target_edges) * 2 <=
+                static_cast<unsigned __int128>(n) * max_deg,
+            "make_bounded_degree: target infeasible");
     GraphBuilder b(n);
     std::vector<std::size_t> deg(n, 0);
     std::set<Edge> chosen;
@@ -261,6 +285,9 @@ Graph make_min_degree_at_least(rng::Rng& rng, std::size_t n, std::size_t min_deg
 
 Graph make_barabasi_albert(rng::Rng& rng, std::size_t n, std::size_t m) {
     expects(m >= 1 && n > m, "make_barabasi_albert: need n > m >= 1");
+    check_vertex_range(n, "make_barabasi_albert");
+    expects(n <= std::numeric_limits<std::size_t>::max() / (2 * m),
+            "make_barabasi_albert: 2 * n * m overflows");
     GraphBuilder b(n);
     // `targets` holds each vertex once per incident edge, so a uniform draw
     // from it is a degree-proportional draw.

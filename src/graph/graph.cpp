@@ -12,6 +12,31 @@ Graph Graph::empty(std::size_t n) {
     return Graph(std::vector<std::size_t>(n + 1, 0), {});
 }
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets, std::vector<Vertex> neighbours) {
+    expects(!offsets.empty(), "from_csr: offsets must have size n + 1");
+    expects(offsets.front() == 0 && offsets.back() == neighbours.size(),
+            "from_csr: offsets must span the neighbour array");
+    const std::size_t n = offsets.size() - 1;
+    expects(neighbours.size() % 2 == 0, "from_csr: half-edge count must be even");
+    for (std::size_t v = 0; v < n; ++v) {
+        expects(offsets[v] <= offsets[v + 1], "from_csr: offsets must be monotone");
+        for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+            expects(neighbours[i] < n, "from_csr: neighbour out of range");
+            expects(neighbours[i] != v, "from_csr: self-loops are not allowed");
+            expects(i == offsets[v] || neighbours[i - 1] < neighbours[i],
+                    "from_csr: adjacency must be ascending and deduplicated");
+        }
+    }
+    Graph g(std::move(offsets), std::move(neighbours));
+    // Symmetry: every half-edge must have its mirror.
+    for (Vertex v = 0; v < n; ++v) {
+        for (Vertex u : g.neighbours(v)) {
+            expects(g.has_edge(u, v), "from_csr: adjacency must be symmetric");
+        }
+    }
+    return g;
+}
+
 bool Graph::has_edge(Vertex u, Vertex v) const {
     if (u >= vertex_count() || v >= vertex_count()) return false;
     // Search the smaller adjacency list.

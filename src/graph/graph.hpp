@@ -35,6 +35,15 @@ public:
     /// An empty graph with `n` vertices and no edges.
     static Graph empty(std::size_t n);
 
+    /// Adopt an already-assembled CSR (offsets size n+1, neighbours size
+    /// 2m with each vertex's range ascending, deduplicated, loop-free,
+    /// and symmetric).  Validates the invariants in O(n + m) and throws
+    /// ContractViolation on any breach — the escape hatch for builders
+    /// (the streaming generation subsystem) that assemble CSR directly
+    /// instead of buffering an edge list through GraphBuilder.
+    static Graph from_csr(std::vector<std::size_t> offsets,
+                          std::vector<Vertex> neighbours);
+
     std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
     std::size_t edge_count() const noexcept { return neighbours_.size() / 2; }
 

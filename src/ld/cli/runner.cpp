@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "gen/factory.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "ld/cli/specs.hpp"
@@ -89,6 +90,9 @@ usage: liquidd [run] [flags]
        liquidd serve [flags]               (long-running evaluation server;
                                             see `liquidd serve --help`
                                             and docs/SERVING.md)
+       liquidd gen [flags]                 (standalone streaming graph
+                                            generation; see `liquidd gen
+                                            --help` and docs/GENERATORS.md)
        liquidd --version                   (git describe, build type, compiler)
 
   --graph <spec>         topology (default complete)
@@ -137,7 +141,10 @@ usage: liquidd [run] [flags]
 
 specs (see src/ld/cli/specs.hpp for the full grammar):
   graph:        complete | star | dregular:16 | ba:8 | ws:12,0.2 | er:0.05
-                | twotier:10,2 | mindeg:8 | maxdeg:6 | file:edges.txt | ...
+                | twotier:10,2 | mindeg:8 | maxdeg:6 | file:edges.txt
+                | cl:2.5,8 | hyper:2.7,12 | rmat:800000 | gen:<family>:...
+                (cl/hyper/rmat/gen route through the chunked-CSR streaming
+                facade — docs/GENERATORS.md) | ...
   competencies: uniform:0.3,0.7 | pc:0.02,0.25 | beta:8,8.3 | const:0.6
                 | star:0.75,0.55 | twopoint:0.3,0.8,0.2 | figure2 | ...
   mechanism:    direct | threshold:2 | alg1:sqrt | alg1:lin,0.25
@@ -706,6 +713,162 @@ int run_serve(const ServeOptions& options, std::ostream& out) {
     return code;
 }
 
+std::string gen_usage() {
+    return R"(liquidd gen — standalone streaming graph generation
+
+usage: liquidd gen [flags]
+
+Generates a graph (or one shard of it) through the chunked-CSR streaming
+facade and prints size/degree/latency stats.  The emitted edge set depends
+only on (--graph, --n, --seed): chunk size, shard partition, and thread
+count never change it, so shards generated on different machines union to
+exactly the unsharded graph.  See docs/GENERATORS.md.
+
+  --graph <spec>      facade graph spec: cl:<gamma>,<avgdeg>[,<maxw>]
+                      | hyper:... | girg:... | rmat:<m>[,<a>,<b>,<c>]
+                      | gen:<family>[:<params>] (gnp, gnm, dout, dregular,
+                      ba, ws, complete, star, ...); bare family specs such
+                      as gnp:0.01 are accepted as shorthand for gen:...
+                      (default cl:2.5,8)
+  --n <count>         number of vertices (default 100000)
+  --seed <value>      root seed for per-cell derivation (default 1)
+  --shard <i>/<k>     generate only cells with index % k == i; the union
+                      of all k shards' edge sets equals the unsharded run
+  --chunk-edges <c>   edges per sink flush (default 65536; output-invariant)
+  --threads <count>   generation workers (default 0 = auto; output-invariant)
+  --budget-mb <mb>    refuse to exceed this pipeline footprint (default 0 =
+                      LIQUIDD_GEN_BUDGET_MB env, else unlimited)
+  --out <path>        write the generated graph ("-" for stdout)
+  --format <fmt>      dump format: edges (sorted "u v" lines, the
+                      canonical byte-comparable form) | csr (offset and
+                      neighbour arrays; default edges)
+  --metrics-out <path> write the end-of-run metrics report as JSON
+  --help              show this text
+
+examples:
+  liquidd gen --graph hyper:2.7,12 --n 10000000 --budget-mb 2048
+  liquidd gen --graph gen:gnp:0.001 --n 100000 --shard 0/4 --out shard0.txt
+)";
+}
+
+GenOptions parse_gen_options(const std::vector<std::string>& args) {
+    GenOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) throw SpecError(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--graph") options.graph_spec = next();
+        else if (flag == "--n") options.n = parse_size(next(), flag);
+        else if (flag == "--seed") options.seed = parse_size(next(), flag);
+        else if (flag == "--shard") {
+            const std::string& value = next();
+            const auto slash = value.find('/');
+            if (slash == std::string::npos) {
+                throw SpecError("--shard: expected <index>/<count>, got '" + value + "'");
+            }
+            options.shard_index = parse_size(value.substr(0, slash), "--shard");
+            options.shard_count = parse_size(value.substr(slash + 1), "--shard");
+            if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+                throw SpecError("--shard: need index < count, got '" + value + "'");
+            }
+        }
+        else if (flag == "--chunk-edges") {
+            options.chunk_edges = parse_size(next(), flag);
+            if (options.chunk_edges == 0) throw SpecError("--chunk-edges: must be >= 1");
+        }
+        else if (flag == "--threads") options.threads = parse_size(next(), flag);
+        else if (flag == "--budget-mb") options.budget_mb = parse_size(next(), flag);
+        else if (flag == "--out") options.out_path = next();
+        else if (flag == "--format") {
+            options.format = next();
+            if (options.format != "edges" && options.format != "csr") {
+                throw SpecError("--format: expected edges|csr, got '" + options.format +
+                                "'");
+            }
+        }
+        else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else throw SpecError("unknown flag '" + flag + "' (try --help)");
+    }
+    return options;
+}
+
+int run_gen(const GenOptions& options, std::ostream& out) {
+    if (options.help) {
+        out << gen_usage();
+        return 0;
+    }
+    const std::string spec = is_generator_spec(options.graph_spec)
+                                 ? options.graph_spec
+                                 : "gen:" + options.graph_spec;
+    gen::GeneratorConfig config = parse_generator_spec(spec, options.n, options.seed);
+    config.chunk_edges = options.chunk_edges;
+    config.shard.index = options.shard_index;
+    config.shard.count = options.shard_count;
+    config.threads = options.threads;
+    config.memory_budget_bytes = options.budget_mb << 20;
+
+    const support::Stopwatch timer;
+    gen::BuildStats stats;
+    const graph::Graph graph = gen::generate_graph(config, &stats);
+    const double elapsed = timer.elapsed_seconds();
+
+    out << "generated " << config.describe() << "\n";
+    out << "vertices " << graph.vertex_count() << ", edges " << graph.edge_count()
+        << " (emitted " << stats.edges_emitted << " in " << stats.chunks
+        << " chunks)\n";
+    const auto deg = graph::degree_stats(graph);
+    out << "degrees: min " << deg.min << ", max " << deg.max << ", mean " << deg.mean
+        << "\n";
+    out << "elapsed " << elapsed << " s, pipeline peak ~" << (stats.peak_bytes >> 20)
+        << " MB\n";
+
+    if (options.out_path.has_value()) {
+        std::ofstream file;
+        const bool to_stdout = *options.out_path == "-";
+        if (!to_stdout) {
+            file.open(*options.out_path);
+            if (!file) {
+                throw SpecError("--out: cannot open '" + *options.out_path + "'");
+            }
+        }
+        std::ostream& dump = to_stdout ? out : file;
+        if (options.format == "edges") {
+            graph::write_edge_list(dump, graph);
+        } else {
+            // CSR dump: one offsets line, then one adjacency line per vertex.
+            dump << "csr " << graph.vertex_count() << " " << graph.edge_count() << "\n";
+            for (graph::Vertex v = 0; v < graph.vertex_count(); ++v) {
+                dump << v << ":";
+                for (graph::Vertex u : graph.neighbours(v)) dump << " " << u;
+                dump << "\n";
+            }
+        }
+        if (!to_stdout) out << "wrote " << options.format << " dump to "
+                            << *options.out_path << "\n";
+    }
+
+    if (options.metrics_out || support::metrics_env_enabled()) {
+        const auto snapshot = support::MetricsRegistry::global().snapshot();
+        if (support::metrics_env_enabled()) {
+            out << "\n-- metrics --\n";
+            support::print_metrics_table(out, snapshot);
+        }
+        if (options.metrics_out) {
+            std::ofstream metrics(*options.metrics_out);
+            if (!metrics) {
+                throw SpecError("--metrics-out: cannot open '" + *options.metrics_out +
+                                "'");
+            }
+            support::write_metrics_json(metrics, snapshot);
+            out << "wrote metrics report to " << *options.metrics_out << "\n";
+        }
+    }
+    return 0;
+}
+
 int dispatch(const std::vector<std::string>& args, std::ostream& out) {
     if (!args.empty() && (args[0] == "--version" || args[0] == "-V")) {
         out << support::version_line() << "\n";
@@ -722,8 +885,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out) {
         if (args[0] == "run") return run(parse_options(rest), out);
         if (args[0] == "sweep") return run_sweep(parse_sweep_options(rest), out);
         if (args[0] == "serve") return run_serve(parse_serve_options(rest), out);
+        if (args[0] == "gen") return run_gen(parse_gen_options(rest), out);
         throw SpecError("unknown subcommand '" + args[0] +
-                        "'; valid subcommands: run, sweep, serve "
+                        "'; valid subcommands: run, sweep, serve, gen "
                         "(bare flags run a single evaluation; try --help)");
     }
     return run(parse_options(args), out);

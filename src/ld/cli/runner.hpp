@@ -106,6 +106,33 @@ std::string serve_usage();
 /// drains it.  Returns a process exit code (0 on a clean drain).
 int run_serve(const ServeOptions& options, std::ostream& out);
 
+/// Parsed `liquidd gen` command line (standalone streaming generation;
+/// see docs/GENERATORS.md).
+struct GenOptions {
+    std::string graph_spec = "cl:2.5,8";  ///< --graph (facade specs only)
+    std::size_t n = 100'000;              ///< --n
+    std::uint64_t seed = 1;               ///< --seed
+    std::size_t shard_index = 0;          ///< --shard i/k
+    std::size_t shard_count = 1;
+    std::size_t chunk_edges = 1 << 16;    ///< --chunk-edges
+    std::size_t threads = 0;              ///< --threads (0 = auto)
+    std::size_t budget_mb = 0;            ///< --budget-mb (0 = env/unlimited)
+    std::optional<std::string> out_path;  ///< --out: dump the generated graph
+    std::string format = "edges";         ///< --format edges|csr
+    std::optional<std::string> metrics_out;  ///< --metrics-out (JSON report)
+    bool help = false;
+};
+
+/// Parse the args after the `gen` subcommand.  Throws SpecError.
+GenOptions parse_gen_options(const std::vector<std::string>& args);
+
+/// Usage text for `liquidd gen`.
+std::string gen_usage();
+
+/// Generate the configured (shard of a) graph through the streaming
+/// facade, print stats, optionally dump it.  Returns a process exit code.
+int run_gen(const GenOptions& options, std::ostream& out);
+
 /// Top-level argv dispatch shared by the binary and the tests:
 /// subcommands (`run`, `sweep`, `serve`), `--version`, and the bare-flag
 /// single-evaluation form.  Throws SpecError on an unknown subcommand,

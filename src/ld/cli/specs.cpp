@@ -1,9 +1,11 @@
 #include "ld/cli/specs.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <vector>
 
+#include "gen/factory.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "ld/mech/abstaining.hpp"
@@ -17,6 +19,7 @@
 #include "ld/mech/multi_delegate.hpp"
 #include "ld/mech/noisy_threshold.hpp"
 #include "ld/model/competency_gen.hpp"
+#include "support/expect.hpp"
 
 namespace ld::cli {
 
@@ -84,9 +87,109 @@ private:
     mech::Abstaining wrapper_;
 };
 
+/// Number of comma-separated fields ("" has zero).
+std::size_t field_count(const std::string& text) {
+    if (text.empty()) return 0;
+    return static_cast<std::size_t>(std::count(text.begin(), text.end(), ',')) + 1;
+}
+
 }  // namespace
 
+bool is_generator_spec(const std::string& spec) {
+    const auto head = split_head(spec).first;
+    return head == "gen" || head == "cl" || head == "hyper" || head == "girg" ||
+           head == "rmat";
+}
+
+gen::GeneratorConfig parse_generator_spec(const std::string& spec, std::size_t n,
+                                          std::uint64_t seed) {
+    const auto [head, rest] = split_head(spec);
+    std::string family;
+    std::string params;
+    if (head == "gen") {
+        std::tie(family, params) = split_head(rest);
+    } else if (head == "cl") {
+        family = "chunglu";
+        params = rest;
+    } else if (head == "hyper" || head == "girg") {
+        family = "hyperbolic";
+        params = rest;
+    } else if (head == "rmat") {
+        family = "rmat";
+        params = rest;
+    } else {
+        throw SpecError("not a generator spec '" + spec + "'");
+    }
+    if (family == "er") family = "gnp";  // accept the legacy head's name
+
+    gen::GeneratorConfig config;
+    config.n = n;
+    config.seed = seed;
+    config.threads = 0;  // auto: the generated edge set is thread-invariant
+    try {
+        config.family = gen::parse_family(family);
+    } catch (const support::ContractViolation&) {
+        throw SpecError("unknown generator family '" + family + "' in '" + spec + "'");
+    }
+
+    const std::size_t fields = field_count(params);
+    switch (config.family) {
+        case gen::Family::Complete:
+        case gen::Family::Star:
+            if (fields != 0) throw SpecError(spec + ": takes no parameters");
+            break;
+        case gen::Family::Gnp:
+            config.p = parse_numbers(params, 1, spec)[0];
+            break;
+        case gen::Family::Gnm:
+            config.edges = as_count(parse_numbers(params, 1, spec)[0], spec);
+            break;
+        case gen::Family::DOut:
+        case gen::Family::DRegular:
+        case gen::Family::BarabasiAlbert:
+            config.degree = as_count(parse_numbers(params, 1, spec)[0], spec);
+            break;
+        case gen::Family::WattsStrogatz: {
+            const auto v = parse_numbers(params, 2, spec);
+            config.degree = as_count(v[0], spec);
+            config.beta = v[1];
+            break;
+        }
+        case gen::Family::ChungLu:
+        case gen::Family::Hyperbolic: {
+            if (fields < 2 || fields > 3) {
+                throw SpecError(spec + ": expected <gamma>,<avgdeg>[,<maxw>]");
+            }
+            const auto v = parse_numbers(params, fields, spec);
+            config.gamma = v[0];
+            config.avg_degree = v[1];
+            if (fields == 3) config.max_weight = v[2];
+            break;
+        }
+        case gen::Family::Rmat: {
+            if (fields != 1 && fields != 4) {
+                throw SpecError(spec + ": expected <m>[,<a>,<b>,<c>]");
+            }
+            const auto v = parse_numbers(params, fields, spec);
+            config.edges = as_count(v[0], spec);
+            if (fields == 4) {
+                config.rmat_a = v[1];
+                config.rmat_b = v[2];
+                config.rmat_c = v[3];
+            }
+            break;
+        }
+    }
+    config.validate();
+    return config;
+}
+
 graph::Graph make_graph(const std::string& spec, std::size_t n, rng::Rng& rng) {
+    if (is_generator_spec(spec)) {
+        // One seed draw keeps the surrounding rng stream position
+        // independent of how many cells the facade generates.
+        return gen::generate_graph(parse_generator_spec(spec, n, rng.next()));
+    }
     const auto [head, rest] = split_head(spec);
     if (head == "complete") return graph::make_complete(n);
     if (head == "star") return graph::make_star(n);

@@ -6,6 +6,11 @@
 //                 | er:<p> | gnm:<m> | ba:<m> | ws:<k>,<beta>
 //                 | twotier:<hubs>,<spokes> | mindeg:<d> | maxdeg:<cap>
 //                 | file:<path>            (edge-list format, see graph/io)
+//                 streaming facade (chunked CSR, docs/GENERATORS.md):
+//                 | cl:<gamma>,<avgdeg>[,<maxw>]     (Chung–Lu power law)
+//                 | hyper:<gamma>,<avgdeg>[,<maxw>]  (1-D GIRG; alias girg:)
+//                 | rmat:<m>[,<a>,<b>,<c>]           (Kronecker/R-MAT)
+//                 | gen:<family>[:<params>]          (any facade family)
 //   competencies: uniform:<lo>,<hi> | pc:<a>,<spread> | beta:<a>,<b>
 //                 | twopoint:<low>,<high>,<frac> | star:<centre>,<leaf>
 //                 | tnormal:<mu>,<sigma>,<lo>,<hi> | const:<p> | figure2
@@ -17,9 +22,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "gen/config.hpp"
 #include "graph/graph.hpp"
 #include "ld/mech/mechanism.hpp"
 #include "ld/model/competency.hpp"
@@ -35,6 +42,17 @@ public:
 
 /// Build a graph on `n` vertices from a graph spec.
 graph::Graph make_graph(const std::string& spec, std::size_t n, rng::Rng& rng);
+
+/// Whether `spec` routes through the streaming generation facade
+/// (`gen:<family>` or one of the cl:/hyper:/girg:/rmat: shorthands).
+bool is_generator_spec(const std::string& spec);
+
+/// Parse a streaming-facade graph spec into a GeneratorConfig with the
+/// given size and seed (execution-shape fields keep their defaults except
+/// threads = 0, auto).  Throws SpecError on malformed specs and
+/// support::ContractViolation on out-of-range parameters.
+gen::GeneratorConfig parse_generator_spec(const std::string& spec, std::size_t n,
+                                          std::uint64_t seed);
 
 /// Build a competency vector for `n` voters from a competency spec.
 model::CompetencyVector make_competencies(const std::string& spec, std::size_t n,

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "graph/generators.hpp"
@@ -61,6 +62,35 @@ TEST(Grid, FourNeighbourLattice) {
     EXPECT_EQ(grid.degree(0), 2u);   // corner
     EXPECT_EQ(grid.degree(5), 4u);   // interior (row 1, col 1)
     EXPECT_TRUE(g::is_connected(grid));
+}
+
+TEST(Grid, RejectsZeroDimensionsAndOverflow) {
+    EXPECT_THROW(g::make_grid(0, 5), ContractViolation);
+    EXPECT_THROW(g::make_grid(5, 0), ContractViolation);
+    // rows * cols wraps 64 bits without the guard.
+    const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+    EXPECT_THROW(g::make_grid(huge, 3), ContractViolation);
+    // Fits 64 bits but not the 32-bit vertex id space.
+    EXPECT_THROW(g::make_grid(std::size_t{1} << 20, std::size_t{1} << 20),
+                 ContractViolation);
+}
+
+TEST(Generators, RejectSizesBeyondVertexRange) {
+    Rng rng(6);
+    const std::size_t beyond = (std::size_t{1} << 32) + 2;
+    EXPECT_THROW(g::make_erdos_renyi_gnm(rng, beyond, 1), ContractViolation);
+    EXPECT_THROW(g::make_random_d_regular(rng, beyond, 2), ContractViolation);
+    EXPECT_THROW(g::make_barabasi_albert(rng, beyond, 2), ContractViolation);
+    EXPECT_THROW(g::make_bounded_degree(rng, beyond, 2, 1), ContractViolation);
+}
+
+TEST(BoundedDegree, InfeasibleTargetDetectedWithoutOverflow) {
+    Rng rng(7);
+    // target_edges * 2 wraps 64 bits; the 128-bit compare must still
+    // reject instead of silently accepting the wrapped value.
+    EXPECT_THROW(
+        g::make_bounded_degree(rng, 10, 2, std::numeric_limits<std::size_t>::max()),
+        ContractViolation);
 }
 
 TEST(ErdosRenyiGnp, EdgeCountConcentratesAroundMean) {
