@@ -14,10 +14,13 @@
 
 #include "gen/factory.hpp"
 #include "graph/generators.hpp"
+#include "ld/delegation/incremental.hpp"
 #include "ld/delegation/realize.hpp"
+#include "ld/game/delegation_game.hpp"
 #include "ld/model/competency_gen.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/election/tally.hpp"
+#include "ld/election/tally_delta.hpp"
 #include "ld/election/workspace.hpp"
 #include "ld/experiments/workloads.hpp"
 #include "ld/mech/approval_size_threshold.hpp"
@@ -242,6 +245,96 @@ void BM_TallyTruncatedBudget(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_TallyTruncatedBudget)->Arg(500)->Arg(2000);
+
+// Tentpole: the incremental churn engine vs from-scratch re-evaluation.
+// One churn step is "voter v toggles between delegating to v+1 and voting
+// directly"; both variants start from the same pre-churned state (every
+// third voter delegates) and both report the certified-ε live probability
+// after each step.
+//
+//  * BM_PatchEval     — DynamicResolution::set_* + LiveTally::apply_sink_
+//    changes: O(depth + log n · window) per step.
+//  * BM_FullEval      — rebuild DelegationOutcome from actions and run the
+//    ε-truncated DP: O(n + #sinks · window) per step, the cost a server
+//    would pay re-loading and re-evaluating the instance.
+//
+// The acceptance claim (docs/CHURN.md): patch+re-eval ≥ 10× faster than
+// full re-resolve+re-tally at n = 10⁵.
+constexpr double kChurnEps = 1e-9;
+
+std::vector<mech::Action> churn_base_actions(std::size_t n) {
+    std::vector<mech::Action> actions(n, mech::Action::vote());
+    for (std::size_t v = 0; v + 1 < n; v += 3) {
+        actions[v] = mech::Action::delegate_to(static_cast<graph::Vertex>(v + 1));
+    }
+    return actions;
+}
+
+void BM_PatchEval(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(12);
+    const auto comps = model::uniform_competencies(rng, n, 0.35, 0.65);
+    delegation::DynamicResolution res;
+    res.reset(delegation::DelegationOutcome(churn_base_actions(n)));
+    election::LiveTally tally;
+    tally.reset(comps.values(), res, kChurnEps);
+    std::size_t step = 0;
+    for (auto _ : state) {
+        const auto v = static_cast<graph::Vertex>((step * 3) % (n - 1));
+        const auto patch = (step & 1)
+                               ? res.set_vote(v)
+                               : res.set_delegate(v, v + 1);
+        tally.apply_sink_changes({patch.changes.data(), patch.change_count});
+        benchmark::DoNotOptimize(tally.correct_probability());
+        ++step;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PatchEval)->Arg(10000)->Arg(100000);
+
+void BM_FullEval(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(12);  // same stream as BM_PatchEval: same competencies
+    const auto comps = model::uniform_competencies(rng, n, 0.35, 0.65);
+    auto actions = churn_base_actions(n);
+    election::TallyScratch scratch;
+    std::size_t step = 0;
+    for (auto _ : state) {
+        const auto v = static_cast<graph::Vertex>((step * 3) % (n - 1));
+        if (step & 1) {
+            actions[v] = mech::Action::vote();
+        } else {
+            actions[v] = mech::Action::delegate_to(v + 1);
+        }
+        const delegation::DelegationOutcome outcome(actions);
+        benchmark::DoNotOptimize(election::truncated_correct_probability(
+            outcome, comps, kChurnEps, scratch));
+        ++step;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullEval)->Arg(10000)->Arg(100000);
+
+// Best-response dynamics on the incremental engine: selfish utilities read
+// the sink cache in O(1), so a full convergence run is O(deviations · depth)
+// instead of one O(n) re-resolution per candidate probe.
+void BM_GameIncremental(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng(13);
+    const auto inst = experiments::d_regular_instance(rng, n, 8, 0.05, 0.01, 0.3);
+    game::GameOptions opts;
+    opts.utility = game::Utility::Selfish;
+    opts.shuffle_seed = 99;
+    std::size_t deviations = 0;
+    for (auto _ : state) {
+        rng::Rng run_rng(13);
+        const auto result = game::best_response_dynamics(inst, run_rng, opts);
+        deviations = result.deviations;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["deviations"] = static_cast<double>(deviations);
+}
+BENCHMARK(BM_GameIncremental)->Arg(2000)->Arg(10000);
 
 // Ablation: exact-inner-step estimator vs naive vote sampling at matched
 // wall-clock-ish budgets.  Compare std_error per unit work in the counters.

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "graph/generators.hpp"
 #include "rng/rng.hpp"
 #include "rng/sampling.hpp"
 #include "support/expect.hpp"
@@ -143,20 +142,63 @@ double DOutGen::edge_estimate() const {
 
 // ---------------------------------------------------------------- dregular
 
+namespace {
+
+constexpr std::uint64_t kDregTag = 0xd4e60157ab5ULL;
+
+/// One forward pass of the 4-round Feistel network over 2·half_bits bits.
+/// Keyed by (seed, round) through hash_draw, so the permutation is a
+/// pure function of the graph seed — no state, random access per stub.
+std::uint64_t feistel_pass(std::uint64_t x, std::uint64_t seed,
+                           std::uint32_t half_bits) noexcept {
+    const std::uint64_t mask = (std::uint64_t{1} << half_bits) - 1;
+    std::uint64_t left = x >> half_bits;
+    std::uint64_t right = x & mask;
+    for (std::uint64_t round = 0; round < 4; ++round) {
+        const std::uint64_t next =
+            left ^ (hash_draw(seed, kDregTag + round, right) & mask);
+        left = right;
+        right = next;
+    }
+    return (left << half_bits) | right;
+}
+
+}  // namespace
+
 DRegularGen::DRegularGen(GeneratorConfig config)
-    : StreamingGenerator(std::move(config)) {}
+    : StreamingGenerator(std::move(config)) {
+    stub_count_ = static_cast<std::uint64_t>(this->config().n) *
+                  static_cast<std::uint64_t>(this->config().degree);
+    // Smallest balanced Feistel domain 2^(2·half_bits) >= stub_count_;
+    // cycle-walking shrinks it onto [0, stub_count_) below.
+    while ((std::uint64_t{1} << (2 * half_bits_)) < stub_count_) ++half_bits_;
+}
+
+std::uint64_t DRegularGen::permuted_stub(std::uint64_t index) const {
+    // Cycle-walking: re-apply the domain permutation until the image
+    // lands inside [0, stub_count_).  Expected < 4 passes (the domain is
+    // less than 4x the stub count); each intermediate value outside the
+    // range is visited by exactly one walk, so σ stays a permutation.
+    std::uint64_t x = feistel_pass(index, config().seed, half_bits_);
+    while (x >= stub_count_) x = feistel_pass(x, config().seed, half_bits_);
+    return x;
+}
+
+std::size_t DRegularGen::cell_count() const {
+    const std::uint64_t pairs = stub_count_ / 2;
+    return static_cast<std::size_t>((pairs + kEdgeCellDraws - 1) / kEdgeCellDraws);
+}
 
 void DRegularGen::emit_cell(std::size_t cell, ChunkBuffer& out) const {
-    expects(cell == 0, "dregular: single-cell family");
-    // The configuration model's global half-edge pairing does not split
-    // into independent cells; bridge to the legacy generator instead.
-    rng::Rng rng(derive_cell_seed(config().seed, 0));
-    const graph::Graph g =
-        graph::make_random_d_regular(rng, config().n, config().degree);
-    for (Vertex u = 0; u < g.vertex_count(); ++u) {
-        for (Vertex v : g.neighbours(u)) {
-            if (u < v) out.emit(u, v);
-        }
+    const std::uint64_t d = config().degree;
+    if (d == 0) return;
+    const std::uint64_t pairs = stub_count_ / 2;
+    const std::uint64_t begin = static_cast<std::uint64_t>(cell) * kEdgeCellDraws;
+    const std::uint64_t end = std::min(pairs, begin + kEdgeCellDraws);
+    for (std::uint64_t k = begin; k < end; ++k) {
+        const auto u = static_cast<Vertex>(permuted_stub(2 * k) / d);
+        const auto v = static_cast<Vertex>(permuted_stub(2 * k + 1) / d);
+        out.emit(u, v);  // loops dropped, duplicates collapse: erased model
     }
 }
 

@@ -71,16 +71,31 @@ public:
     double edge_estimate() const override;
 };
 
-/// Random d-regular — a single-cell legacy bridge over the configuration
-/// model in graph/generators.cpp (global half-edge pairing does not
-/// decompose into independent cells).  Correct and facade-compatible but
-/// NOT streaming-scalable; keep n moderate.
+/// Random d-regular via the *erased configuration model* with a
+/// stateless stub permutation: the n·d half-edge stubs are paired as
+/// σ(2k) ↔ σ(2k+1) where σ is a seed-keyed 4-round Feistel permutation
+/// of [0, n·d) (cycle-walking over the enclosing power of two), and stub
+/// s belongs to vertex s / d.  Because σ is a *permutation*, every stub
+/// is used exactly once — a global matching with no shared state, so
+/// cells of kEdgeCellDraws pairs regenerate independently and the family
+/// is streaming-scalable (the old bridge materialized the whole graph in
+/// one cell).  Self-loops are dropped and duplicate pairs collapse in
+/// the sink, so realized degrees are ≤ d with the classic O(d²/n)
+/// erasure deficit — the same distributional-variant precedent as the
+/// independent-rewiring Watts–Strogatz (docs/GENERATORS.md).
 class DRegularGen final : public StreamingGenerator {
 public:
     explicit DRegularGen(GeneratorConfig config);
-    std::size_t cell_count() const override { return 1; }
+    std::size_t cell_count() const override;
     void emit_cell(std::size_t cell, ChunkBuffer& out) const override;
     double edge_estimate() const override;
+
+    /// σ(index): the permuted stub, exposed for the determinism tests.
+    std::uint64_t permuted_stub(std::uint64_t index) const;
+
+private:
+    std::uint64_t stub_count_ = 0;
+    std::uint32_t half_bits_ = 1;  ///< Feistel halves; domain = 2^(2·half_bits)
 };
 
 /// Barabási–Albert via hash-resolved edge copies (Sanders & Schulz): the

@@ -15,6 +15,7 @@
 #include "ld/dnh/conditions.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/experiments/sweep.hpp"
+#include "ld/game/delegation_game.hpp"
 #include "ld/model/instance.hpp"
 #include "ld/model/instance_io.hpp"
 #include "ld/serve/server.hpp"
@@ -93,6 +94,10 @@ usage: liquidd [run] [flags]
        liquidd gen [flags]                 (standalone streaming graph
                                             generation; see `liquidd gen
                                             --help` and docs/GENERATORS.md)
+       liquidd game [flags]                (best-response trajectory workload
+                                            over the incremental churn
+                                            engine; see `liquidd game --help`
+                                            and docs/CHURN.md)
        liquidd --version                   (git describe, build type, compiler)
 
   --graph <spec>         topology (default complete)
@@ -869,6 +874,187 @@ int run_gen(const GenOptions& options, std::ostream& out) {
     return 0;
 }
 
+std::string game_usage() {
+    return R"(liquidd game — best-response trajectory workload
+
+usage: liquidd game [flags]
+
+Runs best-response dynamics (selfish or cooperative utility) from the
+all-vote profile over the incremental churn engine: the evolving profile
+lives in a DynamicResolution and candidate deviations are probed against
+the live product-tree tally instead of re-resolving from scratch.  With
+--trajectory-out every applied deviation is streamed with the group
+correct-probability after it — the gain-along-the-path measurement of
+docs/CHURN.md.
+
+  --graph <spec>         topology (default complete; same grammar as run)
+  --competencies <spec>  competency profile (default uniform:0.3,0.7)
+  --n <count>            number of voters (default 100)
+  --alpha <margin>       approval margin alpha > 0 (default 0.05)
+  --seed <value>         RNG seed (default 1)
+  --utility <name>       selfish (sink competency, viscosity-decayed) |
+                         coop (group correct probability; default selfish)
+  --max-rounds <count>   passes over the voters before giving up (default 64)
+  --viscosity <v>        viscous-democracy decay in (0, 1]: a selfish sink
+                         at delegation depth d is worth v^d * competency
+                         (default 1 = classic selfish utility)
+  --tally-eps <eps>      certified clip budget for cooperative probes /
+                         trajectory points (default 0 = exact windows; the
+                         final equilibrium P is always the exact DP)
+  --shuffle-seed <value> seed the per-round update-order shuffle so the
+                         trajectory replays byte-identically (default:
+                         drawn from --seed)
+  --fixed-order          visit voters in id order every round (no shuffle)
+  --load-instance <path> load a saved instance (overrides --graph/--competencies)
+  --trajectory-out <path> write the deviation trajectory as CSV
+                         ("-" for stdout)
+  --metrics-out <path>   write the end-of-run metrics report as JSON
+  --simd <tier>          pin the tally kernel tier (auto|scalar|avx2|avx512)
+  --help                 show this text
+
+examples:
+  liquidd game --graph dregular:16 --n 2000 --utility selfish --viscosity 0.9
+  liquidd game --n 500 --utility coop --shuffle-seed 7 --trajectory-out path.csv
+)";
+}
+
+GameCliOptions parse_game_options(const std::vector<std::string>& args) {
+    GameCliOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        const auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size()) throw SpecError(flag + ": missing value");
+            return args[++i];
+        };
+        if (flag == "--graph") options.graph_spec = next();
+        else if (flag == "--competencies") options.competency_spec = next();
+        else if (flag == "--n") options.n = parse_size(next(), flag);
+        else if (flag == "--alpha") options.alpha = parse_double(next(), flag);
+        else if (flag == "--seed") options.seed = parse_size(next(), flag);
+        else if (flag == "--utility") {
+            options.utility = next();
+            if (options.utility != "selfish" && options.utility != "coop") {
+                throw SpecError("--utility: expected selfish|coop, got '" +
+                                options.utility + "'");
+            }
+        }
+        else if (flag == "--max-rounds") {
+            options.max_rounds = parse_size(next(), flag);
+            if (options.max_rounds == 0) throw SpecError("--max-rounds: must be >= 1");
+        }
+        else if (flag == "--viscosity") {
+            options.viscosity = parse_double(next(), flag);
+            if (options.viscosity <= 0.0 || options.viscosity > 1.0) {
+                throw SpecError("--viscosity: expected a value in (0, 1]");
+            }
+        }
+        else if (flag == "--tally-eps") options.tally_eps = parse_double(next(), flag);
+        else if (flag == "--shuffle-seed") options.shuffle_seed = parse_size(next(), flag);
+        else if (flag == "--fixed-order") options.fixed_order = true;
+        else if (flag == "--load-instance") options.load_path = next();
+        else if (flag == "--trajectory-out") options.trajectory_out = next();
+        else if (flag == "--metrics-out") options.metrics_out = next();
+        else if (flag == "--simd") options.simd = next();
+        else if (flag == "--help" || flag == "-h") options.help = true;
+        else throw SpecError("unknown flag '" + flag + "' (try --help)");
+    }
+    return options;
+}
+
+int run_game(const GameCliOptions& options, std::ostream& out) {
+    if (options.help) {
+        out << game_usage();
+        return 0;
+    }
+    apply_simd_override(options.simd);
+    rng::Rng rng(options.seed);
+    const model::Instance instance = [&] {
+        if (options.load_path.has_value()) return model::load_instance(*options.load_path);
+        auto graph = make_graph(options.graph_spec, options.n, rng);
+        auto competencies =
+            make_competencies(options.competency_spec, graph.vertex_count(), rng);
+        return model::Instance(std::move(graph), std::move(competencies), options.alpha);
+    }();
+
+    game::GameOptions game;
+    game.utility = options.utility == "coop" ? game::Utility::Cooperative
+                                             : game::Utility::Selfish;
+    game.max_rounds = options.max_rounds;
+    game.random_order = !options.fixed_order;
+    game.shuffle_seed = options.shuffle_seed;
+    game.viscosity = options.viscosity;
+    game.tally_epsilon = options.tally_eps;
+    game.record_trajectory = true;
+
+    out << instance.describe() << "\n";
+    out << "utility: " << options.utility << ", viscosity " << options.viscosity
+        << ", max rounds " << options.max_rounds << "\n\n";
+
+    const support::Stopwatch timer;
+    const auto result = game::best_response_dynamics(instance, rng, game);
+    const double elapsed = timer.elapsed_seconds();
+
+    support::TablePrinter table({"metric", "value"}, 5);
+    table.add_row({std::string("converged"), result.converged ? 1.0 : 0.0});
+    table.add_row({std::string("rounds"), static_cast<double>(result.rounds)});
+    table.add_row({std::string("deviations"), static_cast<double>(result.deviations)});
+    table.add_row({std::string("P (equilibrium, exact)"),
+                   result.group_correct_probability});
+    table.add_row({std::string("gain vs direct"), result.gain_vs_direct});
+    table.add_row({std::string("delegators"),
+                   static_cast<double>(result.stats.delegator_count)});
+    table.add_row({std::string("voting sinks"),
+                   static_cast<double>(result.stats.voting_sink_count)});
+    table.add_row({std::string("max weight"),
+                   static_cast<double>(result.stats.max_weight)});
+    table.add_row({std::string("longest path"),
+                   static_cast<double>(result.stats.longest_path)});
+    table.add_row({std::string("elapsed s"), elapsed});
+    table.print(out);
+
+    if (options.trajectory_out.has_value()) {
+        std::ofstream file;
+        const bool to_stdout = *options.trajectory_out == "-";
+        if (!to_stdout) {
+            file.open(*options.trajectory_out);
+            if (!file) {
+                throw SpecError("--trajectory-out: cannot open '" +
+                                *options.trajectory_out + "'");
+            }
+        }
+        std::ostream& dump = to_stdout ? out : file;
+        dump << "round,voter,from,to,correct_probability,gain\n";
+        dump.precision(17);
+        for (const auto& point : result.trajectory) {
+            dump << point.round << "," << point.voter << "," << point.from << ","
+                 << point.to << "," << point.correct_probability << ","
+                 << point.gain << "\n";
+        }
+        if (!to_stdout) {
+            out << "wrote " << result.trajectory.size() << " trajectory points to "
+                << *options.trajectory_out << "\n";
+        }
+    }
+
+    if (options.metrics_out || support::metrics_env_enabled()) {
+        const auto snapshot = support::MetricsRegistry::global().snapshot();
+        if (support::metrics_env_enabled()) {
+            out << "\n-- metrics --\n";
+            support::print_metrics_table(out, snapshot);
+        }
+        if (options.metrics_out) {
+            std::ofstream metrics(*options.metrics_out);
+            if (!metrics) {
+                throw SpecError("--metrics-out: cannot open '" + *options.metrics_out +
+                                "'");
+            }
+            support::write_metrics_json(metrics, snapshot);
+            out << "wrote metrics report to " << *options.metrics_out << "\n";
+        }
+    }
+    return 0;
+}
+
 int dispatch(const std::vector<std::string>& args, std::ostream& out) {
     if (!args.empty() && (args[0] == "--version" || args[0] == "-V")) {
         out << support::version_line() << "\n";
@@ -886,8 +1072,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out) {
         if (args[0] == "sweep") return run_sweep(parse_sweep_options(rest), out);
         if (args[0] == "serve") return run_serve(parse_serve_options(rest), out);
         if (args[0] == "gen") return run_gen(parse_gen_options(rest), out);
+        if (args[0] == "game") return run_game(parse_game_options(rest), out);
         throw SpecError("unknown subcommand '" + args[0] +
-                        "'; valid subcommands: run, sweep, serve, gen "
+                        "'; valid subcommands: run, sweep, serve, gen, game "
                         "(bare flags run a single evaluation; try --help)");
     }
     return run(parse_options(args), out);

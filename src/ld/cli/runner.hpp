@@ -133,6 +133,38 @@ std::string gen_usage();
 /// facade, print stats, optionally dump it.  Returns a process exit code.
 int run_gen(const GenOptions& options, std::ostream& out);
 
+/// Parsed `liquidd game` command line (best-response trajectory workload
+/// over the incremental churn engine; see docs/CHURN.md).
+struct GameCliOptions {
+    std::string graph_spec = "complete";
+    std::string competency_spec = "uniform:0.3,0.7";
+    std::size_t n = 100;
+    double alpha = 0.05;
+    std::uint64_t seed = 1;
+    std::string utility = "selfish";   ///< --utility selfish|coop
+    std::size_t max_rounds = 64;       ///< --max-rounds
+    double viscosity = 1.0;            ///< --viscosity: selfish chain decay
+    double tally_eps = 0.0;            ///< --tally-eps: cooperative probe budget
+    std::optional<std::uint64_t> shuffle_seed;  ///< --shuffle-seed: replayable order
+    bool fixed_order = false;          ///< --fixed-order: id order, no shuffle
+    std::optional<std::string> load_path;       ///< --load-instance
+    std::optional<std::string> trajectory_out;  ///< --trajectory-out (CSV)
+    std::optional<std::string> metrics_out;     ///< --metrics-out (JSON report)
+    std::string simd = "auto";         ///< --simd: pin the tally kernel tier
+    bool help = false;
+};
+
+/// Parse the args after the `game` subcommand.  Throws SpecError.
+GameCliOptions parse_game_options(const std::vector<std::string>& args);
+
+/// Usage text for `liquidd game`.
+std::string game_usage();
+
+/// Run best-response dynamics, print the equilibrium report, optionally
+/// stream the gain-along-the-path trajectory as CSV.  Returns a process
+/// exit code.
+int run_game(const GameCliOptions& options, std::ostream& out);
+
 /// Top-level argv dispatch shared by the binary and the tests:
 /// subcommands (`run`, `sweep`, `serve`), `--version`, and the bare-flag
 /// single-evaluation form.  Throws SpecError on an unknown subcommand,

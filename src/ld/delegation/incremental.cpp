@@ -1,0 +1,362 @@
+#include "ld/delegation/incremental.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace ld::delegation {
+
+using mech::Action;
+using mech::ActionKind;
+using support::expects;
+using support::invariant;
+
+namespace {
+
+/// A terminal voter ends a delegation chain: they vote, abstain, or
+/// self-delegate (which counts as voting).
+bool is_terminal(ActionKind kind, graph::Vertex v, graph::Vertex target) noexcept {
+    return kind != ActionKind::Delegate || target == v;
+}
+
+bool casts_vote(ActionKind kind) noexcept { return kind != ActionKind::Abstain; }
+
+}  // namespace
+
+void DynamicResolution::reset(const DelegationOutcome& outcome,
+                              std::span<const std::uint64_t> initial_weights) {
+    expects(outcome.functional(),
+            "DynamicResolution: multi-delegation outcomes are not supported");
+    expects(outcome.cycle_losses() == 0,
+            "DynamicResolution: cycle-bearing outcomes are not supported");
+    const std::size_t n = outcome.voter_count();
+    expects(initial_weights.empty() || initial_weights.size() == n,
+            "DynamicResolution: initial weights must be empty or one per voter");
+    kind_.resize(n);
+    target_.resize(n);
+    weight_in_.resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+        const Action& a = outcome.action(v);
+        kind_[v] = a.kind;
+        target_[v] = a.kind == ActionKind::Delegate ? a.targets.front() : v;
+        weight_in_[v] = initial_weights.empty() ? 1 : initial_weights[v];
+    }
+    init_from_actions();
+}
+
+void DynamicResolution::reset_all_vote(std::size_t n,
+                                       std::span<const std::uint64_t> initial_weights) {
+    expects(initial_weights.empty() || initial_weights.size() == n,
+            "DynamicResolution: initial weights must be empty or one per voter");
+    kind_.assign(n, ActionKind::Vote);
+    target_.resize(n);
+    weight_in_.resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+        target_[v] = v;
+        weight_in_[v] = initial_weights.empty() ? 1 : initial_weights[v];
+    }
+    init_from_actions();
+}
+
+void DynamicResolution::init_from_actions() {
+    const std::size_t n = kind_.size();
+    first_child_.assign(n, kNil);
+    next_sibling_.assign(n, kNil);
+    prev_sibling_.assign(n, kNil);
+    delegator_count_ = 0;
+    abstainer_count_ = 0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+        if (kind_[v] == ActionKind::Delegate) {
+            ++delegator_count_;
+            if (target_[v] != v) link_child(target_[v], v);
+        } else if (kind_[v] == ActionKind::Abstain) {
+            ++abstainer_count_;
+        }
+    }
+    sink_.assign(n, kNil);
+    depth_.assign(n, 0);
+    subtree_weight_.assign(n, 0);
+    full_rebuild();
+}
+
+void DynamicResolution::full_rebuild() {
+    const std::size_t n = kind_.size();
+    cast_weight_ = 0;
+    voting_sink_count_ = 0;
+    auto& order = walk_stack_;
+    for (graph::Vertex root = 0; root < n; ++root) {
+        if (!is_terminal(kind_[root], root, target_[root])) continue;
+        // Pre-order pass assigns sinks/depths; the reversed order then
+        // accumulates subtree weights bottom-up.
+        order.clear();
+        order.push_back(root);
+        const graph::Vertex terminal_sink = casts_vote(kind_[root]) ? root : kNil;
+        sink_[root] = terminal_sink;
+        depth_[root] = 0;
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const graph::Vertex u = order[head];
+            subtree_weight_[u] = weight_in_[u];
+            for (graph::Vertex c = first_child_[u]; c != kNil; c = next_sibling_[c]) {
+                if (c == u) continue;  // self-delegation loops are terminals
+                sink_[c] = terminal_sink;
+                depth_[c] = depth_[u] + 1;
+                order.push_back(c);
+            }
+        }
+        for (std::size_t i = order.size(); i-- > 1;) {
+            const graph::Vertex u = order[i];
+            subtree_weight_[target_[u]] += subtree_weight_[u];
+        }
+        if (casts_vote(kind_[root]) && subtree_weight_[root] > 0) {
+            cast_weight_ += subtree_weight_[root];
+            ++voting_sink_count_;
+        }
+    }
+}
+
+void DynamicResolution::link_child(graph::Vertex parent, graph::Vertex child) {
+    const graph::Vertex head = first_child_[parent];
+    next_sibling_[child] = head;
+    prev_sibling_[child] = kNil;
+    if (head != kNil) prev_sibling_[head] = child;
+    first_child_[parent] = child;
+}
+
+void DynamicResolution::unlink_child(graph::Vertex parent, graph::Vertex child) {
+    const graph::Vertex prev = prev_sibling_[child];
+    const graph::Vertex next = next_sibling_[child];
+    if (prev != kNil) {
+        next_sibling_[prev] = next;
+    } else {
+        first_child_[parent] = next;
+    }
+    if (next != kNil) prev_sibling_[next] = prev;
+    next_sibling_[child] = kNil;
+    prev_sibling_[child] = kNil;
+}
+
+void DynamicResolution::add_weight_along_chain(graph::Vertex from, std::int64_t delta) {
+    graph::Vertex u = from;
+    while (true) {
+        subtree_weight_[u] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(subtree_weight_[u]) + delta);
+        if (is_terminal(kind_[u], u, target_[u])) break;
+        u = target_[u];
+    }
+}
+
+bool DynamicResolution::would_cycle(graph::Vertex v, graph::Vertex target) const {
+    graph::Vertex u = target;
+    while (true) {
+        if (u == v) return true;
+        if (is_terminal(kind_[u], u, target_[u])) return false;
+        u = target_[u];
+    }
+}
+
+std::size_t DynamicResolution::repair_subtree(graph::Vertex v) {
+    const std::size_t n = kind_.size();
+    const std::size_t limit = std::max<std::size_t>(
+        1, static_cast<std::size_t>(rebuild_fraction * static_cast<double>(n)));
+    graph::Vertex base_sink;
+    std::size_t base_depth;
+    if (is_terminal(kind_[v], v, target_[v])) {
+        base_sink = casts_vote(kind_[v]) ? v : kNil;
+        base_depth = 0;
+    } else {
+        base_sink = sink_[target_[v]];
+        base_depth = depth_[target_[v]] + 1;
+    }
+    sink_[v] = base_sink;
+    depth_[v] = base_depth;
+    auto& stack = walk_stack_;
+    stack.clear();
+    stack.push_back(v);
+    std::size_t dirty = 0;
+    while (!stack.empty()) {
+        const graph::Vertex u = stack.back();
+        stack.pop_back();
+        ++dirty;
+        if (dirty > limit) return n + 1;  // abort: caller falls back to rebuild
+        for (graph::Vertex c = first_child_[u]; c != kNil; c = next_sibling_[c]) {
+            if (c == u) continue;
+            sink_[c] = base_sink;
+            depth_[c] = depth_[u] + 1;
+            stack.push_back(c);
+        }
+    }
+    return dirty;
+}
+
+DynamicResolution::PatchResult DynamicResolution::set_vote(graph::Vertex v) {
+    expects(v < kind_.size(), "DynamicResolution: voter out of range");
+    return apply(v, ActionKind::Vote, v);
+}
+
+DynamicResolution::PatchResult DynamicResolution::set_abstain(graph::Vertex v) {
+    expects(v < kind_.size(), "DynamicResolution: voter out of range");
+    return apply(v, ActionKind::Abstain, v);
+}
+
+DynamicResolution::PatchResult DynamicResolution::set_delegate(graph::Vertex v,
+                                                               graph::Vertex target) {
+    expects(v < kind_.size(), "DynamicResolution: voter out of range");
+    expects(target < kind_.size(), "DynamicResolution: target out of range");
+    return apply(v, ActionKind::Delegate, target);
+}
+
+DynamicResolution::PatchResult DynamicResolution::apply(graph::Vertex v,
+                                                        ActionKind new_kind,
+                                                        graph::Vertex new_target) {
+    PatchResult result;
+    const ActionKind old_kind = kind_[v];
+    const graph::Vertex old_target = target_[v];
+    if (new_kind == old_kind &&
+        (new_kind != ActionKind::Delegate || new_target == old_target)) {
+        return result;  // idempotent no-op
+    }
+    const bool new_is_real_delegation =
+        new_kind == ActionKind::Delegate && new_target != v;
+    if (new_is_real_delegation && would_cycle(v, new_target)) {
+        result.cycle_rejected = true;
+        return result;
+    }
+
+    // Pooled weights move between at most two terminals: the sink that held
+    // v's subtree before the patch and the one that holds it after.  The
+    // new sink is v's would-be terminal, readable *before* mutating because
+    // the cycle check guarantees new_target is outside v's subtree.
+    const std::uint64_t sw = subtree_weight_[v];
+    const graph::Vertex s_old = sink_[v];
+    graph::Vertex s_new;
+    if (new_is_real_delegation) {
+        s_new = sink_[new_target];
+    } else {
+        s_new = casts_vote(new_kind) ? v : kNil;
+    }
+    const auto was_voting_sink = [&](graph::Vertex x) {
+        return x != kNil && is_terminal(kind_[x], x, target_[x]) &&
+               casts_vote(kind_[x]) && subtree_weight_[x] > 0;
+    };
+    const bool v_was = was_voting_sink(v);
+    const bool s_old_was = s_old != v && was_voting_sink(s_old);
+    const bool s_new_was = s_new != v && was_voting_sink(s_new);
+
+    // 1. Detach from the old parent chain.
+    const bool old_is_real_delegation =
+        old_kind == ActionKind::Delegate && old_target != v;
+    if (old_is_real_delegation) {
+        unlink_child(old_target, v);
+        add_weight_along_chain(old_target, -static_cast<std::int64_t>(sw));
+    }
+
+    // 2. Flip the action and the aggregate action counters.
+    if (old_kind == ActionKind::Delegate) --delegator_count_;
+    if (old_kind == ActionKind::Abstain) --abstainer_count_;
+    if (new_kind == ActionKind::Delegate) ++delegator_count_;
+    if (new_kind == ActionKind::Abstain) ++abstainer_count_;
+    kind_[v] = new_kind;
+    target_[v] = new_kind == ActionKind::Delegate ? new_target : v;
+
+    // 3. Attach to the new parent chain.
+    if (new_is_real_delegation) {
+        link_child(new_target, v);
+        add_weight_along_chain(new_target, static_cast<std::int64_t>(sw));
+    }
+
+    // 4. Repair sinks/depths across the dirty region (v's subtree), or
+    //    rebuild everything once the region is large enough that a rebuild
+    //    is no more expensive.
+    const std::size_t dirty = repair_subtree(v);
+    if (dirty > kind_.size()) {
+        full_rebuild();
+        result.rebuilt = true;
+        result.dirty = kind_.size();
+    } else {
+        result.dirty = dirty;
+        // 5. Cast-weight and voting-sink bookkeeping for the (<= 3)
+        //    affected terminals; full_rebuild recomputes these itself.
+        if (s_old != kNil) cast_weight_ -= sw;
+        if (s_new != kNil) cast_weight_ += sw;
+        const auto is_voting_sink_now = [&](graph::Vertex x) {
+            return x != kNil && is_terminal(kind_[x], x, target_[x]) &&
+                   casts_vote(kind_[x]) && subtree_weight_[x] > 0;
+        };
+        const auto count_flip = [&](bool was, bool now) {
+            if (was && !now) --voting_sink_count_;
+            if (!was && now) ++voting_sink_count_;
+        };
+        count_flip(v_was, is_voting_sink_now(v));
+        if (s_old != kNil && s_old != v) count_flip(s_old_was, is_voting_sink_now(s_old));
+        if (s_new != kNil && s_new != v && s_new != s_old) {
+            count_flip(s_new_was, is_voting_sink_now(s_new));
+        }
+    }
+
+    // Report pooled-weight deltas for the tally layer.
+    if (s_old != s_new) {
+        if (s_old != kNil) {
+            result.changes[result.change_count++] =
+                SinkChange{s_old, pooled_weight(s_old)};
+        }
+        if (s_new != kNil) {
+            result.changes[result.change_count++] =
+                SinkChange{s_new, pooled_weight(s_new)};
+        }
+    }
+    result.applied = true;
+    return result;
+}
+
+std::uint64_t DynamicResolution::pooled_weight(graph::Vertex v) const {
+    if (!is_voting(v)) return 0;
+    return subtree_weight_[v];
+}
+
+bool DynamicResolution::is_voting(graph::Vertex v) const {
+    return is_terminal(kind_[v], v, target_[v]) && casts_vote(kind_[v]);
+}
+
+std::vector<std::uint64_t> DynamicResolution::weights() const {
+    std::vector<std::uint64_t> out(kind_.size(), 0);
+    for (graph::Vertex v = 0; v < kind_.size(); ++v) out[v] = pooled_weight(v);
+    return out;
+}
+
+std::vector<graph::Vertex> DynamicResolution::voting_sinks() const {
+    std::vector<graph::Vertex> out;
+    for (graph::Vertex v = 0; v < kind_.size(); ++v) {
+        if (pooled_weight(v) > 0) out.push_back(v);
+    }
+    return out;
+}
+
+DelegationStats DynamicResolution::stats() const {
+    DelegationStats stats;
+    stats.delegator_count = delegator_count_;
+    stats.abstainer_count = abstainer_count_;
+    stats.voting_sink_count = voting_sink_count_;
+    stats.cast_weight = cast_weight_;
+    for (graph::Vertex v = 0; v < kind_.size(); ++v) {
+        stats.longest_path = std::max(stats.longest_path, depth_[v]);
+        stats.max_weight = std::max(stats.max_weight, pooled_weight(v));
+    }
+    return stats;
+}
+
+std::vector<Action> DynamicResolution::actions() const {
+    std::vector<Action> actions;
+    actions.reserve(kind_.size());
+    for (graph::Vertex v = 0; v < kind_.size(); ++v) {
+        switch (kind_[v]) {
+            case ActionKind::Vote: actions.push_back(Action::vote()); break;
+            case ActionKind::Abstain: actions.push_back(Action::abstain()); break;
+            case ActionKind::Delegate:
+                actions.push_back(Action::delegate_to(target_[v]));
+                break;
+        }
+    }
+    return actions;
+}
+
+}  // namespace ld::delegation

@@ -1,0 +1,157 @@
+// Incremental sink resolution under delegation churn (docs/CHURN.md).
+//
+// A DelegationOutcome is immutable: one voter flipping their action costs a
+// full O(n) re-resolution.  Production liquid democracy is a *live* process
+// — voters re-delegate continuously — so the heavy-traffic case is a
+// single-edge delta against an already-resolved state.  DynamicResolution
+// maintains the same derived state as DelegationOutcome::resolve (sinks,
+// pooled weights, depths, delegation stats) under single-voter mutations:
+//
+//  * the delegation forest is stored with intrusive child lists
+//    (first_child / next_sibling / prev_sibling), so unlinking a voter from
+//    their old target is O(1);
+//  * subtree weights are maintained along the (short) chain from the old
+//    and new attach points to their terminals — O(depth) per patch;
+//  * sinks and depths are repaired by walking only the patched voter's
+//    subtree (the dirty region), with a full-rebuild fallback once the
+//    dirty region exceeds `rebuild_fraction · n`;
+//  * a patch that would close a delegation cycle is detected by walking
+//    the target's chain before any state is touched, and rejected with the
+//    state unchanged.
+//
+// Results are bit-identical to re-resolving from scratch: sinks, weights,
+// voting-sink sets, and every DelegationStats field match EXPECT_EQ
+// (tests/test_incremental.cpp drives randomized patch sequences against
+// the reference).  Only cycle-free functional states are supported —
+// exactly the states a sequence of accepted patches can produce.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ld/delegation/delegation_graph.hpp"
+#include "ld/mech/mechanism.hpp"
+
+namespace ld::delegation {
+
+class DynamicResolution {
+public:
+    static constexpr graph::Vertex kNoSink = DelegationOutcome::kNoSink;
+
+    /// A voting sink whose pooled weight changed under a patch (at most
+    /// two per patch: the old terminal and the new one).  `weight == 0`
+    /// means the voter stopped being a voting sink.
+    struct SinkChange {
+        graph::Vertex sink = kNoSink;
+        std::uint64_t weight = 0;
+    };
+
+    /// Outcome of one patch application.
+    struct PatchResult {
+        bool applied = false;         ///< state advanced (false: no-op/cycle)
+        bool cycle_rejected = false;  ///< the patch would close a cycle
+        bool rebuilt = false;         ///< dirty region tripped a full rebuild
+        std::size_t dirty = 0;        ///< voters whose sink/depth was repaired
+        std::size_t change_count = 0; ///< valid prefix of `changes`
+        std::array<SinkChange, 2> changes{};  ///< pooled-weight deltas
+    };
+
+    DynamicResolution() = default;
+
+    /// Initialize from a resolved outcome (functional, cycle-free).
+    /// `initial_weights` must match the weights the outcome was built with.
+    void reset(const DelegationOutcome& outcome,
+               std::span<const std::uint64_t> initial_weights = {});
+
+    /// Initialize to the all-vote profile over n voters — the natural
+    /// starting state of a live instance (every voter casts their own
+    /// vote until a patch says otherwise).
+    void reset_all_vote(std::size_t n,
+                        std::span<const std::uint64_t> initial_weights = {});
+
+    std::size_t voter_count() const noexcept { return kind_.size(); }
+
+    /// Patch voter `v`'s action.  Each is an *absolute* assignment, so
+    /// replaying a patch is idempotent (the serve layer's at-least-once
+    /// delivery depends on this).
+    PatchResult set_vote(graph::Vertex v);
+    PatchResult set_abstain(graph::Vertex v);
+    /// `target == v` counts as voting (matches DelegationOutcome).
+    PatchResult set_delegate(graph::Vertex v, graph::Vertex target);
+
+    mech::ActionKind kind(graph::Vertex v) const { return kind_[v]; }
+    /// Delegation target (valid when kind == Delegate).
+    graph::Vertex target(graph::Vertex v) const { return target_[v]; }
+
+    graph::Vertex sink_of(graph::Vertex v) const { return sink_[v]; }
+    std::size_t depth_of(graph::Vertex v) const { return depth_[v]; }
+
+    /// Pooled weight at voter `v` (nonzero only for voting sinks).
+    std::uint64_t pooled_weight(graph::Vertex v) const;
+
+    /// Voter `v`'s own starting vote weight (1 unless initial weights
+    /// were supplied) — the direct-voting baseline's factor weight.
+    std::uint64_t initial_weight(graph::Vertex v) const { return weight_in_[v]; }
+
+    /// True iff `v` currently casts a vote (Vote or self-delegation).
+    bool is_voting(graph::Vertex v) const;
+
+    std::uint64_t cast_weight() const noexcept { return cast_weight_; }
+    std::size_t voting_sink_count() const noexcept { return voting_sink_count_; }
+
+    /// Full per-voter pooled-weight vector (matches
+    /// DelegationOutcome::weights()).  O(n); for tests and snapshots.
+    std::vector<std::uint64_t> weights() const;
+
+    /// All voting sinks, ascending (matches voting_sinks()).  O(n).
+    std::vector<graph::Vertex> voting_sinks() const;
+
+    /// Full statistics snapshot (matches DelegationOutcome::stats()).
+    /// O(n) for max_weight / longest_path; the counters are maintained
+    /// incrementally.
+    DelegationStats stats() const;
+
+    /// Materialize the current state as per-voter actions (for building a
+    /// reference DelegationOutcome in differential tests).
+    std::vector<mech::Action> actions() const;
+
+    /// Dirty-region fraction that triggers the full-rebuild fallback
+    /// (repairing more than this share of voters costs as much as a
+    /// rebuild and the rebuild leaves the arrays cache-friendly).
+    double rebuild_fraction = 0.25;
+
+private:
+    void init_from_actions();
+    void full_rebuild();
+    void link_child(graph::Vertex parent, graph::Vertex child);
+    void unlink_child(graph::Vertex parent, graph::Vertex child);
+    void add_weight_along_chain(graph::Vertex from, std::int64_t delta);
+    /// Repair sink/depth across v's subtree; returns voters touched, or
+    /// n+1 if the walk exceeded the rebuild threshold and aborted.
+    std::size_t repair_subtree(graph::Vertex v);
+    bool would_cycle(graph::Vertex v, graph::Vertex target) const;
+    PatchResult apply(graph::Vertex v, mech::ActionKind new_kind,
+                      graph::Vertex new_target);
+
+    static constexpr graph::Vertex kNil = DelegationOutcome::kNoSink;
+
+    std::vector<mech::ActionKind> kind_;
+    std::vector<graph::Vertex> target_;      ///< valid for Delegate
+    std::vector<graph::Vertex> first_child_;
+    std::vector<graph::Vertex> next_sibling_;
+    std::vector<graph::Vertex> prev_sibling_;
+    std::vector<graph::Vertex> sink_;
+    std::vector<std::size_t> depth_;
+    std::vector<std::uint64_t> weight_in_;      ///< per-voter initial weight
+    std::vector<std::uint64_t> subtree_weight_; ///< weight_in over the subtree
+    std::vector<graph::Vertex> walk_stack_;     ///< repair_subtree scratch
+    std::uint64_t cast_weight_ = 0;
+    std::size_t voting_sink_count_ = 0;
+    std::size_t delegator_count_ = 0;
+    std::size_t abstainer_count_ = 0;
+};
+
+}  // namespace ld::delegation

@@ -1,15 +1,19 @@
 #include "ld/game/delegation_game.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "ld/delegation/incremental.hpp"
 #include "ld/election/evaluator.hpp"
 #include "ld/election/tally.hpp"
+#include "ld/election/tally_delta.hpp"
 #include "rng/sampling.hpp"
 #include "support/expect.hpp"
 
 namespace ld::game {
 
 using support::expects;
+using support::invariant;
 
 namespace {
 
@@ -64,6 +68,8 @@ EquilibriumResult best_response_dynamics(const model::Instance& instance,
     const std::size_t n = instance.voter_count();
     expects(n >= 1, "best_response_dynamics: empty instance");
     expects(options.max_rounds >= 1, "best_response_dynamics: need at least one round");
+    expects(options.viscosity > 0.0 && options.viscosity <= 1.0,
+            "best_response_dynamics: viscosity must be in (0, 1]");
 
     EquilibriumResult result;
     result.profile.resize(n);
@@ -73,24 +79,81 @@ EquilibriumResult best_response_dynamics(const model::Instance& instance,
     std::vector<std::vector<graph::Vertex>> choices(n);
     for (graph::Vertex v = 0; v < n; ++v) choices[v] = instance.approved_neighbours(v);
 
+    // The live profile.  Approval-respecting strategy spaces are acyclic
+    // (delegations strictly climb competency), so no patch below can be
+    // cycle-rejected — the check stays as a defensive skip.
+    delegation::DynamicResolution res;
+    res.reset_all_vote(n);
+    // The tally trees only earn their keep when something reads live
+    // probabilities along the way — cooperative probes or trajectory
+    // points.  Pure selfish dynamics read only the sink cache, so skip
+    // the tree maintenance entirely (it would dominate the run).
+    const bool needs_tally =
+        options.utility == Utility::Cooperative || options.record_trajectory;
+    election::LiveTally tally;
+    if (needs_tally) {
+        tally.reset(instance.competencies().values(), res, options.tally_epsilon);
+    }
+    const double direct = needs_tally ? tally.direct_probability() : 0.0;
+
+    const auto apply_strategy = [&](graph::Vertex v, graph::Vertex c) -> bool {
+        const auto patch = (c == v) ? res.set_vote(v) : res.set_delegate(v, c);
+        if (patch.cycle_rejected) return false;
+        if (needs_tally) {
+            tally.apply_sink_changes({patch.changes.data(), patch.change_count});
+        }
+        return true;
+    };
+
+    // Selfish utility of strategy `c` for `v`, read straight off the sink
+    // cache.  No candidate target `t` can route through `v` (that would be
+    // a cycle), so t's sink and depth are independent of v's own strategy
+    // and the candidate needs no trial patch at all.
+    const auto selfish_utility = [&](graph::Vertex v, graph::Vertex c) -> double {
+        if (c == v) return instance.competency(v);
+        const graph::Vertex sink = res.sink_of(c);
+        if (sink == delegation::DynamicResolution::kNoSink) return 0.0;
+        const double p = instance.competency(sink);
+        if (options.viscosity == 1.0) return p;
+        return std::pow(options.viscosity,
+                        static_cast<double>(res.depth_of(c) + 1)) * p;
+    };
+
+    // Cooperative utility: apply the candidate, read the live tally, put
+    // the old strategy back — two O(log n) tree touches per probe.
+    const auto cooperative_utility = [&](graph::Vertex v, graph::Vertex current,
+                                         graph::Vertex c) -> double {
+        if (c == current) return tally.correct_probability();
+        if (!apply_strategy(v, c)) return -1.0;
+        const double u = tally.correct_probability();
+        const bool reverted = apply_strategy(v, current);
+        invariant(reverted, "best_response_dynamics: revert cannot cycle");
+        return u;
+    };
+
     std::vector<graph::Vertex> order(n);
     for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+    // A dedicated shuffle stream: with shuffle_seed set the visit order —
+    // and therefore the whole trajectory — replays byte-identically no
+    // matter what the caller's rng was used for beforehand.
+    rng::Rng order_rng(options.shuffle_seed ? *options.shuffle_seed : rng.next());
 
     for (std::size_t round = 0; round < options.max_rounds; ++round) {
         ++result.rounds;
-        if (options.random_order) rng::shuffle(rng, order);
+        if (options.random_order) rng::shuffle(order_rng, order);
         bool changed = false;
         for (graph::Vertex v : order) {
             const graph::Vertex current = result.profile[v];
-            double best_utility = utility_of(instance, result.profile, v,
-                                             options.utility);
+            double best_utility =
+                options.utility == Utility::Selfish
+                    ? selfish_utility(v, current)
+                    : cooperative_utility(v, current, current);
             graph::Vertex best_choice = current;
-            // Candidate: vote directly (if not already).
             const auto consider = [&](graph::Vertex candidate) {
                 if (candidate == best_choice) return;
-                Profile trial = result.profile;
-                trial[v] = candidate;
-                const double u = utility_of(instance, trial, v, options.utility);
+                const double u = options.utility == Utility::Selfish
+                                     ? selfish_utility(v, candidate)
+                                     : cooperative_utility(v, current, candidate);
                 if (u > best_utility + options.improvement_epsilon) {
                     best_utility = u;
                     best_choice = candidate;
@@ -99,9 +162,18 @@ EquilibriumResult best_response_dynamics(const model::Instance& instance,
             consider(v);
             for (graph::Vertex t : choices[v]) consider(t);
             if (best_choice != current) {
+                const bool applied = apply_strategy(v, best_choice);
+                invariant(applied,
+                          "best_response_dynamics: approved deviation cycled");
                 result.profile[v] = best_choice;
                 ++result.deviations;
                 changed = true;
+                if (options.record_trajectory) {
+                    const double p_now = tally.correct_probability();
+                    result.trajectory.push_back({result.rounds, v, current,
+                                                 best_choice, p_now,
+                                                 p_now - direct});
+                }
             }
         }
         if (!changed) {

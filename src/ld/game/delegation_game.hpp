@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "ld/delegation/delegation_graph.hpp"
@@ -37,6 +38,18 @@ enum class Utility {
 /// voter's own id) or the approved neighbour they delegate to.
 using Profile = std::vector<graph::Vertex>;
 
+/// One applied deviation along the best-response trajectory, with the
+/// group-correct probability *after* the deviation — the gain-along-the-
+/// path measurement of the iterative-delegation workload (docs/CHURN.md).
+struct TrajectoryPoint {
+    std::size_t round = 0;
+    graph::Vertex voter = 0;
+    graph::Vertex from = 0;     ///< previous strategy (self = vote)
+    graph::Vertex to = 0;       ///< new strategy
+    double correct_probability = 0.0;  ///< P[correct] after this deviation
+    double gain = 0.0;                 ///< vs exact P^D
+};
+
 /// Result of best-response dynamics.
 struct EquilibriumResult {
     Profile profile;            ///< final strategy profile
@@ -46,6 +59,9 @@ struct EquilibriumResult {
     double group_correct_probability = 0.0;  ///< exact P[correct] at the profile
     double gain_vs_direct = 0.0;             ///< vs exact P^D
     delegation::DelegationStats stats{};     ///< delegation shape at the profile
+    /// Filled when GameOptions::record_trajectory is set: one point per
+    /// applied deviation, in application order.
+    std::vector<TrajectoryPoint> trajectory;
 };
 
 /// Options for the dynamics.
@@ -56,6 +72,25 @@ struct GameOptions {
     /// Minimum utility improvement required to deviate (hysteresis that
     /// guarantees termination of cooperative dynamics despite exact ties).
     double improvement_epsilon = 1e-12;
+    /// Seed for the per-round update-order shuffle.  When unset, one value
+    /// is drawn from the caller's rng at entry — deterministic for a fixed
+    /// rng state, but that state usually depends on how many draws earlier
+    /// evaluation consumed (e.g. on the thread count).  Set it (sweeps use
+    /// the per-cell seed) and the trajectory replays byte-identically
+    /// regardless of what the caller's rng was used for before.
+    std::optional<std::uint64_t> shuffle_seed{};
+    /// Viscous-democracy decay (Boldi et al. via Armstrong et al.): a
+    /// selfish voter's utility for a sink at delegation depth d is
+    /// viscosity^d · competency(sink), so long chains cost.  1 = classic
+    /// selfish utility; ignored by the cooperative utility.
+    double viscosity = 1.0;
+    /// Record every applied deviation in EquilibriumResult::trajectory.
+    bool record_trajectory = false;
+    /// Certified clip budget for the live tally trees that drive
+    /// cooperative probes and trajectory points (0 = exact windows).  The
+    /// final group_correct_probability is always re-derived by the exact
+    /// DP regardless.
+    double tally_epsilon = 0.0;
 };
 
 /// Convert a profile into a delegation outcome (self-id = vote).
@@ -63,6 +98,13 @@ delegation::DelegationOutcome realize_profile(const model::Instance& instance,
                                               const Profile& profile);
 
 /// Run best-response dynamics from the all-vote profile.
+///
+/// Implementation rides the incremental churn engine: the profile lives in
+/// a delegation::DynamicResolution, each candidate deviation is evaluated
+/// either in O(1) from the sink cache (selfish) or as an
+/// apply-query-revert pair of O(log n) tally-tree updates (cooperative,
+/// via election::LiveTally) — instead of an O(n)-to-O(n·W) from-scratch
+/// re-resolution and DP per candidate.
 EquilibriumResult best_response_dynamics(const model::Instance& instance,
                                          rng::Rng& rng,
                                          const GameOptions& options = {});

@@ -1,0 +1,94 @@
+// Live delegation sessions for the serve layer — the server side of the
+// `instance.patch` hot path (docs/CHURN.md, docs/SERVING.md).
+//
+// A LiveState is the mutable counterpart of a cached instance: the
+// delegation profile of a *running* election, born at the all-vote
+// profile and advanced one `instance.patch` request at a time.  It pairs
+// the incremental churn engine's two halves —
+//
+//  * a delegation::DynamicResolution holding sinks / pooled weights /
+//    depths under single-voter mutations, and
+//  * an election::LiveTally holding the segmented product trees that
+//    re-tally P^M / P^D in O(log n) per changed sink —
+//
+// so a patch-plus-re-eval costs O(Δ · log n) instead of the full
+// instance.load + eval rebuild.
+//
+// Epoch semantics: every *successful* patch request advances the epoch
+// by exactly one (even when some of its ops were rejected or were
+// no-ops).  A client that pipelines patches through the shard router can
+// pass `expect_epoch` to detect reordering or a failed-over backend that
+// missed a broadcast: a mismatch is a `conflict` error and the state is
+// untouched — refetch `instance.state` and resync.
+//
+// Ops are *absolute* assignments (set this voter's action / competency),
+// so replaying a patch is idempotent on the resolution state; only the
+// epoch distinguishes a replay.  The sole per-op failure is a delegation
+// that would close a cycle: it is reported per-op (`applied: false`)
+// inside an ok response, because a live platform rejects that one edge,
+// not the whole submission batch.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ld/delegation/incremental.hpp"
+#include "ld/election/tally_delta.hpp"
+#include "ld/serve/instance_cache.hpp"
+#include "ld/serve/protocol.hpp"
+
+namespace ld::serve {
+
+class LiveState {
+public:
+    /// Born at the all-vote profile of `base` with its competencies, and
+    /// product trees clipped at `tally_epsilon` (certified; 0 = exact).
+    LiveState(std::shared_ptr<const CachedInstance> base, double tally_epsilon);
+
+    /// Apply one patch request: `ops` array, optional `expect_epoch`.
+    /// Returns the result object; throws ProtocolError on a malformed
+    /// request or an epoch conflict (state untouched in both cases).
+    json::Object apply_patch(const json::Value& params);
+
+    /// Read-only snapshot: epoch, live tally, delegation-shape stats.
+    json::Object state() const;
+
+    const CachedInstance& base() const noexcept { return *base_; }
+
+private:
+    json::Object summary_locked() const;
+
+    std::shared_ptr<const CachedInstance> base_;
+    double tally_epsilon_ = 0.0;
+    mutable std::mutex mutex_;
+    std::uint64_t epoch_ = 0;
+    delegation::DynamicResolution resolution_;
+    election::LiveTally tally_;
+};
+
+/// Thread-safe fingerprint → live session map.  Sessions are created on
+/// first touch (patch or state query) and share the lifetime of the
+/// table; dropping the table ends every session.
+class LiveTable {
+public:
+    /// Find or create the live session for `base`.  `tally_epsilon`
+    /// applies only at creation (an existing session keeps its trees).
+    std::shared_ptr<LiveState> open(std::shared_ptr<const CachedInstance> base,
+                                    double tally_epsilon);
+
+    /// Lookup only; nullptr when no session exists.
+    std::shared_ptr<LiveState> find(const std::string& fingerprint) const;
+
+    std::size_t size() const;
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<LiveState>> sessions_;
+};
+
+}  // namespace ld::serve

@@ -13,6 +13,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
         case ErrorCode::Overloaded: return "overloaded";
         case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
         case ErrorCode::NotFound: return "not_found";
+        case ErrorCode::Conflict: return "conflict";
         case ErrorCode::ShuttingDown: return "shutting_down";
         case ErrorCode::Internal: return "internal";
     }
@@ -105,7 +106,8 @@ std::string render_handshake() {
         "simd", json::Value(std::string(support::simd_tier_name(prob::kernel_tier()))));
     json::Array methods;
     for (const char* name :
-         {"eval", "instance.load", "instance.info", "metrics", "health", "shutdown"}) {
+         {"eval", "instance.load", "instance.info", "instance.patch",
+          "instance.state", "metrics", "health", "shutdown"}) {
         methods.emplace_back(std::string(name));
     }
     handshake.emplace("methods", json::Value(std::move(methods)));

@@ -38,6 +38,7 @@ enum class ErrorCode {
     Overloaded,       ///< admission queue full — back off and retry
     DeadlineExceeded, ///< request expired before execution finished
     NotFound,         ///< instance fingerprint not in the cache
+    Conflict,         ///< instance.patch expect_epoch mismatch — refetch state
     ShuttingDown,     ///< server is draining; no new work accepted
     Internal,         ///< evaluation threw (bug or bad spec params)
 };

@@ -124,6 +124,10 @@ Router::Outcome Router::execute(const Request& request) {
             result = do_instance_load(request.params);
         } else if (request.method == "instance.info") {
             result = do_instance_info(request.params);
+        } else if (request.method == "instance.patch") {
+            result = do_instance_patch(request.params);
+        } else if (request.method == "instance.state") {
+            result = do_instance_state(request.params);
         } else if (request.method == "metrics") {
             result = do_metrics();
         } else if (request.method == "health") {
@@ -320,6 +324,30 @@ json::Object Router::do_instance_info(const json::Value& params) {
                    json::Value(static_cast<double>(entry->instance.voter_count())));
     result.emplace("description", json::Value(entry->instance.describe()));
     return result;
+}
+
+std::shared_ptr<LiveState> Router::open_live(const json::Value& params) {
+    const std::string fingerprint = require_string(params, "instance");
+    const auto cached = cache_.find(fingerprint);
+    if (!cached) {
+        throw ProtocolError(ErrorCode::NotFound,
+                            "instance '" + fingerprint +
+                                "' not cached (call instance.load first)");
+    }
+    const double tally_eps =
+        optional_number(params, "tally_eps", config_.live_tally_epsilon);
+    if (tally_eps < 0.0 || tally_eps >= 1.0) {
+        bad_param("tally_eps", "must be in [0, 1)");
+    }
+    return live_.open(cached, tally_eps);
+}
+
+json::Object Router::do_instance_patch(const json::Value& params) {
+    return open_live(params)->apply_patch(params);
+}
+
+json::Object Router::do_instance_state(const json::Value& params) {
+    return open_live(params)->state();
 }
 
 json::Object Router::do_metrics() {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "ld/serve/instance_cache.hpp"
+#include "ld/serve/live_state.hpp"
 #include "ld/serve/protocol.hpp"
 
 namespace ld::serve {
@@ -40,6 +41,12 @@ struct RouterConfig {
     /// Default ε for the certified truncated inner tally when an eval
     /// request names no `tally_eps` (0 = exact DP).
     double default_tally_epsilon = 0.0;
+    /// Default ε for the live product trees a first `instance.patch` /
+    /// `instance.state` creates (when the request names no `tally_eps`).
+    /// Unlike evals this is NOT 0: exact windows cost O(n) per patched
+    /// leaf at the root, defeating the hot path — 1e-9 keeps every
+    /// reported live probability within 1e-9 of exact at O(log n · √n).
+    double live_tally_epsilon = 1e-9;
 };
 
 class Router {
@@ -75,18 +82,26 @@ public:
     void set_shutdown_hook(std::function<void()> hook) { shutdown_hook_ = std::move(hook); }
 
     InstanceCache& cache() noexcept { return cache_; }
+    LiveTable& live() noexcept { return live_; }
     const RouterConfig& config() const noexcept { return config_; }
 
 private:
     json::Object do_eval(const json::Value& params);
     json::Object do_instance_load(const json::Value& params);
     json::Object do_instance_info(const json::Value& params);
+    json::Object do_instance_patch(const json::Value& params);
+    json::Object do_instance_state(const json::Value& params);
     json::Object do_metrics();
     json::Object do_health();
+
+    /// Resolve the live session for params.instance, creating it at the
+    /// all-vote profile on first touch.
+    std::shared_ptr<LiveState> open_live(const json::Value& params);
 
     RouterConfig config_;
     InstanceCache& cache_;
     ServeStatus* status_;
+    LiveTable live_;
     std::function<void()> shutdown_hook_;
 };
 

@@ -1,5 +1,6 @@
 #include "ld/serve/server.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +11,12 @@
 namespace ld::serve {
 
 namespace {
+
+/// Monotone tag appended to every instance.patch dedup key: two patches
+/// with byte-identical params are still two distinct state advances
+/// (each bumps the epoch), so they must never share one execution the
+/// way identical evals do.
+std::atomic<std::uint64_t> patch_sequence{0};
 
 /// Params identity used to deduplicate evals inside a micro-batch.
 /// json::Object is a std::map, so dump() is key-order canonical:
@@ -184,7 +191,12 @@ void Server::handle_connection_line(const std::shared_ptr<Conn>& conn,
 
     const bool is_eval = request.method == "eval";
     const bool is_load = request.method == "instance.load";
-    if (!is_eval && !is_load) {
+    // instance.patch rides the eval queue: it shares the per-instance
+    // batch key, so patches and evals on one live session execute in
+    // admission (FIFO) order — an eval admitted after a patch sees the
+    // patched state.
+    const bool is_patch = request.method == "instance.patch";
+    if (!is_eval && !is_load && !is_patch) {
         // Cheap control-plane methods execute inline on the loop thread:
         // health and shutdown must answer even when the eval queue is
         // saturated.
@@ -193,7 +205,7 @@ void Server::handle_connection_line(const std::shared_ptr<Conn>& conn,
         return;
     }
 
-    if (is_eval && draining()) {
+    if ((is_eval || is_patch) && draining()) {
         conn->send(render_error(request.id, ErrorCode::ShuttingDown,
                                 "server is draining"));
         return;
@@ -211,25 +223,31 @@ void Server::handle_connection_line(const std::shared_ptr<Conn>& conn,
         // inline (it is valid during a drain, matching the old
         // connection-thread behavior).
         if (stop_dispatcher_ || draining()) {
-            if (is_eval) {
+            if (is_eval || is_patch) {
                 shutting_down = true;
             } else {
                 run_inline = true;
             }
-        } else if (is_eval && !try_admit_locked()) {
-            // The admission bound applies to evals only: instance.load
-            // is control plane and must never be `overloaded`.
+        } else if ((is_eval || is_patch) && !try_admit_locked()) {
+            // The admission bound applies to evals and patches only:
+            // instance.load is control plane and must never be
+            // `overloaded`.
             overloaded = true;
         } else {
             QueuedEval queued;
             queued.batch_key = batch_key_of(request);
             queued.dedup_key = dedup_key_of(request);
+            if (is_patch) {
+                queued.dedup_key +=
+                    '\x1f' + std::to_string(patch_sequence.fetch_add(
+                                 1, std::memory_order_relaxed));
+            }
             queued.request = std::move(request);
             queued.conn = conn;
             conn->add_inflight();
             queue_.push_back(std::move(queued));
             set_queue_depth_locked();
-            if (is_eval) registry.counter("serve.admitted").add(1);
+            if (is_eval || is_patch) registry.counter("serve.admitted").add(1);
         }
     }
     if (shutting_down) {
@@ -310,7 +328,7 @@ void Server::execute_batch(std::vector<QueuedEval>& batch) {
     // share one replication sweep on the pool.
     std::unordered_map<std::string, Router::Outcome> computed;
     for (QueuedEval& item : batch) {
-        const bool is_eval = item.request.method == "eval";
+        const bool is_eval = item.request.method != "instance.load";
         const auto now = std::chrono::steady_clock::now();
         if (is_eval && item.request.expired(now)) {
             registry.counter("serve.rejected_deadline").add(1);
@@ -349,7 +367,7 @@ std::string Server::handle_line(const std::string& line) {
         return render_error(id_of_line(line), e.code(), e.what());
     }
 
-    if (request.method == "eval") {
+    if (request.method == "eval" || request.method == "instance.patch") {
         if (draining()) {
             return render_error(request.id, ErrorCode::ShuttingDown,
                                 "server is draining");

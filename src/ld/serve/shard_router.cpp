@@ -284,10 +284,15 @@ void ShardRouter::forward_request(const std::shared_ptr<Conn>& conn,
     auto& registry = support::MetricsRegistry::global();
     const std::string key = routing_key_of(request);
 
-    if (request.method == "instance.load") {
+    if (request.method == "instance.load" || request.method == "instance.patch") {
         // Broadcast: the home backend answers the client, every other
         // routable backend warms the same instance so a later failover
-        // replay can never miss the cache.
+        // replay can never miss the cache.  instance.patch broadcasts
+        // for the same reason: every routable backend advances its live
+        // session, so a failover lands on a backend whose delegation
+        // state already matches (patch ops are absolute assignments —
+        // idempotent under the at-least-once delivery this creates; only
+        // the epoch can run ahead, which expect_epoch detects).
         const std::vector<bool> routable = routable_snapshot();
         const std::size_t home = pick_backend(key, routable);
         if (home < routable.size()) {

@@ -61,6 +61,9 @@ struct Options {
     std::size_t repeat = 1;    ///< replay the file this many times
     std::size_t connections = 1;  ///< concurrent sockets
     std::string preload;       ///< instance.load params JSON ("" = none)
+    std::size_t churn = 0;     ///< synthesize this many patch/state requests
+    std::uint64_t churn_seed = 1;  ///< op-stream seed (replayable)
+    std::size_t state_every = 8;   ///< every k-th churn request is instance.state
     bool fail_on_error = false;  ///< exit 1 if any response has ok=false
     double slo_p99_ms = 0.0;   ///< 0 = no latency gate
     double min_qps = 0.0;      ///< 0 = no throughput gate
@@ -69,7 +72,8 @@ struct Options {
 
 constexpr const char* kUsage = R"(liquidd_loadgen — QPS replay client for `liquidd serve`
 
-usage: liquidd_loadgen (--socket <path> | --tcp <port>) --requests <file.jsonl>
+usage: liquidd_loadgen (--socket <path> | --tcp <port>)
+                       (--requests <file.jsonl> | --churn <n>)
                        [--qps <rate>] [--repeat <n>] [--connections <n>]
                        [--preload <params-json>] [--fail-on-error]
                        [--slo-p99-ms <ms>] [--min-qps <rate>]
@@ -77,13 +81,25 @@ usage: liquidd_loadgen (--socket <path> | --tcp <port>) --requests <file.jsonl>
   --socket <path>      connect to a Unix-domain server socket
   --tcp <port>         connect to 127.0.0.1:<port>
   --requests <file>    JSON-lines request templates (ids assigned here)
+  --churn <n>          synthesize n delegation-churn requests instead of
+                       reading --requests: a deterministic stream of
+                       single-op instance.patch requests (delegate / vote /
+                       abstain / competency) with every k-th request an
+                       instance.state readback; requires --preload
+                       (docs/CHURN.md)
+  --churn-seed <s>     seed for the synthesized op stream (default 1; the
+                       same seed replays the same ops)
+  --state-every <k>    instance.state readback cadence in churn mode
+                       (default 8; 0 = never)
   --qps <rate>         target aggregate send rate (default 0 = unpaced)
   --repeat <n>         replay the file n times (default 1)
   --connections <n>    spread the replay over n concurrent sockets
                        (default 1; pacing stays global)
   --preload <params>   instance.load with these params first; the returned
                        fingerprint replaces "@instance" in templates
-  --fail-on-error      exit 1 when any response has ok=false (CI smoke)
+  --fail-on-error      exit 1 when any response has ok=false (CI smoke;
+                       per-op "applied": false inside an ok patch response
+                       is not an error)
   --slo-p99-ms <ms>    exit 1 when observed p99 latency exceeds this bound
   --min-qps <rate>     exit 1 when achieved throughput falls below this
   --help               show this text
@@ -115,6 +131,9 @@ Options parse_args(int argc, char** argv) {
         else if (flag == "--repeat") options.repeat = std::stoul(next());
         else if (flag == "--connections") options.connections = std::stoul(next());
         else if (flag == "--preload") options.preload = next();
+        else if (flag == "--churn") options.churn = std::stoul(next());
+        else if (flag == "--churn-seed") options.churn_seed = std::stoull(next());
+        else if (flag == "--state-every") options.state_every = std::stoul(next());
         else if (flag == "--fail-on-error") options.fail_on_error = true;
         else if (flag == "--slo-p99-ms") options.slo_p99_ms = std::stod(next());
         else if (flag == "--min-qps") options.min_qps = std::stod(next());
@@ -126,7 +145,17 @@ Options parse_args(int argc, char** argv) {
         usage_error("need --socket or --tcp");
     }
     if (options.tcp_port > 65535) usage_error("--tcp: port must be <= 65535");
-    if (options.requests_path.empty()) usage_error("need --requests <file.jsonl>");
+    if (options.churn > 0) {
+        if (!options.requests_path.empty()) {
+            usage_error("--churn and --requests are mutually exclusive");
+        }
+        if (options.preload.empty()) {
+            usage_error("--churn needs --preload (patches target the "
+                        "preloaded instance)");
+        }
+    } else if (options.requests_path.empty()) {
+        usage_error("need --requests <file.jsonl> or --churn <n>");
+    }
     if (options.repeat == 0) usage_error("--repeat: must be >= 1");
     if (options.connections == 0) usage_error("--connections: must be >= 1");
     if (options.slo_p99_ms < 0) usage_error("--slo-p99-ms: must be >= 0");
@@ -158,6 +187,67 @@ std::vector<json::Value> load_templates(const std::string& path) {
         templates.push_back(std::move(value));
     }
     if (templates.empty()) usage_error("'" + path + "' holds no requests");
+    return templates;
+}
+
+/// SplitMix64 — the synthesized churn stream must be replayable from
+/// --churn-seed alone (the CI smoke compares two runs), and the tool
+/// stays standalone, so the tiny generator lives here.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d4a4a2f8ed22c3ULL;
+    return z ^ (z >> 31);
+}
+
+/// Synthesize the churn-mode request stream: single-op instance.patch
+/// templates (delegate-heavy, with vote / abstain / competency mixed in)
+/// against "@instance", plus an instance.state readback every
+/// `state_every` requests.  Cycle-rejected delegations are expected and
+/// arrive as per-op "applied": false inside ok responses.
+std::vector<json::Value> synthesize_churn(std::size_t count, std::size_t voters,
+                                          std::uint64_t seed,
+                                          std::size_t state_every) {
+    if (voters == 0) usage_error("--churn: preloaded instance has no voters");
+    std::uint64_t state = seed;
+    std::vector<json::Value> templates;
+    templates.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        json::Object request;
+        json::Object params;
+        params.emplace("instance", json::Value(std::string("@instance")));
+        if (state_every > 0 && (i + 1) % state_every == 0) {
+            request.emplace("method", json::Value(std::string("instance.state")));
+            request.emplace("params", json::Value(std::move(params)));
+            templates.emplace_back(std::move(request));
+            continue;
+        }
+        json::Object op;
+        const std::uint64_t voter = splitmix64(state) % voters;
+        op.emplace("voter", json::Value(static_cast<double>(voter)));
+        const std::uint64_t pick = splitmix64(state) % 8;
+        if (pick < 4 && voters > 1) {  // half the ops: retarget an edge
+            std::uint64_t to = splitmix64(state) % (voters - 1);
+            if (to >= voter) ++to;
+            op.emplace("op", json::Value(std::string("delegate")));
+            op.emplace("to", json::Value(static_cast<double>(to)));
+        } else if (pick < 6) {
+            op.emplace("op", json::Value(std::string("vote")));
+        } else if (pick == 6) {
+            op.emplace("op", json::Value(std::string("abstain")));
+        } else {
+            op.emplace("op", json::Value(std::string("competency")));
+            const double p =
+                static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+            op.emplace("p", json::Value(p));
+        }
+        json::Array ops;
+        ops.emplace_back(std::move(op));
+        params.emplace("ops", json::Value(std::move(ops)));
+        request.emplace("method", json::Value(std::string("instance.patch")));
+        request.emplace("params", json::Value(std::move(params)));
+        templates.emplace_back(std::move(request));
+    }
     return templates;
 }
 
@@ -241,7 +331,8 @@ int main(int argc, char** argv) {
     }
 
     try {
-        const auto templates = load_templates(options.requests_path);
+        std::vector<json::Value> templates;
+        if (options.churn == 0) templates = load_templates(options.requests_path);
 
         std::vector<std::unique_ptr<Connection>> conns;
         conns.reserve(options.connections);
@@ -271,6 +362,16 @@ int main(int argc, char** argv) {
             }
             fingerprint = response.at("result").at("instance").as_string();
             std::cout << "preloaded instance " << fingerprint << "\n";
+            if (options.churn > 0) {
+                const auto voters = static_cast<std::size_t>(
+                    response.at("result").at("voters").as_number());
+                templates = synthesize_churn(options.churn, voters,
+                                             options.churn_seed,
+                                             options.state_every);
+                std::cout << "churn mode: " << templates.size()
+                          << " synthesized request(s), seed "
+                          << options.churn_seed << "\n";
+            }
         }
 
         const std::size_t total = templates.size() * options.repeat;
